@@ -1,0 +1,327 @@
+// Command beast is the experiment driver: it re-runs the paper's
+// functionality matrix (§2.3, features i–vi) as live checks and prints
+// BEAST-style micro-measurements for the mechanisms the paper describes.
+// EXPERIMENTS.md records these outputs against the paper's claims.
+//
+// Usage:
+//
+//	beast [-events N]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sentinel "repro"
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+func main() {
+	n := flag.Int("events", 100000, "events per micro-measurement")
+	flag.Parse()
+
+	fmt.Println("Sentinel reproduction — functionality matrix (paper §2.3)")
+	fmt.Println()
+	check("(i)   primitive event detection (begin/end, class & instance level)", checkPrimitive)
+	check("(ii)  local composite event detection (Snoop operators)", checkComposite)
+	check("(iii) parameter computation of composite events", checkParams)
+	check("(iv)  detector separated from application (online & batch)", checkBatch)
+	check("(v)   immediate and deferred coupling modes", checkCoupling)
+	check("(vi)  prioritized and concurrent rule execution", checkScheduling)
+	fmt.Println()
+
+	fmt.Printf("Micro-measurements (%d events each)\n\n", *n)
+	measure("primitive signal, 1 subscriber", *n, benchPrimitive)
+	measure("primitive signal, no subscriber", *n, benchPrimitiveIdle)
+	measure("SEQ detect (recent)", *n, func(n int) { benchSeq(n, detector.Recent) })
+	measure("SEQ detect (chronicle)", *n, func(n int) { benchSeq(n, detector.Chronicle) })
+	measure("SEQ detect (continuous)", *n, func(n int) { benchSeq(n, detector.Continuous) })
+	measure("SEQ detect (cumulative)", *n, func(n int) { benchSeq(n, detector.Cumulative) })
+	measure("rule execution (immediate, subtxn)", *n/10, benchRule)
+}
+
+func check(name string, fn func() error) {
+	status := "PASS"
+	if err := fn(); err != nil {
+		status = "FAIL: " + err.Error()
+	}
+	fmt.Printf("  %-66s %s\n", name, status)
+	if status != "PASS" {
+		os.Exit(1)
+	}
+}
+
+func measure(name string, n int, fn func(n int)) {
+	start := time.Now()
+	fn(n)
+	el := time.Since(start)
+	fmt.Printf("  %-40s %10.0f events/s  (%6.0f ns/event)\n",
+		name, float64(n)/el.Seconds(), float64(el.Nanoseconds())/float64(n))
+}
+
+// --- functionality checks ----------------------------------------------------
+
+func stockDB() (*sentinel.Database, error) {
+	db, err := sentinel.Open(sentinel.Options{AppName: "beast", SerialRules: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Exec(`
+class STOCK reactive {
+    event end(e1) sell_stock(qty);
+    event begin(e2) && end(e3) set_price(price);
+}
+event e4 = e1 and e2;
+`); err != nil {
+		return nil, err
+	}
+	c, err := db.Class("STOCK")
+	if err != nil {
+		return nil, err
+	}
+	c.DefineMethod(sentinel.Method{Name: "sell_stock", Params: []string{"qty"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) { return nil, nil }})
+	c.DefineMethod(sentinel.Method{Name: "set_price", Params: []string{"price"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) { return nil, nil }})
+	return db, nil
+}
+
+func checkPrimitive() error {
+	db, err := stockDB()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	var fired int
+	db.BindAction("a", func(*sentinel.Execution) error { fired++; return nil })
+	if err := db.Exec(`rule R(e1, true, a);`); err != nil {
+		return err
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	if _, err := db.Invoke(tx, obj, "sell_stock", 1); err != nil {
+		return err
+	}
+	_ = tx.Commit()
+	if fired != 1 {
+		return fmt.Errorf("rule fired %d times", fired)
+	}
+	return nil
+}
+
+func checkComposite() error {
+	db, err := stockDB()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	var fired int
+	db.BindAction("a", func(*sentinel.Execution) error { fired++; return nil })
+	if err := db.Exec(`rule R(e4, true, a);`); err != nil {
+		return err
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	_, _ = db.Invoke(tx, obj, "set_price", 1.0)
+	_, _ = db.Invoke(tx, obj, "sell_stock", 1)
+	_ = tx.Commit()
+	if fired != 1 {
+		return fmt.Errorf("composite fired %d times", fired)
+	}
+	return nil
+}
+
+func checkParams() error {
+	db, err := stockDB()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	var lists int
+	db.BindAction("a", func(x *sentinel.Execution) error { lists = len(x.Params()); return nil })
+	if err := db.Exec(`rule R(e4, true, a);`); err != nil {
+		return err
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	_, _ = db.Invoke(tx, obj, "set_price", 1.0)
+	_, _ = db.Invoke(tx, obj, "sell_stock", 1)
+	_ = tx.Commit()
+	if lists != 2 {
+		return fmt.Errorf("composite carried %d parameter lists", lists)
+	}
+	return nil
+}
+
+func checkBatch() error {
+	// Online detection recorded to a log, replayed in batch: counts match.
+	var buf bytes.Buffer
+	online := detector.New()
+	online.DeclareClass("C", "")
+	e1, _ := online.DefinePrimitive("p1", "C", "m1", event.End, 0)
+	e2, _ := online.DefinePrimitive("p2", "C", "m2", event.End, 0)
+	if _, err := online.Seq("s", e1, e2); err != nil {
+		return err
+	}
+	onCount := 0
+	if _, err := online.Subscribe("s", detector.Chronicle,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) { onCount++ })); err != nil {
+		return err
+	}
+	log := detector.NewEventLog(&buf)
+	online.SetTracer(log.Recorder())
+	for i := 0; i < 100; i++ {
+		online.SignalMethod("C", fmt.Sprintf("m%d", i%2+1), event.End, 1, nil, 1)
+	}
+
+	batch := detector.New()
+	batch.DeclareClass("C", "")
+	f1, _ := batch.DefinePrimitive("p1", "C", "m1", event.End, 0)
+	f2, _ := batch.DefinePrimitive("p2", "C", "m2", event.End, 0)
+	if _, err := batch.Seq("s", f1, f2); err != nil {
+		return err
+	}
+	offCount := 0
+	if _, err := batch.Subscribe("s", detector.Chronicle,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) { offCount++ })); err != nil {
+		return err
+	}
+	if _, err := detector.Replay(bytes.NewReader(buf.Bytes()), batch); err != nil {
+		return err
+	}
+	if onCount != offCount || onCount == 0 {
+		return fmt.Errorf("online=%d batch=%d", onCount, offCount)
+	}
+	return nil
+}
+
+func checkCoupling() error {
+	db, err := stockDB()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	var immediate, deferred int
+	db.BindAction("imm", func(*sentinel.Execution) error { immediate++; return nil })
+	db.BindAction("def", func(*sentinel.Execution) error { deferred++; return nil })
+	if err := db.Exec(`
+rule RI(e1, true, imm);
+rule RD(e1, true, def, CUMULATIVE, DEFERRED);
+`); err != nil {
+		return err
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	for i := 0; i < 3; i++ {
+		_, _ = db.Invoke(tx, obj, "sell_stock", 1)
+	}
+	if immediate != 3 || deferred != 0 {
+		return fmt.Errorf("before commit: imm=%d def=%d", immediate, deferred)
+	}
+	_ = tx.Commit()
+	if deferred != 1 {
+		return fmt.Errorf("after commit: def=%d", deferred)
+	}
+	return nil
+}
+
+func checkScheduling() error {
+	db, err := stockDB()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	var order []int
+	for _, prio := range []int{1, 9, 5} {
+		p := prio
+		name := fmt.Sprintf("a%d", p)
+		db.BindAction(name, func(*sentinel.Execution) error { order = append(order, p); return nil })
+		if err := db.Exec(fmt.Sprintf(`rule R%d(e1, true, %s, RECENT, IMMEDIATE, %d);`, p, name, p)); err != nil {
+			return err
+		}
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	_, _ = db.Invoke(tx, obj, "sell_stock", 1)
+	_ = tx.Commit()
+	if len(order) != 3 || order[0] != 9 || order[1] != 5 || order[2] != 1 {
+		return fmt.Errorf("priority order %v", order)
+	}
+	return nil
+}
+
+// --- micro-measurements --------------------------------------------------------
+
+func benchPrimitive(n int) {
+	d := detector.New()
+	d.AutoFlush = false
+	d.DeclareClass("C", "")
+	if _, err := d.DefinePrimitive("e", "C", "m", event.End, 0); err != nil {
+		panic(err)
+	}
+	if _, err := d.Subscribe("e", detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) {})); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		d.SignalMethod("C", "m", event.End, 1, nil, 1)
+	}
+}
+
+func benchPrimitiveIdle(n int) {
+	d := detector.New()
+	d.AutoFlush = false
+	d.DeclareClass("C", "")
+	if _, err := d.DefinePrimitive("e", "C", "m", event.End, 0); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		d.SignalMethod("C", "m", event.End, 1, nil, 1)
+	}
+}
+
+func benchSeq(n int, ctx detector.Context) {
+	d := detector.New()
+	d.AutoFlush = false
+	d.DeclareClass("C", "")
+	e1, _ := d.DefinePrimitive("e1", "C", "m1", event.End, 0)
+	e2, _ := d.DefinePrimitive("e2", "C", "m2", event.End, 0)
+	if _, err := d.Seq("s", e1, e2); err != nil {
+		panic(err)
+	}
+	if _, err := d.Subscribe("s", ctx,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) {})); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		m := "m1"
+		if i%3 == 2 {
+			m = "m2"
+		}
+		d.SignalMethod("C", m, event.End, 1, nil, 1)
+	}
+}
+
+func benchRule(n int) {
+	db, err := stockDB()
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	db.BindAction("a", func(*sentinel.Execution) error { return nil })
+	if err := db.Exec(`rule R(e1, true, a);`); err != nil {
+		panic(err)
+	}
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	for i := 0; i < n; i++ {
+		if _, err := db.Invoke(tx, obj, "sell_stock", 1); err != nil {
+			panic(err)
+		}
+	}
+	_ = tx.Commit()
+}

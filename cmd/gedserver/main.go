@@ -1,0 +1,54 @@
+// Command gedserver runs a standalone global event detector: applications
+// connect, contribute local primitive events, and subscribe to global
+// composite events defined by the spec file.
+//
+// Usage:
+//
+//	gedserver -listen 127.0.0.1:7070 [-spec global.snp]
+//
+// The spec file may declare composite events over the (explicit) event
+// names applications contribute, e.g.:
+//
+//	event e1 = e1_decl; ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/ged"
+	"repro/internal/snoop"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	spec := flag.String("spec", "", "Sentinel spec file with global event definitions")
+	flag.Parse()
+
+	server := ged.NewServer(nil)
+	if *spec != "" {
+		src, err := os.ReadFile(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gedserver:", err)
+			os.Exit(1)
+		}
+		comp := &snoop.Compiler{Det: server.Det}
+		if err := comp.CompileSource(string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "gedserver:", err)
+			os.Exit(1)
+		}
+	}
+	addr, err := server.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gedserver:", err)
+		os.Exit(1)
+	}
+	fmt.Println("gedserver listening on", addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("gedserver shutting down")
+	_ = server.Close()
+}

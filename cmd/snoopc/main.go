@@ -1,0 +1,107 @@
+// Command snoopc compiles a Sentinel event/rule specification, reports
+// the events and rules it declares, and optionally emits the resulting
+// event graph in Graphviz DOT form — the inspection half of the Sentinel
+// pre-processor.
+//
+// Usage:
+//
+//	snoopc [-dot] spec.snp
+//
+// Rules are checked for syntax but their condition/action functions are
+// only name-checked (bodies live in application code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/debug"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/snoop"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit the event graph as Graphviz DOT on stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: snoopc [-dot] spec.snp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snoopc:", err)
+		os.Exit(1)
+	}
+	decls, err := snoop.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snoopc:", err)
+		os.Exit(1)
+	}
+
+	det := detector.New()
+	comp := &snoop.Compiler{
+		Det: det,
+		// Instance names cannot be resolved without a database; map them
+		// all to a placeholder OID so the graph still builds.
+		Resolve: func(string) (event.OID, error) { return 1, nil },
+	}
+	var ruleCount int
+	printRule := func(d *snoop.RuleDecl) {
+		ruleCount++
+		scope := ""
+		if d.Class != "" {
+			scope = fmt.Sprintf(" %s in class %s", orDefault(d.Visibility, "PUBLIC"), d.Class)
+		}
+		fmt.Printf("rule  %-20s on %s (context=%s coupling=%s priority=%d trigger=%s)%s\n",
+			d.Name, d.Event,
+			orDefault(d.Context, "RECENT"), orDefault(d.Coupling, "IMMEDIATE"),
+			d.Priority, orDefault(d.Trigger, "NOW"), scope)
+	}
+	for _, d := range decls {
+		switch d := d.(type) {
+		case *snoop.RuleDecl:
+			printRule(d)
+		default:
+			if cd, ok := d.(*snoop.ClassDecl); ok {
+				for _, r := range cd.Rules {
+					printRule(r)
+				}
+			}
+			if err := comp.Compile([]snoop.Decl{d}); err != nil {
+				fmt.Fprintln(os.Stderr, "snoopc:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	names := det.Events()
+	sort.Strings(names)
+	for _, n := range names {
+		node, _ := det.Lookup(n)
+		kind := "composite"
+		if len(node.Kids()) == 0 {
+			kind = "primitive"
+		}
+		fmt.Printf("event %-40s %s\n", n, kind)
+	}
+	fmt.Printf("%d events, %d rules\n", len(names), ruleCount)
+	if *dot {
+		if err := debug.DOT(det, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "snoopc:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

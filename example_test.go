@@ -1,0 +1,120 @@
+package sentinel_test
+
+import (
+	"fmt"
+	"log"
+
+	sentinel "repro"
+)
+
+// Example reproduces the paper's basic flow: a reactive class, a rule on
+// a primitive event, and an invocation that triggers it.
+func Example() {
+	db, err := sentinel.Open(sentinel.Options{SerialRules: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.BindAction("announce", func(x *sentinel.Execution) error {
+		price, _ := x.Occurrence.Leaves()[0].Params.Get("price")
+		fmt.Println("price set to", price)
+		return nil
+	})
+	if err := db.Exec(`
+class STOCK reactive {
+    event begin(priced) set_price(price);
+}
+rule Announce(priced, true, announce);
+`); err != nil {
+		log.Fatal(err)
+	}
+	stock, _ := db.Class("STOCK")
+	stock.DefineMethod(sentinel.Method{
+		Name: "set_price", Params: []string{"price"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			self.Set("price", args[0])
+			return nil, nil
+		},
+	})
+
+	tx, _ := db.Begin()
+	ibm, _ := db.New(tx, "STOCK", nil)
+	if _, err := db.Invoke(tx, ibm, "set_price", 101.25); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	// Output: price set to 101.25
+}
+
+// ExampleDatabase_Exec shows a deferred rule in cumulative context: it
+// runs once per transaction, at pre-commit, with all occurrences.
+func ExampleDatabase_Exec() {
+	db, _ := sentinel.Open(sentinel.Options{SerialRules: true})
+	defer db.Close()
+
+	db.BindAction("summary", func(x *sentinel.Execution) error {
+		fmt.Printf("transaction made %d sales\n", len(x.Occurrence.Leaves())-2)
+		return nil
+	})
+	_ = db.Exec(`
+class STOCK reactive {
+    event end(sold) sell_stock(qty);
+}
+rule Summary(sold, true, summary, CUMULATIVE, DEFERRED);
+`)
+	stock, _ := db.Class("STOCK")
+	stock.DefineMethod(sentinel.Method{
+		Name: "sell_stock", Params: []string{"qty"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) { return nil, nil },
+	})
+
+	tx, _ := db.Begin()
+	obj, _ := db.New(tx, "STOCK", nil)
+	for i := 0; i < 3; i++ {
+		_, _ = db.Invoke(tx, obj, "sell_stock", 1)
+	}
+	fmt.Println("before commit: nothing yet")
+	_ = tx.Commit()
+	// Output:
+	// before commit: nothing yet
+	// transaction made 3 sales
+}
+
+// ExampleDatabase_DefineRule builds a composite-event rule directly in Go,
+// without the specification language.
+func ExampleDatabase_DefineRule() {
+	db, _ := sentinel.Open(sentinel.Options{SerialRules: true})
+	defer db.Close()
+	_ = db.Exec(`
+class ACCOUNT reactive {
+    event end(deposited) deposit(amount);
+    event end(withdrawn) withdraw(amount);
+}
+event churn = deposited >> withdrawn;
+`)
+	acct, _ := db.Class("ACCOUNT")
+	for _, m := range []string{"deposit", "withdraw"} {
+		acct.DefineMethod(sentinel.Method{
+			Name: m, Params: []string{"amount"}, Mutates: true,
+			Body: func(self *sentinel.Self, args []any) (any, error) { return nil, nil },
+		})
+	}
+	_, _ = db.DefineRule(sentinel.RuleSpec{
+		Name:    "Churn",
+		Event:   "churn",
+		Context: sentinel.Chronicle,
+		Action: func(x *sentinel.Execution) error {
+			fmt.Println("deposit followed by withdrawal")
+			return nil
+		},
+	})
+	tx, _ := db.Begin()
+	a, _ := db.New(tx, "ACCOUNT", nil)
+	_, _ = db.Invoke(tx, a, "deposit", 100)
+	_, _ = db.Invoke(tx, a, "withdraw", 60)
+	_ = tx.Commit()
+	// Output: deposit followed by withdrawal
+}

@@ -1,0 +1,140 @@
+// Inventory demonstrates a persistent Sentinel database with nested rule
+// triggering: withdrawing stock below a threshold triggers a reorder rule,
+// whose action (creating a purchase order object) triggers an audit rule —
+// rules cascading depth-first as subtransactions, all durable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	sentinel "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sentinel-inventory-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sentinel.Open(sentinel.Options{Dir: dir, AppName: "inventory", SerialRules: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Exec(`
+class ITEM reactive {
+    event end(withdrawn) withdraw(qty);
+}
+class PURCHASE_ORDER reactive {
+    event end(ordered) place(item, qty);
+}
+`); err != nil {
+		log.Fatal(err)
+	}
+	item, _ := db.Class("ITEM")
+	item.DefineMethod(sentinel.Method{
+		Name: "withdraw", Params: []string{"qty"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			cur, _ := self.Get("stock").(int)
+			q := args[0].(int)
+			if q > cur {
+				return nil, fmt.Errorf("inventory: only %d in stock", cur)
+			}
+			self.Set("stock", cur-q)
+			return cur - q, nil
+		},
+	})
+	po, _ := db.Class("PURCHASE_ORDER")
+	po.DefineMethod(sentinel.Method{
+		Name: "place", Params: []string{"item", "qty"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			self.Set("item", args[0])
+			self.Set("qty", args[1])
+			self.Set("status", "placed")
+			return nil, nil
+		},
+	})
+
+	// Reorder rule: when stock drops below the threshold, place a
+	// purchase order — inside the rule's subtransaction, so a failure
+	// rolls it back without hurting the application's transaction.
+	const threshold = 20
+	db.BindCondition("belowThreshold", func(x *sentinel.Execution) bool {
+		leaf := x.Occurrence.Leaves()[0]
+		obj, err := db.Load(x.Txn, leaf.Object)
+		if err != nil {
+			return false
+		}
+		stock, _ := obj.Attr("stock").(int)
+		return stock < threshold
+	})
+	db.BindAction("reorder", func(x *sentinel.Execution) error {
+		leaf := x.Occurrence.Leaves()[0]
+		order, err := db.New(x.Txn, "PURCHASE_ORDER", nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Reorder rule: stock low on %s, placing order %s\n", leaf.Object, order.OID)
+		_, err = db.Invoke(x.Txn, order, "place", uint64(leaf.Object), 100)
+		return err
+	})
+	// Audit rule: triggered by the reorder rule's own action (nested).
+	db.BindAction("audit", func(x *sentinel.Execution) error {
+		fmt.Printf("  Audit rule (nested, depth via cascade): order %s recorded\n",
+			x.Occurrence.Leaves()[0].Object)
+		return nil
+	})
+	// Deferred end-of-transaction summary.
+	db.BindAction("summary", func(x *sentinel.Execution) error {
+		fmt.Printf("Deferred summary: %d withdrawals this transaction\n",
+			len(x.Occurrence.Leaves())-2) // minus begin/preCommit
+		return nil
+	})
+	if err := db.Exec(`
+rule Reorder(withdrawn, belowThreshold, reorder, RECENT, IMMEDIATE, 10);
+rule Audit(ordered, true, audit, RECENT, IMMEDIATE, 5);
+rule Summary(withdrawn, true, summary, CUMULATIVE, DEFERRED);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	setup, _ := db.Begin()
+	widget, err := db.New(setup, "ITEM", map[string]any{"stock": 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Bind(setup, "widget", widget.OID); err != nil {
+		log.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- withdrawing 15 (stock 50 -> 35, no reorder) --")
+	tx, _ := db.Begin()
+	if _, err := db.Invoke(tx, widget, "withdraw", 15); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- withdrawing 20 (stock 35 -> 15, reorder cascade fires) --")
+	if _, err := db.Invoke(tx, widget, "withdraw", 20); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- committing (deferred summary) --")
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show durability: reload in a fresh transaction.
+	check, _ := db.Begin()
+	oid, _ := db.Resolve(check, "widget")
+	reloaded, err := db.Load(check, oid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final stock on disk:", reloaded.Attr("stock"))
+	_ = check.Commit()
+}

@@ -1,0 +1,70 @@
+// Quickstart: open an in-memory Sentinel database, declare a reactive
+// class with a primitive event, attach a rule, and watch it fire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sentinel "repro"
+)
+
+func main() {
+	db, err := sentinel.Open(sentinel.Options{AppName: "quickstart", SerialRules: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The rule's action, bound by name for the specification below.
+	db.BindAction("announce", func(x *sentinel.Execution) error {
+		leaf := x.Occurrence.Leaves()[0]
+		price, _ := leaf.Params.Get("price")
+		fmt.Printf("rule %s fired: %s set price to %v\n", x.Rule.Name(), leaf.Object, price)
+		return nil
+	})
+
+	// Class, event interface and rule in the Sentinel language.
+	if err := db.Exec(`
+class STOCK reactive {
+    event begin(priced) set_price(price);
+}
+rule Announce(priced, true, announce);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Method bodies are ordinary Go.
+	stock, err := db.Class("STOCK")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stock.DefineMethod(sentinel.Method{
+		Name: "set_price", Params: []string{"price"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			self.Set("price", args[0])
+			return nil, nil
+		},
+	})
+
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ibm, err := db.New(tx, "STOCK", map[string]any{"price": 0.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Invoking the reactive method signals the event; the immediate rule
+	// runs before Invoke returns.
+	if _, err := db.Invoke(tx, ibm, "set_price", 101.25); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Invoke(tx, ibm, "set_price", 102.50); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done; price is now", ibm.Attr("price"))
+}

@@ -1,0 +1,117 @@
+// Stockmonitor reproduces the paper's running example (§3.1): the STOCK
+// class with primitive events on sell_stock and set_price, the composite
+// event e4 = e1 ^ e2, a class-level rule in CUMULATIVE context with
+// DEFERRED coupling, and the class-level vs instance-level pair
+// any_stk_price / set_IBM_price.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sentinel "repro"
+)
+
+func main() {
+	db, err := sentinel.Open(sentinel.Options{AppName: "stockmonitor", SerialRules: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Class definition with the event interface of the paper.
+	if err := db.Exec(`
+class STOCK reactive {
+    event end(e1) sell_stock(qty);
+    event begin(e2) && end(e3) set_price(price);
+}
+event e4 = e1 and e2;
+`); err != nil {
+		log.Fatal(err)
+	}
+	stock, _ := db.Class("STOCK")
+	stock.DefineMethod(sentinel.Method{
+		Name: "sell_stock", Params: []string{"qty"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			cur, _ := self.Get("qty").(int)
+			self.Set("qty", cur-args[0].(int))
+			return cur - args[0].(int), nil
+		},
+	})
+	stock.DefineMethod(sentinel.Method{
+		Name: "set_price", Params: []string{"price"}, Mutates: true,
+		Body: func(self *sentinel.Self, args []any) (any, error) {
+			self.Set("price", args[0])
+			return nil, nil
+		},
+	})
+
+	// Rule R1 from the paper: on e4, cumulative context, deferred mode,
+	// priority 10, NOW. Its action summarizes every trade/price pair of
+	// the transaction at pre-commit.
+	db.BindCondition("cond1", func(x *sentinel.Execution) bool {
+		return len(x.Occurrence.Leaves()) > 2 // interesting only if composite
+	})
+	db.BindAction("action1", func(x *sentinel.Execution) error {
+		fmt.Printf("R1 (deferred, cumulative): %d constituent occurrences this transaction\n",
+			len(x.Occurrence.Leaves()))
+		return nil
+	})
+	if err := db.Exec(`rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Create the instances and name IBM so the instance-level event can
+	// resolve it.
+	setup, _ := db.Begin()
+	ibm, _ := db.New(setup, "STOCK", map[string]any{"qty": 1000, "price": 100.0})
+	dec, _ := db.New(setup, "STOCK", map[string]any{"qty": 500, "price": 50.0})
+	if err := db.Bind(setup, "IBM", ibm.OID); err != nil {
+		log.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Class-level vs instance-level primitive events on the same method
+	// (§3.1): any_stk_price fires for every STOCK, set_IBM_price only for
+	// the IBM object.
+	if err := db.Exec(`
+event any_stk_price = begin STOCK.set_price(price);
+event set_IBM_price = begin STOCK("IBM").set_price(price);
+`); err != nil {
+		log.Fatal(err)
+	}
+	db.BindAction("classLevel", func(x *sentinel.Execution) error {
+		fmt.Printf("  class-level rule: price change on %s\n", x.Occurrence.Leaves()[0].Object)
+		return nil
+	})
+	db.BindAction("instanceLevel", func(x *sentinel.Execution) error {
+		fmt.Println("  instance-level rule: IBM price changed!")
+		return nil
+	})
+	if err := db.Exec(`
+rule AnyPrice(any_stk_price, true, classLevel);
+rule IBMPrice(set_IBM_price, true, instanceLevel);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- transaction 1: price changes on two stocks --")
+	tx, _ := db.Begin()
+	if _, err := db.Invoke(tx, ibm, "set_price", 101.0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Invoke(tx, dec, "set_price", 51.0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- selling stock (completes e4 = e1 ^ e2) --")
+	if _, err := db.Invoke(tx, ibm, "sell_stock", 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- committing: deferred R1 runs now --")
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done")
+}

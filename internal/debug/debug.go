@@ -1,0 +1,208 @@
+// Package debug implements the Sentinel rule debugger: it records the
+// interactions among events, rules and database objects as a structured
+// trace (the visualization data of the paper's rule debugger module),
+// renders them as a text timeline, and exports the event graph in
+// Graphviz DOT form.
+package debug
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+// Entry is one recorded trace event.
+type Entry struct {
+	// N is the entry's position in the trace (1-based).
+	N int
+	// Kind is the detector trace kind (signal, detect, notify, flush).
+	Kind detector.TraceKind
+	// Node is the event-graph node involved.
+	Node string
+	// Ctx is the parameter context of the detection/notification.
+	Ctx detector.Context
+	// Occurrence describes the occurrence compactly ("" for flushes).
+	Occurrence string
+	// Object is the OID for method events (zero otherwise).
+	Object event.OID
+	// Txn is the transaction of the occurrence.
+	Txn uint64
+}
+
+// Debugger records detector traces. It implements detector.Tracer; install
+// it with Detector.SetTracer. The ring keeps the most recent Limit entries
+// (0 = unbounded).
+type Debugger struct {
+	mu      sync.Mutex
+	entries []Entry
+	n       int
+	// Limit bounds the retained entries; older ones are dropped.
+	Limit int
+}
+
+// New creates a debugger retaining at most limit entries (0 = unbounded).
+func New(limit int) *Debugger {
+	return &Debugger{Limit: limit}
+}
+
+// Trace implements detector.Tracer. Raw input traces are skipped — the
+// debugger records per-node signals, which carry the event names.
+func (d *Debugger) Trace(kind detector.TraceKind, occ *event.Occurrence, ctx detector.Context, node string) {
+	if kind == detector.TraceRaw {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	e := Entry{N: d.n, Kind: kind, Node: node, Ctx: ctx}
+	if occ != nil {
+		e.Occurrence = occ.String()
+		e.Object = occ.Object
+		e.Txn = occ.Txn
+	}
+	d.entries = append(d.entries, e)
+	if d.Limit > 0 && len(d.entries) > d.Limit {
+		d.entries = append(d.entries[:0], d.entries[len(d.entries)-d.Limit:]...)
+	}
+}
+
+// Entries returns a copy of the retained trace.
+func (d *Debugger) Entries() []Entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Entry, len(d.entries))
+	copy(out, d.entries)
+	return out
+}
+
+// Reset clears the trace.
+func (d *Debugger) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries = nil
+	d.n = 0
+}
+
+// Timeline writes the trace as an indented text timeline: signals flush
+// left, detections indented once, rule notifications twice — making the
+// event→composite→rule cascade visible at a glance.
+func (d *Debugger) Timeline(w io.Writer) error {
+	for _, e := range d.Entries() {
+		indent := ""
+		switch e.Kind {
+		case detector.TraceDetect:
+			indent = "  "
+		case detector.TraceNotifyRule:
+			indent = "    "
+		}
+		var line string
+		switch e.Kind {
+		case detector.TraceFlush:
+			line = fmt.Sprintf("%4d %sflush %s", e.N, indent, e.Node)
+		case detector.TraceNotifyRule:
+			line = fmt.Sprintf("%4d %snotify rules of %s [%s] %s", e.N, indent, e.Node, e.Ctx, e.Occurrence)
+		case detector.TraceDetect:
+			line = fmt.Sprintf("%4d %sdetect %s [%s] %s", e.N, indent, e.Node, e.Ctx, e.Occurrence)
+		default:
+			line = fmt.Sprintf("%4d %ssignal %s txn=%d %s", e.N, indent, e.Node, e.Txn, e.Occurrence)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind summarizes the trace (tests and the beast tool).
+func (d *Debugger) CountByKind() map[detector.TraceKind]int {
+	out := map[detector.TraceKind]int{}
+	for _, e := range d.Entries() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// DOT renders the detector's event graph in Graphviz DOT format: leaf
+// (primitive) nodes as boxes, operator nodes as ellipses, edges from
+// children to the operators that consume them.
+func DOT(det *detector.Detector, w io.Writer) error {
+	names := det.Events()
+	sort.Strings(names)
+	type edge struct{ from, to string }
+	nodes := map[string]detector.Node{}
+	var edges []edge
+	var visit func(n detector.Node)
+	visit = func(n detector.Node) {
+		if _, seen := nodes[n.Name()]; seen {
+			return
+		}
+		nodes[n.Name()] = n
+		for _, k := range n.Kids() {
+			if k == nil {
+				continue
+			}
+			edges = append(edges, edge{k.Name(), n.Name()})
+			visit(k)
+		}
+	}
+	for _, name := range names {
+		n, err := det.Lookup(name)
+		if err != nil {
+			return err
+		}
+		visit(n)
+	}
+	if _, err := fmt.Fprintln(w, "digraph eventgraph {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=BT;"); err != nil {
+		return err
+	}
+	sorted := make([]string, 0, len(nodes))
+	for name := range nodes {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		shape := "ellipse"
+		if len(nodes[name].Kids()) == 0 {
+			shape = "box"
+		}
+		if _, err := fmt.Fprintf(w, "  %s [shape=%s label=%q];\n", dotID(name), shape, name); err != nil {
+			return err
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "  %s -> %s;\n", dotID(e.from), dotID(e.to)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// dotID makes a node name safe as a DOT identifier.
+func dotID(name string) string {
+	var b strings.Builder
+	b.WriteByte('n')
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			fmt.Fprintf(&b, "_%02x", r)
+		}
+	}
+	return b.String()
+}

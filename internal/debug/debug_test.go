@@ -1,0 +1,159 @@
+package debug
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+func wiredDetector(t *testing.T) *detector.Detector {
+	t.Helper()
+	d := detector.New()
+	d.DeclareClass("C", "")
+	e1, err := d.DefinePrimitive("e1", "C", "m1", event.End, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := d.DefinePrimitive("e2", "C", "m2", event.End, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Seq("s", e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRecordsAllKinds(t *testing.T) {
+	d := wiredDetector(t)
+	dbg := New(0)
+	d.SetTracer(dbg)
+	if _, err := d.Subscribe("s", detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) {})); err != nil {
+		t.Fatal(err)
+	}
+	d.SignalMethod("C", "m1", event.End, 1, nil, 7)
+	d.SignalMethod("C", "m2", event.End, 1, nil, 7)
+	d.FlushTxn(7)
+
+	counts := dbg.CountByKind()
+	if counts[detector.TraceSignal] != 2 {
+		t.Fatalf("signals=%d", counts[detector.TraceSignal])
+	}
+	if counts[detector.TraceDetect] != 1 {
+		t.Fatalf("detects=%d", counts[detector.TraceDetect])
+	}
+	if counts[detector.TraceNotifyRule] != 1 {
+		t.Fatalf("notifies=%d", counts[detector.TraceNotifyRule])
+	}
+	if counts[detector.TraceFlush] != 1 {
+		t.Fatalf("flushes=%d", counts[detector.TraceFlush])
+	}
+
+	entries := dbg.Entries()
+	if entries[0].N != 1 || entries[0].Txn != 7 {
+		t.Fatalf("first entry: %+v", entries[0])
+	}
+}
+
+func TestLimitKeepsNewest(t *testing.T) {
+	d := wiredDetector(t)
+	dbg := New(3)
+	d.SetTracer(dbg)
+	if _, err := d.Subscribe("e1", detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) {})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.SignalMethod("C", "m1", event.End, 1, nil, 1)
+	}
+	entries := dbg.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("len=%d want 3", len(entries))
+	}
+	if entries[2].N <= entries[0].N {
+		t.Fatal("entries not in order")
+	}
+}
+
+func TestTimelineIndentation(t *testing.T) {
+	d := wiredDetector(t)
+	dbg := New(0)
+	d.SetTracer(dbg)
+	if _, err := d.Subscribe("s", detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) {})); err != nil {
+		t.Fatal(err)
+	}
+	d.SignalMethod("C", "m1", event.End, 1, nil, 1)
+	d.SignalMethod("C", "m2", event.End, 1, nil, 1)
+	var buf bytes.Buffer
+	if err := dbg.Timeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var sig, det, not int
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "signal"):
+			sig++
+		case strings.Contains(l, "detect"):
+			det++
+		case strings.Contains(l, "notify"):
+			not++
+		}
+	}
+	if sig != 2 || det != 1 || not != 1 {
+		t.Fatalf("timeline:\n%s", buf.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	dbg := New(0)
+	dbg.Trace(detector.TraceSignal, nil, detector.Recent, "x")
+	dbg.Reset()
+	if len(dbg.Entries()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	d := wiredDetector(t)
+	var buf bytes.Buffer
+	if err := DOT(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph eventgraph", "shape=box", "shape=ellipse", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Both primitive leaves feed the seq node: two edges.
+	if strings.Count(out, "->") != 2 {
+		t.Fatalf("edges=%d:\n%s", strings.Count(out, "->"), out)
+	}
+}
+
+func TestDOTSharedSubexpressionOnce(t *testing.T) {
+	d := detector.New()
+	d.DeclareClass("C", "")
+	e1, _ := d.DefinePrimitive("e1", "C", "m1", event.End, 0)
+	e2, _ := d.DefinePrimitive("e2", "C", "m2", event.End, 0)
+	shared, _ := d.And("shared", e1, e2)
+	if _, err := d.Seq("s1", shared, e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Seq("s2", shared, e2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DOT(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), `label="shared"`); got != 1 {
+		t.Fatalf("shared node rendered %d times:\n%s", got, buf.String())
+	}
+}

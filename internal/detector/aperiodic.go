@@ -1,0 +1,166 @@
+package detector
+
+import (
+	"repro/internal/event"
+)
+
+// aperState stores open windows and (for A*) the accumulated middle
+// occurrences per context.
+type aperState struct {
+	open  occList // unclosed initiators
+	accum occList // A* only: middle occurrences since the window opened
+}
+
+// aNode detects A(E1, E2, E3): each occurrence of E2 inside the half-open
+// interval started by E1 and closed by E3 is an occurrence of the
+// aperiodic event. This is the signalling variant; see aStarNode for the
+// cumulative variant the deferred-rule rewrite uses.
+type aNode struct {
+	opCore
+	st [numContexts]aperState
+}
+
+func (n *aNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *aNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = aperState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *aNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *aNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		n.st[c].open = n.st[c].open.dropTxn(txnID)
+		n.st[c].accum = n.st[c].accum.dropTxn(txnID)
+	}
+}
+
+func (n *aNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = aperState{}
+	}
+}
+
+func (n *aNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	switch side {
+	case 0: // window opens
+		if ctx == Recent {
+			st.open = occList{occ}
+		} else {
+			st.open = append(st.open, occ)
+		}
+	case 1: // monitored event inside the window
+		if len(st.open) == 0 {
+			return
+		}
+		switch ctx {
+		case Recent:
+			n.emit(compose(n.name, st.open[len(st.open)-1], occ), ctx)
+		case Chronicle:
+			n.emit(compose(n.name, st.open[0], occ), ctx)
+		case Continuous:
+			for _, o := range st.open {
+				n.emit(compose(n.name, o, occ), ctx)
+			}
+		case Cumulative:
+			n.emit(compose(n.name, append(mergeBySeq(st.open), occ)...), ctx)
+		}
+	case 2: // window closes; nothing is emitted by plain A
+		var rest occList
+		for _, o := range st.open {
+			if o.Seq >= occ.Seq {
+				rest = append(rest, o)
+			}
+		}
+		st.open = rest
+	}
+}
+
+// aStarNode detects A*(E1, E2, E3): all occurrences of E2 inside the
+// window are accumulated and a single composite is emitted when E3 closes
+// it — provided at least one E2 occurred. The Sentinel pre-processor
+// rewrites a deferred rule on event E into
+// A*(beginTransaction, E, preCommitTransaction), which is why a deferred
+// rule runs exactly once per transaction no matter how often E triggered.
+type aStarNode struct {
+	opCore
+	st [numContexts]aperState
+}
+
+func (n *aStarNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *aStarNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = aperState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *aStarNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *aStarNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		n.st[c].open = n.st[c].open.dropTxn(txnID)
+		n.st[c].accum = n.st[c].accum.dropTxn(txnID)
+	}
+}
+
+func (n *aStarNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = aperState{}
+	}
+}
+
+func (n *aStarNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	switch side {
+	case 0:
+		if ctx == Recent {
+			st.open = occList{occ}
+		} else {
+			st.open = append(st.open, occ)
+		}
+	case 1:
+		if len(st.open) == 0 {
+			return
+		}
+		st.accum = append(st.accum, occ)
+	case 2:
+		if len(st.open) == 0 || len(st.accum) == 0 {
+			// Window never opened or nothing accumulated: close silently.
+			st.open = nil
+			st.accum = nil
+			return
+		}
+		switch ctx {
+		case Recent:
+			n.emit(compose(n.name, append(append(occList{st.open[len(st.open)-1]}, st.accum...), occ)...), ctx)
+		case Chronicle:
+			n.emit(compose(n.name, append(append(occList{st.open[0]}, st.accum...), occ)...), ctx)
+		case Continuous:
+			for _, o := range st.open {
+				n.emit(compose(n.name, append(append(occList{o}, st.accum...), occ)...), ctx)
+			}
+		case Cumulative:
+			n.emit(compose(n.name, append(mergeBySeq(st.open, st.accum), occ)...), ctx)
+		}
+		st.open = nil
+		st.accum = nil
+	}
+}

@@ -1,0 +1,89 @@
+// Package detector implements Sentinel's local composite event detector
+// (LED): an event graph whose leaf nodes are primitive events and whose
+// internal nodes are Snoop operators, with subscriber lists on every node
+// and per-node, per-context reference counting so one shared graph detects
+// the same expression in several parameter contexts simultaneously —
+// exactly the design of §3.2.2 of the paper.
+package detector
+
+import "fmt"
+
+// Context is a Snoop parameter context: it decides how successive
+// occurrences of the same constituent event are grouped into composite
+// occurrences, and which stored occurrences are consumed by a detection.
+type Context int
+
+// The four parameter contexts of Snoop. Recent is the default (lowest
+// storage requirements, per the paper).
+const (
+	// Recent pairs the most recent initiator with each terminator; an
+	// initiator keeps initiating until a newer one replaces it.
+	Recent Context = iota
+	// Chronicle pairs initiators with terminators in arrival order
+	// (oldest initiator first); both are consumed.
+	Chronicle
+	// Continuous lets every stored initiator start its own detection; one
+	// terminator completes all of them at once.
+	Continuous
+	// Cumulative accumulates every constituent occurrence and emits a
+	// single composite containing all of them when the terminator occurs.
+	Cumulative
+
+	numContexts = 4
+)
+
+// String returns the Snoop keyword for the context.
+func (c Context) String() string {
+	switch c {
+	case Recent:
+		return "RECENT"
+	case Chronicle:
+		return "CHRONICLE"
+	case Continuous:
+		return "CONTINUOUS"
+	case Cumulative:
+		return "CUMULATIVE"
+	default:
+		return fmt.Sprintf("Context(%d)", int(c))
+	}
+}
+
+// ParseContext converts a Snoop keyword (any case) to a Context.
+func ParseContext(s string) (Context, error) {
+	switch {
+	case equalFold(s, "RECENT"), s == "":
+		return Recent, nil
+	case equalFold(s, "CHRONICLE"):
+		return Chronicle, nil
+	case equalFold(s, "CONTINUOUS"):
+		return Continuous, nil
+	case equalFold(s, "CUMULATIVE"):
+		return Cumulative, nil
+	default:
+		return Recent, fmt.Errorf("detector: unknown parameter context %q", s)
+	}
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Contexts lists all four contexts, for tests and benchmarks.
+func Contexts() []Context {
+	return []Context{Recent, Chronicle, Continuous, Cumulative}
+}

@@ -1,0 +1,721 @@
+package detector
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/event"
+)
+
+// TraceKind classifies detector trace events for the rule debugger.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceSignal is a primitive occurrence entering the graph.
+	TraceSignal TraceKind = iota
+	// TraceDetect is a composite occurrence produced by an operator node.
+	TraceDetect
+	// TraceNotifyRule is a rule subscriber being notified.
+	TraceNotifyRule
+	// TraceFlush is an event-graph flush.
+	TraceFlush
+	// TraceRaw is every occurrence entering the detector, traced before
+	// subscriber routing — the event-log recorder listens to this, so
+	// batch replay sees the full stream even for events nothing was
+	// subscribed to at recording time.
+	TraceRaw
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSignal:
+		return "signal"
+	case TraceDetect:
+		return "detect"
+	case TraceNotifyRule:
+		return "notify"
+	case TraceFlush:
+		return "flush"
+	case TraceRaw:
+		return "input"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// Tracer observes detector activity; the rule debugger implements it.
+type Tracer interface {
+	Trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string)
+}
+
+// Stats counts detector activity for the benchmark harness.
+type Stats struct {
+	Signals    uint64 // primitive occurrences entering the graph
+	Detections uint64 // composite occurrences emitted by operator nodes
+	RuleFires  uint64 // rule subscriber notifications
+}
+
+// Errors reported by the detector.
+var (
+	ErrDuplicateEvent = errors.New("detector: event name already defined differently")
+	ErrUnknownEvent   = errors.New("detector: unknown event")
+	ErrBadOperand     = errors.New("detector: bad operand")
+)
+
+// Detector is the local composite event detector: one per application, as
+// in Figure 2 of the paper. All methods are safe for concurrent use; the
+// graph itself is mutated and walked under a single mutex, which plays the
+// role of the paper's dedicated detector thread (occurrences are processed
+// one at a time, in signal order).
+type Detector struct {
+	mu       sync.Mutex
+	clock    event.Clock
+	vtime    uint64
+	nodes    map[string]Node   // every named event
+	nodeSig  map[string]string // structural signature for dedup
+	classes  map[string][]*PrimitiveNode
+	super    map[string]string // class -> superclass
+	timers   timerHeap
+	timerSeq uint64
+	timerTxn map[*timerEntry]timerOwner
+	maskCnt  int
+	tracer   Tracer
+	stats    Stats
+
+	// App names this application for inter-application events.
+	App string
+	// AutoFlush flushes the event graph when a transaction commits or
+	// aborts (§3.2.2(3)). Disable it to let composite events span
+	// transaction boundaries, as the paper allows by deactivating the
+	// flush rules.
+	AutoFlush bool
+}
+
+type timerOwner struct {
+	node Node
+	txn  uint64
+}
+
+// New creates an empty local event detector.
+func New() *Detector {
+	return &Detector{
+		nodes:     make(map[string]Node),
+		nodeSig:   make(map[string]string),
+		classes:   make(map[string][]*PrimitiveNode),
+		super:     make(map[string]string),
+		timerTxn:  make(map[*timerEntry]timerOwner),
+		AutoFlush: true,
+	}
+}
+
+func (d *Detector) trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string) {
+	switch kind {
+	case TraceSignal:
+		d.stats.Signals++
+	case TraceDetect:
+		d.stats.Detections++
+	case TraceNotifyRule:
+		d.stats.RuleFires++
+	}
+	if d.tracer != nil {
+		d.tracer.Trace(kind, occ, ctx, node)
+	}
+}
+
+// SetTracer installs a trace observer (the rule debugger). Pass nil to
+// remove it.
+func (d *Detector) SetTracer(t Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = t
+}
+
+// StatsSnapshot returns a copy of the activity counters.
+func (d *Detector) StatsSnapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// DeclareClass registers a class and its superclass ("" for none) so
+// class-level events fire for subclass instances too.
+func (d *Detector) DeclareClass(name, super string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.super[name]; !ok {
+		d.super[name] = super
+	}
+}
+
+// IsSubclass reports whether class equals ancestor or descends from it in
+// the declared hierarchy.
+func (d *Detector) IsSubclass(class, ancestor string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.isSubclassOf(class, ancestor)
+}
+
+// isSubclassOf reports whether class is sub (equal) or a descendant of
+// ancestor. Callers hold d.mu.
+func (d *Detector) isSubclassOf(class, ancestor string) bool {
+	for class != "" {
+		if class == ancestor {
+			return true
+		}
+		class = d.super[class]
+	}
+	return false
+}
+
+// register adds a node under its name, deduplicating structurally
+// identical definitions: defining the same expression under the same name
+// twice returns the existing node, which is how common subexpressions are
+// represented only once in the graph.
+func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
+	if existing, ok := d.nodes[name]; ok {
+		if d.nodeSig[name] == sig {
+			return existing, nil
+		}
+		return nil, fmt.Errorf("%w: %q (%s vs %s)", ErrDuplicateEvent, name, d.nodeSig[name], sig)
+	}
+	n := build()
+	d.nodes[name] = n
+	d.nodeSig[name] = sig
+	return n, nil
+}
+
+// DefinePrimitive declares a named primitive method event: class-level
+// when instance is zero, instance-level otherwise.
+func (d *Detector) DefinePrimitive(name, class, method string, mod event.Modifier, instance event.OID) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sig := fmt.Sprintf("prim(%s,%s,%s,%d)", class, method, mod, instance)
+	return d.register(name, sig, func() Node {
+		p := &PrimitiveNode{
+			nodeCore: nodeCore{d: d, name: name},
+			kind:     event.KindMethod,
+			class:    class,
+			method:   method,
+			modifier: mod,
+			instance: instance,
+		}
+		d.classes[class] = append(d.classes[class], p)
+		return p
+	})
+}
+
+// DefineExplicit declares a named application-raised (abstract) event.
+func (d *Detector) DefineExplicit(name string) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.register(name, "explicit("+name+")", func() Node {
+		return &PrimitiveNode{
+			nodeCore: nodeCore{d: d, name: name},
+			kind:     event.KindExplicit,
+		}
+	})
+}
+
+// transaction event nodes are created lazily on first reference.
+func (d *Detector) txnNode(name string) *PrimitiveNode {
+	if n, ok := d.nodes[name]; ok {
+		return n.(*PrimitiveNode)
+	}
+	p := &PrimitiveNode{
+		nodeCore: nodeCore{d: d, name: name},
+		kind:     event.KindTransaction,
+	}
+	d.nodes[name] = p
+	d.nodeSig[name] = "txn(" + name + ")"
+	return p
+}
+
+// TransactionEvent returns the node for one of the four transaction system
+// events (event.BeginTransaction etc.), creating it on first use.
+func (d *Detector) TransactionEvent(name string) (Node, error) {
+	switch name {
+	case event.BeginTransaction, event.PreCommit, event.CommitTransaction, event.AbortTransaction:
+	default:
+		return nil, fmt.Errorf("%w: %q is not a transaction event", ErrBadOperand, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.txnNode(name), nil
+}
+
+// Alias registers an additional name for an existing event node, so a
+// user-chosen event name and the canonical expression text address the
+// same shared node.
+func (d *Detector) Alias(alias, existing string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[existing]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, existing)
+	}
+	if cur, ok := d.nodes[alias]; ok {
+		if cur == n {
+			return nil
+		}
+		return fmt.Errorf("%w: %q", ErrDuplicateEvent, alias)
+	}
+	d.nodes[alias] = n
+	d.nodeSig[alias] = d.nodeSig[existing]
+	return nil
+}
+
+// Lookup returns the node with the given event name.
+func (d *Detector) Lookup(name string) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.nodes[name]; ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, name)
+}
+
+// Events returns the names of all defined events (sorted order not
+// guaranteed).
+func (d *Detector) Events() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+func childSig(kids []Node) string {
+	names := make([]string, len(kids))
+	for i, k := range kids {
+		names[i] = k.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+func (d *Detector) opNode(name, sig string, kids []Node, build func(core opCore) operatorNode) (Node, error) {
+	return d.register(name, sig, func() Node {
+		n := build(opCore{nodeCore: nodeCore{d: d, name: name}, kids: kids})
+		for i, k := range kids {
+			k.attach(n, i)
+		}
+		return n
+	})
+}
+
+// And defines name = a ∧ b.
+func (d *Detector) And(name string, a, b Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{a, b}
+	return d.opNode(name, "and("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &andNode{opCore: core}
+	})
+}
+
+// Or defines name = a ∨ b.
+func (d *Detector) Or(name string, a, b Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{a, b}
+	return d.opNode(name, "or("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &orNode{opCore: core}
+	})
+}
+
+// Seq defines name = a ; b (a strictly before b).
+func (d *Detector) Seq(name string, a, b Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{a, b}
+	return d.opNode(name, "seq("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &seqNode{opCore: core}
+	})
+}
+
+// Not defines name = NOT(mid)[start, end]: end after start with no mid in
+// between.
+func (d *Detector) Not(name string, start, mid, end Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{start, mid, end}
+	return d.opNode(name, "not("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &notNode{opCore: core}
+	})
+}
+
+// Any defines name = ANY(m, events...): m distinct events of the list.
+func (d *Detector) Any(name string, m int, events ...Node) (Node, error) {
+	if m < 1 || m > len(events) {
+		return nil, fmt.Errorf("%w: ANY(%d) of %d events", ErrBadOperand, m, len(events))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.opNode(name, fmt.Sprintf("any(%d,%s)", m, childSig(events)), events, func(core opCore) operatorNode {
+		return &anyNode{opCore: core, m: m}
+	})
+}
+
+// A defines the aperiodic event name = A(start, mid, end).
+func (d *Detector) A(name string, start, mid, end Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{start, mid, end}
+	return d.opNode(name, "a("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &aNode{opCore: core}
+	})
+}
+
+// AStar defines the cumulative aperiodic event name = A*(start, mid, end).
+func (d *Detector) AStar(name string, start, mid, end Node) (Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{start, mid, end}
+	return d.opNode(name, "astar("+childSig(kids)+")", kids, func(core opCore) operatorNode {
+		return &aStarNode{opCore: core}
+	})
+}
+
+// Plus defines name = start + delta (a temporal event delta time units
+// after each start).
+func (d *Detector) Plus(name string, start Node, delta uint64) (Node, error) {
+	if delta == 0 {
+		return nil, fmt.Errorf("%w: PLUS with zero delta", ErrBadOperand)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kids := []Node{start}
+	return d.opNode(name, fmt.Sprintf("plus(%s,%d)", childSig(kids), delta), kids, func(core opCore) operatorNode {
+		return &plusNode{opCore: core, delta: delta}
+	})
+}
+
+// P defines the periodic event name = P(start, period, end).
+func (d *Detector) P(name string, start Node, period uint64, end Node) (Node, error) {
+	return d.periodic(name, start, period, end, false)
+}
+
+// PStar defines the cumulative periodic event name = P*(start, period, end).
+func (d *Detector) PStar(name string, start Node, period uint64, end Node) (Node, error) {
+	return d.periodic(name, start, period, end, true)
+}
+
+func (d *Detector) periodic(name string, start Node, period uint64, end Node, star bool) (Node, error) {
+	if period == 0 {
+		return nil, fmt.Errorf("%w: periodic event with zero period", ErrBadOperand)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	op := "p"
+	if star {
+		op = "pstar"
+	}
+	sig := fmt.Sprintf("%s(%s,%d,%s)", op, start.Name(), period, end.Name())
+	return d.register(name, sig, func() Node {
+		core := opCore{nodeCore: nodeCore{d: d, name: name}, kids: []Node{start, end}}
+		n := &pNode{opCore: core, period: period, star: star}
+		start.attach(n, 0)
+		end.attach(n, 2)
+		return n
+	})
+}
+
+// Subscribe attaches sub to the named event in the given parameter
+// context, activating detection of the whole expression subtree in that
+// context. The returned function unsubscribes (decrementing the counters,
+// so detection in the context stops when no rule needs it).
+func (d *Detector) Subscribe(eventName string, ctx Context, sub Subscriber) (func(), error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[eventName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, eventName)
+	}
+	undo := n.subscribe(sub, ctx)
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		undo()
+	}, nil
+}
+
+// SetMasked turns event signalling off and on. The rule manager masks the
+// detector while a rule's condition function runs, since conditions are
+// side-effect free and events raised by them must not be acknowledged
+// (§3.2.1 of the paper — the "global variable" that disables signalling).
+// Masking nests: each SetMasked(true) must be balanced by SetMasked(false)
+// before signals are acknowledged again, so concurrently running rule
+// conditions compose.
+func (d *Detector) SetMasked(masked bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if masked {
+		d.maskCnt++
+	} else if d.maskCnt > 0 {
+		d.maskCnt--
+	}
+}
+
+// SignalMethod signals a method invocation event: every primitive event
+// node defined on the class (or an ancestor class) with a matching method
+// and modifier fires. It is the Notify call the Sentinel post-processor
+// plants in each wrapper method.
+func (d *Detector) SignalMethod(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.maskCnt > 0 {
+		return
+	}
+	tmpl := &event.Occurrence{
+		Kind:     event.KindMethod,
+		Class:    class,
+		Method:   method,
+		Modifier: mod,
+		Object:   oid,
+		Params:   params,
+		Seq:      d.clock.Next(),
+		Time:     d.vtime,
+		Txn:      txnID,
+		App:      d.App,
+	}
+	d.trace(TraceRaw, tmpl, Recent, "input")
+	// Walk the inheritance chain: the per-class lists are the paper's
+	// primitive-event index ("each primitive event is maintained as a
+	// list based on the class on which it is defined").
+	for c := class; c != ""; c = d.super[c] {
+		for _, p := range d.classes[c] {
+			if p.anyActive() || len(p.rules) > 0 || len(p.parents) > 0 {
+				if p.matches(class, method, mod, oid) {
+					p.fire(tmpl)
+				}
+			}
+		}
+	}
+}
+
+// SignalExplicit raises a named explicit event.
+func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.maskCnt > 0 {
+		return nil
+	}
+	n, ok := d.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, name)
+	}
+	p, ok := n.(*PrimitiveNode)
+	if !ok || p.kind != event.KindExplicit {
+		return fmt.Errorf("%w: %q is not an explicit event", ErrBadOperand, name)
+	}
+	occ := &event.Occurrence{
+		Name:   name,
+		Kind:   event.KindExplicit,
+		Params: params,
+		Seq:    d.clock.Next(),
+		Time:   d.vtime,
+		Txn:    txnID,
+		App:    d.App,
+	}
+	d.trace(TraceRaw, occ, Recent, "input")
+	p.fire(occ)
+	return nil
+}
+
+// SignalTxn signals one of the transaction system events. Commit and
+// abort additionally flush the transaction's occurrences from the graph
+// when AutoFlush is on, so that events never cross transaction boundaries.
+func (d *Detector) SignalTxn(name string, txnID uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.maskCnt == 0 {
+		occ := &event.Occurrence{
+			Name: name,
+			Kind: event.KindTransaction,
+			Seq:  d.clock.Next(),
+			Time: d.vtime,
+			Txn:  txnID,
+			App:  d.App,
+		}
+		d.trace(TraceRaw, occ, Recent, "input")
+		if n, ok := d.nodes[name]; ok {
+			if p, ok := n.(*PrimitiveNode); ok && p.kind == event.KindTransaction {
+				p.fire(occ)
+			}
+		}
+	}
+	if d.AutoFlush && (name == event.CommitTransaction || name == event.AbortTransaction) {
+		d.flushTxnLocked(txnID)
+	}
+}
+
+// SignalOccurrence injects a pre-built occurrence (global events arriving
+// from another application, or batch replay of an event log). The
+// occurrence's Seq is remapped onto this detector's clock to preserve
+// arrival order.
+func (d *Detector) SignalOccurrence(occ *event.Occurrence) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.maskCnt > 0 {
+		return nil
+	}
+	n, ok := d.nodes[occ.Name]
+	if !ok {
+		// Method events may be addressed by signature instead of name.
+		if occ.Kind == event.KindMethod {
+			d.mu.Unlock()
+			d.SignalMethod(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn)
+			d.mu.Lock()
+			return nil
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, occ.Name)
+	}
+	p, ok := n.(*PrimitiveNode)
+	if !ok {
+		return fmt.Errorf("%w: cannot signal composite event %q directly", ErrBadOperand, occ.Name)
+	}
+	cp := *occ
+	cp.Seq = d.clock.Next()
+	cp.Time = d.vtime
+	d.trace(TraceRaw, &cp, Recent, "input")
+	p.fire(&cp)
+	return nil
+}
+
+// FlushTxn removes every stored occurrence of the transaction from the
+// whole graph (full flush, §3.2.2(3)).
+func (d *Detector) FlushTxn(txnID uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flushTxnLocked(txnID)
+}
+
+func (d *Detector) flushTxnLocked(txnID uint64) {
+	d.trace(TraceFlush, nil, Recent, fmt.Sprintf("txn:%d", txnID))
+	for _, n := range d.nodes {
+		n.flushTxn(txnID)
+	}
+}
+
+// FlushTxns flushes several transactions at once — typically a top-level
+// transaction together with every subtransaction of its family, so that
+// occurrences signalled from rule subtransactions are flushed too.
+func (d *Detector) FlushTxns(ids []uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range ids {
+		d.flushTxnLocked(id)
+	}
+}
+
+// FlushEvent selectively flushes the subtree of one event expression.
+func (d *Detector) FlushEvent(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, name)
+	}
+	var clear func(Node)
+	seen := map[Node]bool{}
+	clear = func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		n.flushAll()
+		for _, k := range n.Kids() {
+			if k != nil {
+				clear(k)
+			}
+		}
+	}
+	clear(n)
+	d.trace(TraceFlush, nil, Recent, "event:"+name)
+	return nil
+}
+
+// FlushAll clears every node's partial state.
+func (d *Detector) FlushAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, n := range d.nodes {
+		n.flushAll()
+	}
+	d.trace(TraceFlush, nil, Recent, "all")
+}
+
+// ---------------------------------------------------------------------------
+// Virtual time
+// ---------------------------------------------------------------------------
+
+// SeqNow returns the most recently issued logical timestamp; rules use it
+// to implement the NOW trigger mode.
+func (d *Detector) SeqNow() uint64 { return d.clock.Now() }
+
+// Now returns the detector's virtual clock reading.
+func (d *Detector) Now() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.vtime
+}
+
+// AdvanceTime moves the virtual clock to the given reading, firing every
+// due temporal event in order. Moving backwards is a no-op.
+func (d *Detector) AdvanceTime(to uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.timers) > 0 && d.timers[0].due <= to {
+		e := heap.Pop(&d.timers).(*timerEntry)
+		delete(d.timerTxn, e)
+		if e.dead {
+			continue
+		}
+		if e.due > d.vtime {
+			d.vtime = e.due
+		}
+		e.fire(e.due)
+	}
+	if to > d.vtime {
+		d.vtime = to
+	}
+}
+
+// schedule registers a timer callback; called with d.mu held (from node
+// receive paths).
+func (d *Detector) schedule(owner Node, txnID uint64, due uint64, fire func(now uint64)) {
+	d.timerSeq++
+	e := &timerEntry{due: due, seq: d.timerSeq, fire: fire}
+	heap.Push(&d.timers, e)
+	d.timerTxn[e] = timerOwner{node: owner, txn: txnID}
+}
+
+// cancelTimers kills pending timers of a node; txnID zero kills all of the
+// node's timers, otherwise only the given transaction's.
+func (d *Detector) cancelTimers(owner Node, txnID uint64) {
+	for e, o := range d.timerTxn {
+		if o.node == owner && (txnID == 0 || o.txn == txnID) {
+			e.dead = true
+			delete(d.timerTxn, e)
+		}
+	}
+}
+
+// temporalOccurrence builds the clock-tick occurrence used by the temporal
+// operators; called with d.mu held.
+func (d *Detector) temporalOccurrence(name string, now uint64, txnID uint64) *event.Occurrence {
+	return &event.Occurrence{
+		Name: name + "@tick",
+		Kind: event.KindTemporal,
+		Seq:  d.clock.Next(),
+		Time: now,
+		Txn:  txnID,
+		App:  d.App,
+	}
+}

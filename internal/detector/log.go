@@ -1,0 +1,171 @@
+package detector
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/event"
+)
+
+// EventLog records primitive event occurrences so composite events can be
+// detected in batch mode, after the fact, over exactly the same graph that
+// online detection uses (§2.1 "online and batch detection of events").
+// Occurrences are gob-encoded, one stream per log.
+type EventLog struct {
+	w   io.Writer
+	enc *gob.Encoder
+	n   int
+}
+
+// loggedOcc is the serialized form: composite constituents are never
+// logged (only primitives enter a log), so a flat record suffices.
+type loggedOcc struct {
+	Name     string
+	Kind     event.Kind
+	Class    string
+	Method   string
+	Modifier event.Modifier
+	Object   event.OID
+	Params   []loggedParam
+	Seq      uint64
+	Time     uint64
+	Txn      uint64
+	App      string
+}
+
+type loggedParam struct {
+	Name  string
+	Value any
+}
+
+func init() {
+	// Parameter values are restricted to atomic types; register them all
+	// so gob can round-trip the any-typed Value field.
+	gob.Register(int(0))
+	gob.Register(int8(0))
+	gob.Register(int16(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint(0))
+	gob.Register(uint8(0))
+	gob.Register(uint16(0))
+	gob.Register(uint32(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register(event.OID(0))
+}
+
+// NewEventLog creates a log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, enc: gob.NewEncoder(w)}
+}
+
+// Append records one primitive occurrence.
+func (l *EventLog) Append(occ *event.Occurrence) error {
+	if occ.IsComposite() {
+		return errors.New("detector: composite occurrences are not logged")
+	}
+	rec := loggedOcc{
+		Name:     occ.Name,
+		Kind:     occ.Kind,
+		Class:    occ.Class,
+		Method:   occ.Method,
+		Modifier: occ.Modifier,
+		Object:   occ.Object,
+		Seq:      occ.Seq,
+		Time:     occ.Time,
+		Txn:      occ.Txn,
+		App:      occ.App,
+	}
+	for _, p := range occ.Params {
+		rec.Params = append(rec.Params, loggedParam{p.Name, p.Value})
+	}
+	if err := l.enc.Encode(&rec); err != nil {
+		return fmt.Errorf("detector: append event log: %w", err)
+	}
+	l.n++
+	return nil
+}
+
+// Len returns the number of occurrences appended.
+func (l *EventLog) Len() int { return l.n }
+
+// Recorder returns a Tracer that appends every occurrence entering the
+// detector to the log; install it with Detector.SetTracer to capture an
+// application's event stream for later batch analysis. The raw trace
+// point fires before subscriber routing, so the log is complete even for
+// events nothing was subscribed to at recording time.
+func (l *EventLog) Recorder() Tracer {
+	return tracerFunc(func(kind TraceKind, occ *event.Occurrence, _ Context, _ string) {
+		if kind == TraceRaw && occ != nil && !occ.IsComposite() {
+			_ = l.Append(occ)
+		}
+	})
+}
+
+type tracerFunc func(kind TraceKind, occ *event.Occurrence, ctx Context, node string)
+
+func (f tracerFunc) Trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string) {
+	f(kind, occ, ctx, node)
+}
+
+// Replay feeds every occurrence in r through the detector, in recorded
+// order, advancing the detector's virtual clock to each occurrence's
+// timestamp so temporal operators behave as they did online. It returns
+// the number of occurrences replayed.
+func Replay(r io.Reader, d *Detector) (int, error) {
+	dec := gob.NewDecoder(r)
+	n := 0
+	for {
+		var rec loggedOcc
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("detector: replay event log: %w", err)
+		}
+		d.AdvanceTime(rec.Time)
+		occ := &event.Occurrence{
+			Name:     rec.Name,
+			Kind:     rec.Kind,
+			Class:    rec.Class,
+			Method:   rec.Method,
+			Modifier: rec.Modifier,
+			Object:   rec.Object,
+			Seq:      rec.Seq,
+			Time:     rec.Time,
+			Txn:      rec.Txn,
+			App:      rec.App,
+		}
+		for _, p := range rec.Params {
+			occ.Params = append(occ.Params, event.Param{Name: p.Name, Value: p.Value})
+		}
+		switch rec.Kind {
+		case event.KindMethod:
+			d.SignalMethod(rec.Class, rec.Method, rec.Modifier, rec.Object, occ.Params, rec.Txn)
+		case event.KindTransaction:
+			d.SignalTxn(rec.Name, rec.Txn)
+		default:
+			if err := d.SignalOccurrence(occ); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+}
+
+// ReplayFile replays a log from a file path.
+func ReplayFile(path string, d *Detector) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("detector: open event log: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, d)
+}

@@ -1,0 +1,230 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Subscriber receives composite (or primitive) event occurrences detected
+// in a particular context. Rules are the usual subscribers; the global
+// event detector's forwarding stubs are another. Notify is called with the
+// detector's internal lock held, so implementations must not call back
+// into the detector — enqueue and return.
+type Subscriber interface {
+	Notify(occ *event.Occurrence, ctx Context)
+}
+
+// SubscriberFunc adapts a function to the Subscriber interface.
+type SubscriberFunc func(occ *event.Occurrence, ctx Context)
+
+// Notify calls f.
+func (f SubscriberFunc) Notify(occ *event.Occurrence, ctx Context) { f(occ, ctx) }
+
+// Node is one vertex of the event graph. Leaf nodes are primitive events;
+// internal nodes are Snoop operators. Every node carries two subscriber
+// lists — parent operator nodes and rules — which the paper keeps separate
+// to leave room for optimization, and a per-context reference count that
+// enables detection in a context only while some rule needs it.
+type Node interface {
+	// Name returns the node's canonical name (the expression text for
+	// operator nodes).
+	Name() string
+	// Kids returns the child nodes, in operator order.
+	Kids() []Node
+
+	// attach registers parent as the consumer of this node's output on
+	// the given operand position.
+	attach(parent operatorNode, side int)
+	// detach removes a previously attached parent edge.
+	detach(parent operatorNode, side int)
+
+	// addContext / removeContext adjust the node's per-context reference
+	// count, recursing into children (the paper's counter propagation).
+	addContext(ctx Context)
+	removeContext(ctx Context)
+	// activeIn reports whether the node currently detects in ctx.
+	activeIn(ctx Context) bool
+
+	// subscribe adds a rule-level subscriber in the given context and
+	// returns an undo function. It adjusts context counters.
+	subscribe(sub Subscriber, ctx Context) func()
+
+	// flushTxn drops all stored (partial) occurrences belonging to the
+	// transaction; flushAll drops everything.
+	flushTxn(txnID uint64)
+	flushAll()
+}
+
+// operatorNode is a Node that consumes child occurrences.
+type operatorNode interface {
+	Node
+	// receive processes one occurrence from the child at position side,
+	// in one specific context. The detector guarantees single-threaded
+	// access.
+	receive(occ *event.Occurrence, side int, ctx Context)
+}
+
+// parentEdge is one outgoing subscription edge of a node.
+type parentEdge struct {
+	parent operatorNode
+	side   int
+}
+
+// ruleEdge is one rule subscription.
+type ruleEdge struct {
+	sub Subscriber
+	ctx Context
+}
+
+// nodeCore holds the bookkeeping every node shares: the name, subscriber
+// lists, context reference counters, and the owning detector (for tracing
+// and emission).
+type nodeCore struct {
+	d        *Detector
+	name     string
+	parents  []parentEdge
+	rules    []ruleEdge
+	refCount [numContexts]int
+}
+
+func (c *nodeCore) Name() string { return c.name }
+
+func (c *nodeCore) attach(parent operatorNode, side int) {
+	c.parents = append(c.parents, parentEdge{parent, side})
+}
+
+func (c *nodeCore) detach(parent operatorNode, side int) {
+	for i, e := range c.parents {
+		if e.parent == parent && e.side == side {
+			c.parents = append(c.parents[:i], c.parents[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *nodeCore) activeIn(ctx Context) bool { return c.refCount[ctx] > 0 }
+
+// anyActive reports whether the node detects in at least one context.
+func (c *nodeCore) anyActive() bool {
+	for _, n := range c.refCount {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpContext adjusts this node's counter only; Node implementations
+// recurse into children in their addContext/removeContext.
+func (c *nodeCore) bumpContext(ctx Context, delta int) {
+	c.refCount[ctx] += delta
+	if c.refCount[ctx] < 0 {
+		panic(fmt.Sprintf("detector: context refcount underflow on %s/%v", c.name, ctx))
+	}
+}
+
+// addRule registers a rule subscriber; removal is positional.
+func (c *nodeCore) addRule(sub Subscriber, ctx Context) func() {
+	e := ruleEdge{sub, ctx}
+	c.rules = append(c.rules, e)
+	removed := false
+	return func() {
+		if removed {
+			return
+		}
+		removed = true
+		for i := range c.rules {
+			if c.rules[i] == e {
+				c.rules = append(c.rules[:i], c.rules[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// emit delivers occ, detected by this node in ctx, to every parent active
+// in ctx and every rule subscribed in ctx. It is the data-flow step of the
+// paper's demand-driven propagation: parameters flow only along edges whose
+// context is live, never to irrelevant nodes.
+func (c *nodeCore) emit(occ *event.Occurrence, ctx Context) {
+	c.d.trace(TraceDetect, occ, ctx, c.name)
+	for _, e := range c.parents {
+		if e.parent.activeIn(ctx) {
+			e.parent.receive(occ, e.side, ctx)
+		}
+	}
+	for _, r := range c.rules {
+		if r.ctx == ctx {
+			c.d.trace(TraceNotifyRule, occ, ctx, c.name)
+			r.sub.Notify(occ, ctx)
+		}
+	}
+}
+
+// emitPrimitive delivers a primitive (context-free) occurrence: parents
+// process it in every context they are active in, and every rule
+// subscriber is notified regardless of its context (a primitive event has
+// no grouping ambiguity).
+func (c *nodeCore) emitPrimitive(occ *event.Occurrence) {
+	c.d.trace(TraceSignal, occ, Recent, c.name)
+	for _, e := range c.parents {
+		for ctx := Context(0); ctx < numContexts; ctx++ {
+			if e.parent.activeIn(ctx) {
+				e.parent.receive(occ, e.side, ctx)
+			}
+		}
+	}
+	for _, r := range c.rules {
+		c.d.trace(TraceNotifyRule, occ, r.ctx, c.name)
+		r.sub.Notify(occ, r.ctx)
+	}
+}
+
+// compose builds a composite occurrence for an operator node: the Seq and
+// Time of the terminator, the transaction of the terminator, and the
+// constituents in operator order.
+func compose(name string, constituents ...*event.Occurrence) *event.Occurrence {
+	last := constituents[len(constituents)-1]
+	return &event.Occurrence{
+		Name:         name,
+		Kind:         event.KindComposite,
+		Seq:          last.Seq,
+		Time:         last.Time,
+		Txn:          last.Txn,
+		App:          last.App,
+		Constituents: constituents,
+	}
+}
+
+// occList is a small helper for per-context stores of pending occurrences.
+type occList []*event.Occurrence
+
+// dropTxn removes occurrences belonging to txnID (including composites
+// with any constituent from it — a flushed transaction's parameters must
+// never appear in a later detection, §3.2.2(3) of the paper).
+func (l occList) dropTxn(txnID uint64) occList {
+	out := l[:0]
+	for _, o := range l {
+		if !occFromTxn(o, txnID) {
+			out = append(out, o)
+		}
+	}
+	// Clear the tail so dropped occurrences are collectable.
+	for i := len(out); i < len(l); i++ {
+		l[i] = nil
+	}
+	return out
+}
+
+func occFromTxn(o *event.Occurrence, txnID uint64) bool {
+	if len(o.Constituents) == 0 {
+		return o.Txn == txnID
+	}
+	for _, c := range o.Constituents {
+		if occFromTxn(c, txnID) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,504 @@
+package detector
+
+import (
+	"repro/internal/event"
+)
+
+// opCore extends nodeCore with child bookkeeping shared by all operator
+// nodes: context counters recurse into children so that the whole
+// expression subtree detects exactly in the contexts some rule needs
+// (§3.2.2(1) of the paper).
+type opCore struct {
+	nodeCore
+	kids []Node
+}
+
+func (o *opCore) Kids() []Node { return o.kids }
+
+func (o *opCore) addContextKids(ctx Context) {
+	for _, k := range o.kids {
+		k.addContext(ctx)
+	}
+}
+
+func (o *opCore) removeContextKids(ctx Context) {
+	for _, k := range o.kids {
+		k.removeContext(ctx)
+	}
+}
+
+// subscribeOp implements rule subscription for an operator node n: the
+// context is propagated over the whole subtree, and the rule is added to
+// the node's subscriber list.
+func subscribeOp(n Node, core *nodeCore, sub Subscriber, ctx Context) func() {
+	n.addContext(ctx)
+	undoRule := core.addRule(sub, ctx)
+	return func() {
+		undoRule()
+		n.removeContext(ctx)
+	}
+}
+
+// mergeBySeq returns the concatenation of the argument occurrence lists
+// ordered by logical timestamp. Only slice headers move; parameter lists
+// are never copied (the paper's pointer-adjustment argument).
+func mergeBySeq(lists ...[]*event.Occurrence) []*event.Occurrence {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]*event.Occurrence, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	event.SortBySeq(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// OR
+// ---------------------------------------------------------------------------
+
+// orNode detects E1 ∨ E2: an occurrence of either child is an occurrence
+// of the disjunction. It keeps no state, so parameter contexts coincide.
+type orNode struct {
+	opCore
+}
+
+func (n *orNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *orNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	n.removeContextKids(ctx)
+}
+
+func (n *orNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *orNode) flushTxn(uint64) {}
+func (n *orNode) flushAll()       {}
+
+func (n *orNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	n.emit(compose(n.name, occ), ctx)
+}
+
+// ---------------------------------------------------------------------------
+// AND
+// ---------------------------------------------------------------------------
+
+// andState is the per-context store of unpaired occurrences of each side.
+type andState struct {
+	side [2]occList
+}
+
+// andNode detects E1 ∧ E2 (both occurred, any order). The side that
+// occurs first initiates; the other terminates.
+type andNode struct {
+	opCore
+	st [numContexts]andState
+}
+
+func (n *andNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *andNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = andState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *andNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *andNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		for s := range n.st[c].side {
+			n.st[c].side[s] = n.st[c].side[s].dropTxn(txnID)
+		}
+	}
+}
+
+func (n *andNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = andState{}
+	}
+}
+
+func (n *andNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	other := &st.side[1-side]
+	mine := &st.side[side]
+	switch ctx {
+	case Recent:
+		// Keep only the most recent occurrence of each side; once both
+		// sides are present, every new arrival re-detects with the most
+		// recent partner.
+		*mine = occList{occ}
+		if len(*other) > 0 {
+			n.emit(compose(n.name, mergeBySeq(occList{(*other)[len(*other)-1]}, occList{occ})...), ctx)
+		}
+	case Chronicle:
+		*mine = append(*mine, occ)
+		for len(st.side[0]) > 0 && len(st.side[1]) > 0 {
+			a, b := st.side[0][0], st.side[1][0]
+			st.side[0] = st.side[0][1:]
+			st.side[1] = st.side[1][1:]
+			n.emit(compose(n.name, mergeBySeq(occList{a}, occList{b})...), ctx)
+		}
+	case Continuous:
+		// Every stored occurrence of the other side opened a window;
+		// this arrival closes all of them at once.
+		if len(*other) > 0 {
+			for _, o := range *other {
+				n.emit(compose(n.name, mergeBySeq(occList{o}, occList{occ})...), ctx)
+			}
+			*other = (*other)[:0]
+		} else {
+			*mine = append(*mine, occ)
+		}
+	case Cumulative:
+		*mine = append(*mine, occ)
+		if len(st.side[0]) > 0 && len(st.side[1]) > 0 {
+			n.emit(compose(n.name, mergeBySeq(st.side[0], st.side[1])...), ctx)
+			st.side[0] = nil
+			st.side[1] = nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SEQ
+// ---------------------------------------------------------------------------
+
+// seqState stores unconsumed initiators per context.
+type seqState struct {
+	left occList
+}
+
+// seqNode detects E1 ; E2 — E1 strictly before E2 (the initiator's
+// interval must end before the terminator's begins).
+type seqNode struct {
+	opCore
+	st [numContexts]seqState
+}
+
+func (n *seqNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *seqNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = seqState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *seqNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *seqNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		n.st[c].left = n.st[c].left.dropTxn(txnID)
+	}
+}
+
+func (n *seqNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = seqState{}
+	}
+}
+
+func (n *seqNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	if side == 0 { // initiator
+		if ctx == Recent {
+			st.left = occList{occ}
+		} else {
+			st.left = append(st.left, occ)
+		}
+		return
+	}
+	// Terminator: only initiators that completed before this occurrence
+	// began may pair with it.
+	cut := occ.StartSeq()
+	switch ctx {
+	case Recent:
+		if len(st.left) > 0 && st.left[len(st.left)-1].Seq < cut {
+			n.emit(compose(n.name, st.left[len(st.left)-1], occ), ctx)
+		}
+	case Chronicle:
+		for i, l := range st.left {
+			if l.Seq < cut {
+				st.left = append(st.left[:i], st.left[i+1:]...)
+				n.emit(compose(n.name, l, occ), ctx)
+				return
+			}
+		}
+	case Continuous:
+		var rest occList
+		var fired []*event.Occurrence
+		for _, l := range st.left {
+			if l.Seq < cut {
+				fired = append(fired, l)
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		st.left = rest
+		for _, l := range fired {
+			n.emit(compose(n.name, l, occ), ctx)
+		}
+	case Cumulative:
+		var used, rest occList
+		for _, l := range st.left {
+			if l.Seq < cut {
+				used = append(used, l)
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		if len(used) > 0 {
+			st.left = rest
+			n.emit(compose(n.name, append(mergeBySeq(used), occ)...), ctx)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NOT
+// ---------------------------------------------------------------------------
+
+// notNode detects NOT(E2)[E1, E3]: E3 after E1 with no intervening E2.
+// Children are ordered initiator (E1), forbidden (E2), terminator (E3).
+type notNode struct {
+	opCore
+	st [numContexts]seqState // open initiators, invalidated by E2
+}
+
+func (n *notNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *notNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = seqState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *notNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *notNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		n.st[c].left = n.st[c].left.dropTxn(txnID)
+	}
+}
+
+func (n *notNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = seqState{}
+	}
+}
+
+func (n *notNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	switch side {
+	case 0: // initiator
+		if ctx == Recent {
+			st.left = occList{occ}
+		} else {
+			st.left = append(st.left, occ)
+		}
+	case 1: // forbidden event: every open window containing it dies
+		var rest occList
+		for _, l := range st.left {
+			if l.Seq >= occ.Seq {
+				rest = append(rest, l)
+			}
+		}
+		st.left = rest
+	case 2: // terminator: pairs exactly like SEQ
+		cut := occ.StartSeq()
+		switch ctx {
+		case Recent:
+			if len(st.left) > 0 && st.left[len(st.left)-1].Seq < cut {
+				n.emit(compose(n.name, st.left[len(st.left)-1], occ), ctx)
+			}
+		case Chronicle:
+			for i, l := range st.left {
+				if l.Seq < cut {
+					st.left = append(st.left[:i], st.left[i+1:]...)
+					n.emit(compose(n.name, l, occ), ctx)
+					return
+				}
+			}
+		case Continuous:
+			var rest occList
+			var fired []*event.Occurrence
+			for _, l := range st.left {
+				if l.Seq < cut {
+					fired = append(fired, l)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			st.left = rest
+			for _, l := range fired {
+				n.emit(compose(n.name, l, occ), ctx)
+			}
+		case Cumulative:
+			var used, rest occList
+			for _, l := range st.left {
+				if l.Seq < cut {
+					used = append(used, l)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			if len(used) > 0 {
+				st.left = rest
+				n.emit(compose(n.name, append(mergeBySeq(used), occ)...), ctx)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ANY
+// ---------------------------------------------------------------------------
+
+// anyState stores pending occurrences per child event type.
+type anyState struct {
+	byType []occList
+}
+
+// anyNode detects ANY(m, E1, …, En): m distinct event types out of the n
+// listed have occurred.
+type anyNode struct {
+	opCore
+	m  int
+	st [numContexts]anyState
+}
+
+func (n *anyNode) addContext(ctx Context) {
+	n.bumpContext(ctx, 1)
+	n.addContextKids(ctx)
+}
+
+func (n *anyNode) removeContext(ctx Context) {
+	n.bumpContext(ctx, -1)
+	if !n.activeIn(ctx) {
+		n.st[ctx] = anyState{}
+	}
+	n.removeContextKids(ctx)
+}
+
+func (n *anyNode) subscribe(sub Subscriber, ctx Context) func() {
+	return subscribeOp(n, &n.nodeCore, sub, ctx)
+}
+
+func (n *anyNode) flushTxn(txnID uint64) {
+	for c := range n.st {
+		for i := range n.st[c].byType {
+			n.st[c].byType[i] = n.st[c].byType[i].dropTxn(txnID)
+		}
+	}
+}
+
+func (n *anyNode) flushAll() {
+	for c := range n.st {
+		n.st[c] = anyState{}
+	}
+}
+
+func (n *anyNode) receive(occ *event.Occurrence, side int, ctx Context) {
+	st := &n.st[ctx]
+	if st.byType == nil {
+		st.byType = make([]occList, len(n.kids))
+	}
+	if ctx == Recent {
+		st.byType[side] = occList{occ}
+	} else {
+		st.byType[side] = append(st.byType[side], occ)
+	}
+	distinct := 0
+	for _, l := range st.byType {
+		if len(l) > 0 {
+			distinct++
+		}
+	}
+	if distinct < n.m {
+		return
+	}
+	switch ctx {
+	case Recent:
+		// Most recent occurrence of each present type; the m newest types
+		// form the composite. State is retained.
+		var cands occList
+		for _, l := range st.byType {
+			if len(l) > 0 {
+				cands = append(cands, l[len(l)-1])
+			}
+		}
+		event.SortBySeq(cands)
+		picked := cands[len(cands)-n.m:]
+		n.emit(compose(n.name, picked...), ctx)
+	case Chronicle:
+		// Oldest occurrence of each present type; consume the ones used.
+		var cands occList
+		for _, l := range st.byType {
+			if len(l) > 0 {
+				cands = append(cands, l[0])
+			}
+		}
+		event.SortBySeq(cands)
+		picked := cands[:n.m]
+		used := map[*event.Occurrence]bool{}
+		for _, p := range picked {
+			used[p] = true
+		}
+		for i := range st.byType {
+			if len(st.byType[i]) > 0 && used[st.byType[i][0]] {
+				st.byType[i] = st.byType[i][1:]
+			}
+		}
+		n.emit(compose(n.name, picked...), ctx)
+	case Continuous:
+		// Oldest of each type completes; the whole store is consumed.
+		var cands occList
+		for _, l := range st.byType {
+			if len(l) > 0 {
+				cands = append(cands, l[0])
+			}
+		}
+		event.SortBySeq(cands)
+		picked := cands[:n.m]
+		st.byType = make([]occList, len(n.kids))
+		n.emit(compose(n.name, picked...), ctx)
+	case Cumulative:
+		// Everything accumulated goes into one composite.
+		all := make([][]*event.Occurrence, len(st.byType))
+		for i, l := range st.byType {
+			all[i] = l
+		}
+		merged := mergeBySeq(all...)
+		st.byType = make([]occList, len(n.kids))
+		n.emit(compose(n.name, merged...), ctx)
+	}
+}

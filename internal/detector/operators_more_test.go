@@ -1,0 +1,253 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// Remaining operator × context combinations, flush behaviour of the
+// stateful operators, and concurrency safety.
+
+func TestNotContinuous(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Not("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Continuous)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e3") // 3: closes both windows (no e2 seen)
+	expectDetections(t, c, [][]int{{1, 3}, {2, 3}})
+	r.sig("e1") // 4
+	r.sig("e2") // 5: cancels
+	r.sig("e3") // 6
+	expectDetections(t, c, [][]int{{1, 3}, {2, 3}})
+}
+
+func TestNotCumulative(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Not("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Cumulative)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e3") // 3: all accumulated initiators in one composite
+	expectDetections(t, c, [][]int{{1, 2, 3}})
+}
+
+func TestNotMiddleOnlyKillsOlderWindows(t *testing.T) {
+	// An e2 invalidates windows opened before it, not ones after.
+	r := newRig(t)
+	if _, err := r.d.Not("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Chronicle)
+	r.sig("e1") // 1
+	r.sig("e2") // 2: kills window 1
+	r.sig("e1") // 3: new window, after the e2
+	r.sig("e3") // 4
+	expectDetections(t, c, [][]int{{3, 4}})
+}
+
+func TestAnyContinuous(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Any("x", 2, r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Continuous)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e2") // 3: completes; whole store consumed
+	r.sig("e3") // 4: only one distinct type now
+	expectDetections(t, c, [][]int{{1, 3}})
+}
+
+func TestAperiodicChronicle(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.A("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Chronicle)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e2") // 3: pairs the oldest open window
+	r.sig("e2") // 4: window stays open until e3
+	expectDetections(t, c, [][]int{{1, 3}, {1, 4}})
+	r.sig("e3") // 5: closes
+	r.sig("e2") // 6
+	expectDetections(t, c, [][]int{{1, 3}, {1, 4}})
+}
+
+func TestAperiodicCumulative(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.A("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Cumulative)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e2") // 3: all open windows + the mid in one composite
+	expectDetections(t, c, [][]int{{1, 2, 3}})
+}
+
+func TestAStarChronicle(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.AStar("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Chronicle)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e2") // 3
+	r.sig("e3") // 4: oldest open window + accumulated mids + terminator
+	expectDetections(t, c, [][]int{{1, 3, 4}})
+}
+
+func TestAStarContinuous(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.AStar("x", r.n["e1"], r.n["e2"], r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Continuous)
+	r.sig("e1") // 1
+	r.sig("e1") // 2
+	r.sig("e2") // 3
+	r.sig("e3") // 4: one composite per open window
+	expectDetections(t, c, [][]int{{1, 3, 4}, {2, 3, 4}})
+}
+
+func TestOperatorFlushTxn(t *testing.T) {
+	// Every stateful operator must drop a flushed transaction's partial
+	// occurrences.
+	build := map[string]func(r *rig) error{
+		"and":   func(r *rig) error { _, err := r.d.And("x", r.n["e1"], r.n["e2"]); return err },
+		"seq":   func(r *rig) error { _, err := r.d.Seq("x", r.n["e1"], r.n["e2"]); return err },
+		"not":   func(r *rig) error { _, err := r.d.Not("x", r.n["e1"], r.n["e3"], r.n["e2"]); return err },
+		"any":   func(r *rig) error { _, err := r.d.Any("x", 2, r.n["e1"], r.n["e2"], r.n["e3"]); return err },
+		"a":     func(r *rig) error { _, err := r.d.A("x", r.n["e1"], r.n["e2"], r.n["e3"]); return err },
+		"astar": func(r *rig) error { _, err := r.d.AStar("x", r.n["e1"], r.n["e2"], r.n["e3"]); return err },
+	}
+	for name, b := range build {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t)
+			if err := b(r); err != nil {
+				t.Fatal(err)
+			}
+			c := r.sub("x", Chronicle)
+			// Initiate under txn 1, flush, then terminate under txn 2.
+			r.d.SignalMethod("C", "m1", event.End, 1, event.NewParams("n", 1), 1)
+			r.d.FlushTxn(1)
+			r.d.SignalMethod("C", "m2", event.End, 1, event.NewParams("n", 2), 2)
+			for _, o := range c.occs {
+				for _, l := range o.Leaves() {
+					if l.Txn == 1 {
+						t.Fatalf("flushed occurrence in detection: %v", o)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOperatorContextDeactivationClearsState(t *testing.T) {
+	// When the last rule in a context unsubscribes, the operator's state
+	// for that context is dropped (the paper's counter mechanism, which
+	// "helps avoid detecting events in ... modes [with] significant
+	// storage requirements").
+	r := newRig(t)
+	if _, err := r.d.Seq("x", r.n["e1"], r.n["e2"]); err != nil {
+		t.Fatal(err)
+	}
+	c1 := &collector{}
+	unsub, err := r.d.Subscribe("x", Cumulative, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sig("e1") // stored in cumulative state
+	unsub()     // counter drops to 0: state cleared
+
+	c2 := r.sub("x", Cumulative)
+	r.sig("e2") // must find no stale initiator
+	if len(c2.occs) != 0 {
+		t.Fatalf("stale state survived deactivation: %v", leafNums(c2))
+	}
+}
+
+func TestConcurrentSignalsSafe(t *testing.T) {
+	// Concurrency smoke test under -race: signals from many goroutines.
+	r := newRig(t)
+	if _, err := r.d.Seq("x", r.n["e1"], r.n["e2"]); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.sub("x", Chronicle)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				m := "m1"
+				if (i+g)%2 == 0 {
+					m = "m2"
+				}
+				r.d.SignalMethod("C", m, event.End, 1, nil, uint64(g+1))
+				if i%100 == 0 {
+					r.d.FlushTxn(uint64(g + 1))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestOrParameterPropagation(t *testing.T) {
+	// OR occurrences carry the single constituent's parameters.
+	r := newRig(t)
+	if _, err := r.d.Or("x", r.n["e1"], r.n["e2"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.d.SignalMethod("C", "m1", event.End, 9, event.NewParams("qty", 3), 1)
+	if len(c.occs) != 1 {
+		t.Fatalf("detections=%d", len(c.occs))
+	}
+	lists := c.occs[0].AllParams()
+	if len(lists) != 1 {
+		t.Fatalf("param lists=%d", len(lists))
+	}
+	if v, _ := lists[0].Get("qty"); v.(int) != 3 {
+		t.Fatalf("params=%v", lists[0])
+	}
+	if c.occs[0].Leaves()[0].Object != 9 {
+		t.Fatal("OID lost through OR")
+	}
+}
+
+func TestDeepNestedExpressionDetection(t *testing.T) {
+	// ((e1 ; e2) and (e3 or e4)) ; e1 — a three-level graph.
+	r := newRig(t)
+	s, err := r.d.Seq("s12", r.n["e1"], r.n["e2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := r.d.Or("o34", r.n["e3"], r.n["e4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.d.And("a", s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.d.Seq("top", a, r.n["e1"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("top", Chronicle)
+	r.sig("e1") // 1
+	r.sig("e2") // 2: s12 fires
+	r.sig("e4") // 3: o34 fires, a fires (interval [1,3])
+	r.sig("e1") // 4: top fires
+	expectDetections(t, c, [][]int{{1, 2, 3, 4}})
+}

@@ -1,0 +1,82 @@
+package detector
+
+import (
+	"repro/internal/event"
+)
+
+// PrimitiveNode is a leaf of the event graph: a named primitive event
+// defined on a method of a class (begin or end variant), on a specific
+// instance of a class, on a transaction system event, or as an explicit
+// (application-raised) event.
+//
+// Class-level nodes match every instance of their class and of its
+// subclasses (the paper's rule-inheritance property); instance-level nodes
+// match a single OID.
+type PrimitiveNode struct {
+	nodeCore
+	kind     event.Kind
+	class    string
+	method   string
+	modifier event.Modifier
+	instance event.OID // zero for class-level events
+}
+
+// Kids returns nil: primitive nodes are leaves.
+func (p *PrimitiveNode) Kids() []Node { return nil }
+
+// Class returns the class the event is defined on ("" for explicit
+// events).
+func (p *PrimitiveNode) Class() string { return p.class }
+
+// Method returns the method signature the event is defined on.
+func (p *PrimitiveNode) Method() string { return p.method }
+
+// Modifier returns the begin/end variant.
+func (p *PrimitiveNode) Modifier() event.Modifier { return p.modifier }
+
+// InstanceLevel reports whether the event is restricted to one object.
+func (p *PrimitiveNode) InstanceLevel() bool { return p.instance != 0 }
+
+// addContext on a primitive node only bumps its own counter.
+func (p *PrimitiveNode) addContext(ctx Context)    { p.bumpContext(ctx, 1) }
+func (p *PrimitiveNode) removeContext(ctx Context) { p.bumpContext(ctx, -1) }
+
+func (p *PrimitiveNode) subscribe(sub Subscriber, ctx Context) func() {
+	p.addContext(ctx)
+	undoRule := p.addRule(sub, ctx)
+	return func() {
+		undoRule()
+		p.removeContext(ctx)
+	}
+}
+
+// flushTxn and flushAll are no-ops: primitive nodes hold no partial state.
+func (p *PrimitiveNode) flushTxn(uint64) {}
+func (p *PrimitiveNode) flushAll()       {}
+
+// matches reports whether a signalled method invocation matches this node.
+// The paper's detector "checks the method signature with the one that has
+// been sent"; class matching walks the inheritance chain via the
+// detector's superclass table.
+func (p *PrimitiveNode) matches(class, method string, mod event.Modifier, oid event.OID) bool {
+	if p.kind != event.KindMethod {
+		return false
+	}
+	if p.method != method || p.modifier != mod {
+		return false
+	}
+	if p.instance != 0 && p.instance != oid {
+		return false
+	}
+	return p.d.isSubclassOf(class, p.class)
+}
+
+// fire stamps and propagates one occurrence of this primitive event.
+// The occurrence's Name is the node's name, so the same method invocation
+// signalled to several primitive nodes (the paper's any_stk_price vs
+// set_IBM_price example) produces distinct named occurrences.
+func (p *PrimitiveNode) fire(template *event.Occurrence) {
+	occ := *template
+	occ.Name = p.name
+	p.emitPrimitive(&occ)
+}

@@ -1,0 +1,59 @@
+package detector
+
+import (
+	"sync"
+	"time"
+)
+
+// Pump drives the detector's virtual clock from wall time, so the
+// temporal operators (PLUS, P, P*) fire online. One virtual time unit
+// corresponds to the configured resolution. Tests and batch replay do not
+// need a pump — they advance the clock explicitly — which is exactly why
+// the clock is virtual.
+type Pump struct {
+	d          *Detector
+	resolution time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+	once       sync.Once
+}
+
+// StartPump begins advancing d's clock by one unit per resolution tick
+// (minimum 1ms). Stop the pump before closing the detector's owner.
+func StartPump(d *Detector, resolution time.Duration) *Pump {
+	if resolution < time.Millisecond {
+		resolution = time.Millisecond
+	}
+	p := &Pump{
+		d:          d,
+		resolution: resolution,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *Pump) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.resolution)
+	defer ticker.Stop()
+	start := time.Now()
+	base := p.d.Now()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-ticker.C:
+			elapsed := uint64(now.Sub(start) / p.resolution)
+			p.d.AdvanceTime(base + elapsed)
+		}
+	}
+}
+
+// Stop halts the pump and waits for the driving goroutine to exit. The
+// clock keeps its last value; temporal state remains valid.
+func (p *Pump) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}

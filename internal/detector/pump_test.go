@@ -1,0 +1,65 @@
+package detector
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func TestPumpAdvancesClock(t *testing.T) {
+	d := New()
+	p := StartPump(d, time.Millisecond)
+	defer p.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.Now() >= 5 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("clock never advanced: %d", d.Now())
+}
+
+func TestPumpFiresTemporalEvents(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Plus("x", r.n["e1"], 5); err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 1)
+	if _, err := r.d.Subscribe("x", Recent, SubscriberFunc(func(*event.Occurrence, Context) {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	p := StartPump(r.d, time.Millisecond)
+	defer p.Stop()
+	r.sig("e1")
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("temporal event never fired under the pump")
+	}
+}
+
+func TestPumpStopIdempotent(t *testing.T) {
+	d := New()
+	p := StartPump(d, time.Millisecond)
+	p.Stop()
+	p.Stop() // second stop must not panic or hang
+	was := d.Now()
+	time.Sleep(10 * time.Millisecond)
+	if d.Now() != was {
+		t.Fatal("clock advanced after Stop")
+	}
+}
+
+func TestPumpMinimumResolution(t *testing.T) {
+	d := New()
+	p := StartPump(d, 0) // clamped to 1ms, must not spin or panic
+	time.Sleep(5 * time.Millisecond)
+	p.Stop()
+}

@@ -1,0 +1,172 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestPlusFiresAfterDelta(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Plus("x", r.n["e1"], 100); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1") // at vtime 0: due at 100
+	r.d.AdvanceTime(99)
+	if len(c.occs) != 0 {
+		t.Fatalf("fired early: %v", c.names())
+	}
+	r.d.AdvanceTime(100)
+	if len(c.occs) != 1 {
+		t.Fatalf("fired %d times, want 1", len(c.occs))
+	}
+	occ := c.occs[0]
+	if occ.Time != 100 {
+		t.Fatalf("occurrence time=%d want 100", occ.Time)
+	}
+	if len(occ.Constituents) != 2 || occ.Constituents[1].Kind != event.KindTemporal {
+		t.Fatalf("constituents: %v", occ)
+	}
+}
+
+func TestPlusOnePerInitiator(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.Plus("x", r.n["e1"], 50); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1") // due 50
+	r.d.AdvanceTime(10)
+	r.sig("e1") // due 60
+	r.d.AdvanceTime(200)
+	if len(c.occs) != 2 {
+		t.Fatalf("fired %d times, want 2", len(c.occs))
+	}
+	if c.occs[0].Time != 50 || c.occs[1].Time != 60 {
+		t.Fatalf("fire times: %d %d", c.occs[0].Time, c.occs[1].Time)
+	}
+}
+
+func TestPeriodicTicksUntilClosed(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.P("x", r.n["e1"], 10, r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1") // opens at 0: ticks at 10,20,30,...
+	r.d.AdvanceTime(35)
+	if len(c.occs) != 3 {
+		t.Fatalf("ticks=%d want 3 (%v)", len(c.occs), c.names())
+	}
+	r.sig("e3") // closes
+	r.d.AdvanceTime(100)
+	if len(c.occs) != 3 {
+		t.Fatalf("ticks after close: %d", len(c.occs))
+	}
+}
+
+func TestPeriodicReopenedByNewInitiator(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.P("x", r.n["e1"], 10, r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1")
+	r.d.AdvanceTime(15) // one tick at 10
+	r.sig("e1")         // restarts the window: next tick at 25
+	r.d.AdvanceTime(26)
+	if len(c.occs) != 2 {
+		t.Fatalf("ticks=%d want 2", len(c.occs))
+	}
+	if c.occs[1].Time != 25 {
+		t.Fatalf("second tick at %d want 25", c.occs[1].Time)
+	}
+}
+
+func TestPStarAccumulatesTicks(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.PStar("x", r.n["e1"], 10, r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1")
+	r.d.AdvanceTime(35) // ticks at 10, 20, 30 accumulated silently
+	if len(c.occs) != 0 {
+		t.Fatalf("P* fired before terminator: %v", c.names())
+	}
+	r.sig("e3")
+	if len(c.occs) != 1 {
+		t.Fatalf("P* fired %d times, want 1", len(c.occs))
+	}
+	// initiator + 3 ticks + terminator
+	if got := len(c.occs[0].Leaves()); got != 5 {
+		t.Fatalf("P* composite leaves=%d want 5", got)
+	}
+}
+
+func TestPStarNoTicksNoDetection(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.d.PStar("x", r.n["e1"], 100, r.n["e3"]); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.sig("e1")
+	r.d.AdvanceTime(50) // before the first tick
+	r.sig("e3")
+	if len(c.occs) != 0 {
+		t.Fatalf("P* without ticks fired: %v", c.names())
+	}
+}
+
+func TestTemporalFlushOnTxnAbort(t *testing.T) {
+	// A pending PLUS timer from an aborted transaction must not fire.
+	r := newRig(t)
+	if _, err := r.d.Plus("x", r.n["e1"], 100); err != nil {
+		t.Fatal(err)
+	}
+	c := r.sub("x", Recent)
+	r.d.SignalMethod("C", "m1", event.End, 1, nil, 7) // txn 7
+	r.d.SignalTxn(event.AbortTransaction, 7)          // AutoFlush kills the timer
+	r.d.AdvanceTime(1000)
+	if len(c.occs) != 0 {
+		t.Fatalf("aborted txn's timer fired: %v", c.names())
+	}
+}
+
+func TestAdvanceTimeMonotonic(t *testing.T) {
+	d := New()
+	d.AdvanceTime(100)
+	if d.Now() != 100 {
+		t.Fatalf("Now=%d", d.Now())
+	}
+	d.AdvanceTime(50) // backwards: no-op
+	if d.Now() != 100 {
+		t.Fatalf("clock moved backwards: %d", d.Now())
+	}
+}
+
+func TestTimerOrderingDeterministic(t *testing.T) {
+	// Two timers due at the same instant fire in schedule order.
+	r := newRig(t)
+	if _, err := r.d.Plus("x", r.n["e1"], 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.d.Plus("y", r.n["e2"], 10); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	sub := SubscriberFunc(func(occ *event.Occurrence, _ Context) { order = append(order, occ.Name) })
+	if _, err := r.d.Subscribe("x", Recent, sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.d.Subscribe("y", Recent, sub); err != nil {
+		t.Fatal(err)
+	}
+	r.sig("e1")
+	r.sig("e2")
+	r.d.AdvanceTime(10)
+	if len(order) != 2 || order[0] != "x" || order[1] != "y" {
+		t.Fatalf("order=%v", order)
+	}
+}

@@ -1,0 +1,266 @@
+package event
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestModifierString(t *testing.T) {
+	if Begin.String() != "begin" || End.String() != "end" {
+		t.Fatalf("modifier strings: %q %q", Begin, End)
+	}
+	if got := Modifier(7).String(); !strings.Contains(got, "7") {
+		t.Fatalf("unknown modifier rendered as %q", got)
+	}
+}
+
+func TestParseModifier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Modifier
+		ok   bool
+	}{
+		{"begin", Begin, true},
+		{"BEGIN", Begin, true},
+		{"end", End, true},
+		{"", End, true},
+		{"middle", End, false},
+	}
+	for _, c := range cases {
+		got, err := ParseModifier(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseModifier(%q) err=%v want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseModifier(%q)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindMethod:      "method",
+		KindTransaction: "transaction",
+		KindExplicit:    "explicit",
+		KindTemporal:    "temporal",
+		KindComposite:   "composite",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind %d String()=%q want %q", k, k.String(), want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestNewParamsAndGet(t *testing.T) {
+	pl := NewParams("price", 42.5, "qty", 10)
+	if len(pl) != 2 {
+		t.Fatalf("len=%d want 2", len(pl))
+	}
+	v, ok := pl.Get("price")
+	if !ok || v.(float64) != 42.5 {
+		t.Fatalf("Get(price)=%v,%v", v, ok)
+	}
+	if _, ok := pl.Get("missing"); ok {
+		t.Fatal("Get(missing) should be absent")
+	}
+	if got := pl.Names(); got[0] != "price" || got[1] != "qty" {
+		t.Fatalf("Names()=%v", got)
+	}
+}
+
+func TestNewParamsPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("odd args", func() { NewParams("a") })
+	assertPanics("non-string name", func() { NewParams(1, 2) })
+}
+
+func TestParamListString(t *testing.T) {
+	pl := NewParams("a", 1, "b", "x")
+	if got := pl.String(); got != `{a=1, b=x}` {
+		t.Fatalf("String()=%q", got)
+	}
+}
+
+func TestAtomic(t *testing.T) {
+	for _, v := range []any{nil, true, "s", 1, int8(1), int16(1), int32(1), int64(1),
+		uint(1), uint8(1), uint16(1), uint32(1), uint64(1), float32(1), float64(1), OID(3)} {
+		if !Atomic(v) {
+			t.Errorf("Atomic(%T) should be true", v)
+		}
+	}
+	for _, v := range []any{[]int{1}, map[string]int{}, struct{}{}, &Param{}} {
+		if Atomic(v) {
+			t.Errorf("Atomic(%T) should be false", v)
+		}
+	}
+}
+
+func prim(name string, seq uint64, params ParamList) *Occurrence {
+	return &Occurrence{Name: name, Kind: KindMethod, Class: "C", Method: "m", Seq: seq, Params: params}
+}
+
+func TestOccurrenceIntervals(t *testing.T) {
+	e1 := prim("e1", 1, NewParams("a", 1))
+	e2 := prim("e2", 5, NewParams("b", 2))
+	comp := &Occurrence{Name: "e1;e2", Kind: KindComposite, Seq: 5, Constituents: []*Occurrence{e1, e2}}
+
+	if !comp.IsComposite() || e1.IsComposite() {
+		t.Fatal("IsComposite misclassified")
+	}
+	if comp.Initiator() != e1 || comp.Terminator() != e2 {
+		t.Fatalf("interval endpoints wrong: %v %v", comp.Initiator(), comp.Terminator())
+	}
+	if comp.StartSeq() != 1 {
+		t.Fatalf("StartSeq=%d want 1", comp.StartSeq())
+	}
+
+	nested := &Occurrence{Name: "nested", Kind: KindComposite, Seq: 9,
+		Constituents: []*Occurrence{comp, prim("e3", 9, nil)}}
+	leaves := nested.Leaves()
+	if len(leaves) != 3 || leaves[0] != e1 || leaves[1] != e2 || leaves[2].Name != "e3" {
+		t.Fatalf("Leaves()=%v", leaves)
+	}
+	lists := nested.AllParams()
+	if len(lists) != 3 {
+		t.Fatalf("AllParams len=%d", len(lists))
+	}
+	if v, _ := lists[0].Get("a"); v.(int) != 1 {
+		t.Fatalf("first constituent params lost: %v", lists[0])
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	var nilOcc *Occurrence
+	if nilOcc.String() != "<nil occurrence>" {
+		t.Fatalf("nil String()=%q", nilOcc.String())
+	}
+	o := &Occurrence{Name: "e", Kind: KindMethod, Class: "STOCK", Method: "set_price",
+		Modifier: Begin, Object: 7, Seq: 3, Params: NewParams("price", 10)}
+	s := o.String()
+	for _, want := range []string{"e@3", "begin", "STOCK.set_price", "oid:7", "price=10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String()=%q missing %q", s, want)
+		}
+	}
+	comp := &Occurrence{Name: "c", Kind: KindComposite, Seq: 4, Constituents: []*Occurrence{o}}
+	if !strings.Contains(comp.String(), "(") {
+		t.Errorf("composite String()=%q lacks constituents", comp.String())
+	}
+}
+
+func TestSignature(t *testing.T) {
+	if got := Signature("STOCK", "set_price", Begin); got != "begin STOCK.set_price" {
+		t.Fatalf("Signature=%q", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	seen := make([][]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g] = append(seen[g], c.Next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := map[uint64]bool{}
+	for _, s := range seen {
+		for i, v := range s {
+			if all[v] {
+				t.Fatalf("duplicate timestamp %d", v)
+			}
+			all[v] = true
+			if i > 0 && s[i] <= s[i-1] {
+				t.Fatalf("non-increasing within goroutine: %d after %d", s[i], s[i-1])
+			}
+		}
+	}
+	if c.Now() != goroutines*per {
+		t.Fatalf("Now()=%d want %d", c.Now(), goroutines*per)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("after Advance(100) Now()=%d", c.Now())
+	}
+	c.Advance(50) // never goes backward
+	if c.Now() != 100 {
+		t.Fatalf("Advance(50) moved clock back to %d", c.Now())
+	}
+	if n := c.Next(); n != 101 {
+		t.Fatalf("Next after Advance = %d", n)
+	}
+}
+
+func TestSortBySeq(t *testing.T) {
+	occs := []*Occurrence{prim("c", 3, nil), prim("a", 1, nil), prim("b", 2, nil)}
+	SortBySeq(occs)
+	if occs[0].Name != "a" || occs[1].Name != "b" || occs[2].Name != "c" {
+		t.Fatalf("sorted order wrong: %v %v %v", occs[0].Name, occs[1].Name, occs[2].Name)
+	}
+}
+
+// Property: Leaves of an arbitrarily nested composite preserves left-to-right
+// primitive order, and AllParams has exactly one list per leaf.
+func TestQuickLeavesOrder(t *testing.T) {
+	f := func(shape []uint8) bool {
+		// Build a composite tree deterministically from the shape bytes.
+		var seq uint64
+		next := func() uint8 {
+			if len(shape) == 0 {
+				return 0
+			}
+			b := shape[0]
+			shape = shape[1:]
+			return b
+		}
+		var build func(depth int) *Occurrence
+		build = func(depth int) *Occurrence {
+			b := next()
+			if depth >= 4 || b%3 == 0 {
+				seq++
+				return prim("p", seq, NewParams("n", int(seq)))
+			}
+			kids := 2 + int(b%2)
+			cs := make([]*Occurrence, 0, kids)
+			for i := 0; i < kids; i++ {
+				cs = append(cs, build(depth+1))
+			}
+			return &Occurrence{Name: "c", Kind: KindComposite, Seq: cs[len(cs)-1].Seq, Constituents: cs}
+		}
+		root := build(0)
+		leaves := root.Leaves()
+		for i := 1; i < len(leaves); i++ {
+			if leaves[i].Seq <= leaves[i-1].Seq {
+				return false
+			}
+		}
+		return len(root.AllParams()) == len(leaves)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

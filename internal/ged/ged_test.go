@@ -1,0 +1,258 @@
+package ged
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/snoop"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer(nil)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func defineAnd(t *testing.T, s *Server, name, a, b string) {
+	t.Helper()
+	if _, err := s.Det.DefineExplicit(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Det.DefineExplicit(b); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := s.Det.Lookup(a)
+	nb, _ := s.Det.Lookup(b)
+	if _, err := s.Det.And(name, na, nb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalAndAcrossClients(t *testing.T) {
+	s, addr := startServer(t)
+	defineAnd(t, s, "g", "e1", "e2")
+
+	c1, err := Dial(addr, "app1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr, "app2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	got := make(chan *event.Occurrence, 1)
+	if err := c1.Subscribe("g", detector.Recent, func(o *event.Occurrence, _ detector.Context) {
+		select {
+		case got <- o:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe is acknowledged: contributions from either client are now
+	// guaranteed to be seen.
+	if err := c1.Contribute(&event.Occurrence{Name: "e1", Kind: event.KindExplicit, Params: event.NewParams("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Contribute(&event.Occurrence{Name: "e2", Kind: event.KindExplicit}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-got:
+		leaves := o.Leaves()
+		if len(leaves) != 2 {
+			t.Fatalf("leaves=%v", leaves)
+		}
+		apps := map[string]bool{leaves[0].App: true, leaves[1].App: true}
+		if !apps["app1"] || !apps["app2"] {
+			t.Fatalf("apps=%v", apps)
+		}
+		var fromApp1 *event.Occurrence
+		for _, l := range leaves {
+			if l.App == "app1" {
+				fromApp1 = l
+			}
+		}
+		if v, ok := fromApp1.Params.Get("x"); !ok || v.(int) != 1 {
+			t.Fatalf("params lost over the wire: %v", fromApp1.Params)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("global composite never detected")
+	}
+}
+
+func TestAutoDefineOnContribute(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Contribute(&event.Occurrence{Name: "brand_new", Kind: event.KindExplicit}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.Det.Lookup("brand_new"); err == nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("contributed event never auto-defined")
+}
+
+func TestSubscribeUnknownEventStillAcked(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Subscribe("no_such_event", detector.Recent, func(*event.Occurrence, detector.Context) {})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Subscribe returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Subscribe on unknown event hangs")
+	}
+}
+
+func TestClientCloseUnblocksSubscribe(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseDropsClients(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Further contributions fail eventually; mostly we care there is no
+	// panic or deadlock.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Contribute(&event.Occurrence{Name: "x", Kind: event.KindExplicit}); err != nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("contributions kept succeeding after server close")
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "a"); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestTwoSubscribersSameEvent(t *testing.T) {
+	s, addr := startServer(t)
+	defineAnd(t, s, "g", "e1", "e2")
+	c1, _ := Dial(addr, "a1")
+	defer c1.Close()
+	c2, _ := Dial(addr, "a2")
+	defer c2.Close()
+	got1 := make(chan struct{}, 1)
+	got2 := make(chan struct{}, 1)
+	if err := c1.Subscribe("g", detector.Recent, func(*event.Occurrence, detector.Context) {
+		select {
+		case got1 <- struct{}{}:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Subscribe("g", detector.Chronicle, func(*event.Occurrence, detector.Context) {
+		select {
+		case got2 <- struct{}{}:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Contribute(&event.Occurrence{Name: "e1", Kind: event.KindExplicit})
+	c1.Contribute(&event.Occurrence{Name: "e2", Kind: event.KindExplicit})
+	for i, ch := range []chan struct{}{got1, got2} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("subscriber %d never notified", i+1)
+		}
+	}
+}
+
+func TestServerWithCompiledGlobalSpec(t *testing.T) {
+	// The gedserver pattern: global composite events defined with the
+	// snoop compiler over explicit events the applications contribute.
+	s := NewServer(nil)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Det.DefineExplicit("order_placed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Det.DefineExplicit("payment_received"); err != nil {
+		t.Fatal(err)
+	}
+	comp := &snoop.Compiler{Det: s.Det}
+	if err := comp.CompileSource(`event paid_order = order_placed >> payment_received;`); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(addr, "shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := make(chan *event.Occurrence, 1)
+	if err := c.Subscribe("paid_order", detector.Chronicle, func(o *event.Occurrence, _ detector.Context) {
+		select {
+		case got <- o:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Contribute(&event.Occurrence{Name: "payment_received", Kind: event.KindExplicit}) // out of order: ignored by SEQ
+	c.Contribute(&event.Occurrence{Name: "order_placed", Kind: event.KindExplicit})
+	c.Contribute(&event.Occurrence{Name: "payment_received", Kind: event.KindExplicit})
+	select {
+	case o := <-got:
+		if len(o.Leaves()) != 2 {
+			t.Fatalf("composite: %v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("compiled global event never detected")
+	}
+}

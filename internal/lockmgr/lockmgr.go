@@ -1,0 +1,375 @@
+// Package lockmgr implements the lock manager the Sentinel nested
+// transaction manager uses for rule subtransactions — the paper's "lock
+// table + nested transactions" kernel extension. It provides shared and
+// exclusive locks with Moss-style nested-transaction semantics: a
+// subtransaction may acquire a lock whose only conflicting holders are its
+// ancestors, and on commit a subtransaction's locks are inherited by its
+// parent rather than released. Deadlocks are detected with a waits-for
+// graph and broken by aborting the requester that would close the cycle.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single writer.
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible reports whether two modes can be held simultaneously by
+// unrelated transactions.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Errors reported by the lock manager.
+var (
+	ErrDeadlock = errors.New("lockmgr: deadlock detected, request aborted")
+	ErrTimeout  = errors.New("lockmgr: lock wait timed out")
+	ErrNotHeld  = errors.New("lockmgr: lock not held by owner")
+)
+
+// TxnID identifies a (sub)transaction to the lock manager.
+type TxnID uint64
+
+// waiter is one blocked lock request.
+type waiter struct {
+	owner   TxnID
+	mode    Mode
+	granted chan struct{} // closed when the lock is granted
+	dead    bool          // chosen as deadlock victim
+}
+
+// resourceLock is the per-resource lock state.
+type resourceLock struct {
+	holders map[TxnID]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager. The zero value is not usable; call New.
+type Manager struct {
+	mu        sync.Mutex
+	resources map[string]*resourceLock
+	parent    map[TxnID]TxnID // nested-transaction ancestry
+	waitsFor  map[TxnID]map[TxnID]bool
+
+	// DefaultTimeout bounds lock waits when the per-call timeout is zero.
+	// Zero means wait forever (deadlock detection still applies).
+	DefaultTimeout time.Duration
+}
+
+// New creates an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		resources: make(map[string]*resourceLock),
+		parent:    make(map[TxnID]TxnID),
+		waitsFor:  make(map[TxnID]map[TxnID]bool),
+	}
+}
+
+// SetParent registers child as a subtransaction of parent, enabling the
+// ancestor rule for lock compatibility and lock inheritance on commit.
+func (m *Manager) SetParent(child, parent TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parent[child] = parent
+}
+
+// Forget removes a finished transaction from the ancestry table.
+func (m *Manager) Forget(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.parent, txn)
+}
+
+// isAncestor reports whether a is an ancestor of (or equal to) d.
+// Callers hold m.mu.
+func (m *Manager) isAncestor(a, d TxnID) bool {
+	for {
+		if a == d {
+			return true
+		}
+		p, ok := m.parent[d]
+		if !ok {
+			return false
+		}
+		d = p
+	}
+}
+
+// Lock acquires resource in the given mode for owner, blocking until the
+// lock is granted, the wait times out, or the request would deadlock.
+// A re-request by a current holder upgrades the mode when necessary.
+func (m *Manager) Lock(owner TxnID, resource string, mode Mode) error {
+	return m.LockTimeout(owner, resource, mode, m.DefaultTimeout)
+}
+
+// LockTimeout is Lock with an explicit wait bound (zero = no bound).
+func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout time.Duration) error {
+	m.mu.Lock()
+	rl := m.resources[resource]
+	if rl == nil {
+		rl = &resourceLock{holders: make(map[TxnID]Mode)}
+		m.resources[resource] = rl
+	}
+	if m.grantableLocked(rl, owner, mode) {
+		m.grantLocked(rl, owner, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{owner: owner, mode: mode, granted: make(chan struct{})}
+	rl.queue = append(rl.queue, w)
+	m.addWaitEdgesLocked(rl, w)
+	if m.cycleLocked(owner) {
+		m.removeWaiterLocked(rl, w)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
+	}
+	m.mu.Unlock()
+
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-w.granted:
+		if w.dead {
+			return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
+		}
+		return nil
+	case <-timeoutCh:
+		m.mu.Lock()
+		select {
+		case <-w.granted:
+			// Granted while we were timing out; keep the lock.
+			m.mu.Unlock()
+			if w.dead {
+				return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
+			}
+			return nil
+		default:
+		}
+		m.removeWaiterLocked(rl, w)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d on %q)", ErrTimeout, owner, resource)
+	}
+}
+
+// grantableLocked reports whether owner may take resource in mode right
+// now: every conflicting holder must be the owner itself or an ancestor of
+// it (Moss's rule). For fairness, newcomers queue behind earlier waiters —
+// EXCEPT when a conflicting holder is an ancestor of the requester: the
+// ancestor cannot release the lock while it waits for this descendant to
+// finish, so making the descendant queue behind strangers (who in turn
+// wait for the ancestor) would deadlock the whole family. Such requests
+// bypass the queue, exactly as a holder's own upgrade does.
+func (m *Manager) grantableLocked(rl *resourceLock, owner TxnID, mode Mode) bool {
+	_, isHolder := rl.holders[owner]
+	ancestorHolds := false
+	for h, hm := range rl.holders {
+		if h == owner {
+			continue
+		}
+		if compatible(hm, mode) {
+			continue
+		}
+		if !m.isAncestor(h, owner) {
+			return false
+		}
+		ancestorHolds = true
+	}
+	if len(rl.queue) > 0 && !isHolder && !ancestorHolds {
+		return false // FIFO fairness for unrelated newcomers
+	}
+	return true
+}
+
+// grantLocked records the grant, keeping the strongest mode per owner.
+func (m *Manager) grantLocked(rl *resourceLock, owner TxnID, mode Mode) {
+	if cur, ok := rl.holders[owner]; !ok || mode > cur {
+		rl.holders[owner] = mode
+	}
+	delete(m.waitsFor, owner)
+}
+
+// addWaitEdgesLocked records that w waits for the current conflicting
+// holders of rl.
+func (m *Manager) addWaitEdgesLocked(rl *resourceLock, w *waiter) {
+	edges := m.waitsFor[w.owner]
+	if edges == nil {
+		edges = make(map[TxnID]bool)
+		m.waitsFor[w.owner] = edges
+	}
+	for h, hm := range rl.holders {
+		if h == w.owner || compatible(hm, w.mode) || m.isAncestor(h, w.owner) {
+			continue
+		}
+		edges[h] = true
+	}
+	// Also wait for earlier queued requests that conflict.
+	for _, q := range rl.queue {
+		if q == w {
+			break
+		}
+		if q.owner != w.owner && !compatible(q.mode, w.mode) {
+			edges[q.owner] = true
+		}
+	}
+}
+
+// cycleLocked reports whether start can reach itself in the waits-for
+// graph.
+func (m *Manager) cycleLocked(start TxnID) bool {
+	seen := map[TxnID]bool{}
+	var dfs func(TxnID) bool
+	dfs = func(n TxnID) bool {
+		for next := range m.waitsFor[n] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+func (m *Manager) removeWaiterLocked(rl *resourceLock, w *waiter) {
+	for i, q := range rl.queue {
+		if q == w {
+			rl.queue = append(rl.queue[:i], rl.queue[i+1:]...)
+			break
+		}
+	}
+	delete(m.waitsFor, w.owner)
+	m.promoteLocked(rl)
+}
+
+// promoteLocked grants as many queued requests as compatibility allows,
+// front to back.
+func (m *Manager) promoteLocked(rl *resourceLock) {
+	for len(rl.queue) > 0 {
+		w := rl.queue[0]
+		ok := true
+		for h, hm := range rl.holders {
+			if h == w.owner || compatible(hm, w.mode) || m.isAncestor(h, w.owner) {
+				continue
+			}
+			ok = false
+			break
+		}
+		if !ok {
+			return
+		}
+		rl.queue = rl.queue[1:]
+		m.grantLocked(rl, w.owner, w.mode)
+		close(w.granted)
+	}
+}
+
+// Unlock releases owner's lock on resource.
+func (m *Manager) Unlock(owner TxnID, resource string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rl := m.resources[resource]
+	if rl == nil {
+		return fmt.Errorf("%w: %q", ErrNotHeld, resource)
+	}
+	if _, ok := rl.holders[owner]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotHeld, resource)
+	}
+	delete(rl.holders, owner)
+	m.promoteLocked(rl)
+	m.gcLocked(resource, rl)
+	return nil
+}
+
+// ReleaseAll releases every lock owner holds (transaction end).
+func (m *Manager) ReleaseAll(owner TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, rl := range m.resources {
+		if _, ok := rl.holders[owner]; ok {
+			delete(rl.holders, owner)
+			m.promoteLocked(rl)
+			m.gcLocked(name, rl)
+		}
+	}
+	delete(m.parent, owner)
+}
+
+// Inherit transfers every lock of child to parent (nested-transaction
+// commit), keeping the strongest mode when the parent already holds one.
+func (m *Manager) Inherit(child, parent TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, rl := range m.resources {
+		if mode, ok := rl.holders[child]; ok {
+			delete(rl.holders, child)
+			if cur, held := rl.holders[parent]; !held || mode > cur {
+				rl.holders[parent] = mode
+			}
+			m.promoteLocked(rl)
+			m.gcLocked(name, rl)
+		}
+	}
+	delete(m.parent, child)
+}
+
+func (m *Manager) gcLocked(name string, rl *resourceLock) {
+	if len(rl.holders) == 0 && len(rl.queue) == 0 {
+		delete(m.resources, name)
+	}
+}
+
+// Holders returns the transactions currently holding resource (tests and
+// the rule debugger).
+func (m *Manager) Holders(resource string) map[TxnID]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rl := m.resources[resource]
+	out := make(map[TxnID]Mode, 4)
+	if rl != nil {
+		for h, mode := range rl.holders {
+			out[h] = mode
+		}
+	}
+	return out
+}
+
+// Waiting returns how many requests are queued on resource (tests).
+func (m *Manager) Waiting(resource string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rl := m.resources[resource]; rl != nil {
+		return len(rl.queue)
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+func buildHierarchy(t *testing.T, r *Registry) {
+	t.Helper()
+	if _, err := r.DefineClass("SECURITY", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DefineClass("STOCK", "SECURITY", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DefineClass("BOND", "SECURITY", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtentBothModes(t *testing.T) {
+	for _, persistent := range []bool{false, true} {
+		name := "memory"
+		if persistent {
+			name = "persistent"
+		}
+		t.Run(name, func(t *testing.T) {
+			var reg *Registry
+			var tx *txn.Txn
+			if persistent {
+				r, mgr, _ := persistEnv(t)
+				buildHierarchy(t, r)
+				reg = r
+				tx, _ = mgr.Begin()
+			} else {
+				r, mgr := memEnv(t)
+				buildHierarchy(t, r)
+				reg = r
+				tx, _ = mgr.Begin()
+			}
+			runExtentChecks(t, reg, tx)
+			_ = tx.Commit()
+		})
+	}
+}
+
+func runExtentChecks(t *testing.T, r *Registry, tx *txn.Txn) {
+	t.Helper()
+	mk := func(class string, v int) {
+		if _, err := r.New(tx, class, map[string]any{"v": v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("STOCK", 1)
+	mk("BOND", 2)
+	mk("STOCK", 3)
+	mk("SECURITY", 4)
+
+	collect := func(class string, subs bool) []int {
+		var got []int
+		if err := r.ForEach(tx, class, subs, func(obj *Instance) bool {
+			got = append(got, obj.Attr("v").(int))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := collect("STOCK", false); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("STOCK extent: %v", got)
+	}
+	if got := collect("SECURITY", false); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("SECURITY exact extent: %v", got)
+	}
+	if got := collect("SECURITY", true); len(got) != 4 {
+		t.Fatalf("SECURITY subtree extent: %v", got)
+	}
+	if got := collect("BOND", true); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("BOND extent: %v", got)
+	}
+
+	// Early stop.
+	n := 0
+	if err := r.ForEach(tx, "SECURITY", true, func(*Instance) bool {
+		n++
+		return n < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

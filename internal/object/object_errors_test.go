@@ -1,0 +1,203 @@
+package object
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func TestCatalogRequiredBeforeUse(t *testing.T) {
+	// A persistent registry without InitCatalog fails cleanly.
+	dir := t.TempDir()
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tm := txn.NewManager(st, lockmgr.New())
+	r := NewRegistry(nil, st)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	if _, err := r.New(tx, "STOCK", nil); err == nil {
+		t.Fatal("New without catalog succeeded")
+	}
+	if _, err := r.Load(tx, 1); err == nil {
+		t.Fatal("Load without catalog succeeded")
+	}
+	if _, err := r.Resolve(tx, "x"); err == nil {
+		t.Fatal("Resolve without catalog succeeded")
+	}
+	if err := r.Bind(tx, "x", 1); err == nil {
+		t.Fatal("Bind without catalog succeeded")
+	}
+	if err := r.Delete(tx, 1); err == nil {
+		t.Fatal("Delete without catalog succeeded")
+	}
+	if err := r.Unbind(tx, "x"); err == nil {
+		t.Fatal("Unbind without catalog succeeded")
+	}
+	_ = tx.Abort()
+}
+
+func TestInitCatalogOnNonFreshStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tm := txn.NewManager(st, lockmgr.New())
+	// Something else inserted first: record 0.0 is not the meta.
+	tx, _ := tm.Begin()
+	if _, err := tx.Insert([]byte("squatter")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(nil, st)
+	tx2, _ := tm.Begin()
+	err = r.InitCatalog(tx2)
+	if err == nil {
+		t.Fatal("InitCatalog on dirty store succeeded")
+	}
+	if !strings.Contains(err.Error(), "catalog") && !strings.Contains(err.Error(), "meta") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	_ = tx2.Abort()
+}
+
+func TestInitCatalogRequiresStore(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	tm := txn.NewManager(nil, lockmgr.New())
+	tx, _ := tm.Begin()
+	if err := r.InitCatalog(tx); !errors.Is(err, ErrNotPersistent) {
+		t.Fatalf("memory-mode InitCatalog: %v", err)
+	}
+	_ = tx.Abort()
+}
+
+func TestMemoryModeNameOps(t *testing.T) {
+	r, tm := memEnv(t)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	if err := r.Bind(tx, "n", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := r.Resolve(tx, "n")
+	if err != nil || oid != obj.OID {
+		t.Fatalf("Resolve=%v err=%v", oid, err)
+	}
+	if _, err := r.Resolve(tx, "ghost"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("Resolve ghost: %v", err)
+	}
+	if err := r.Unbind(tx, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unbind(tx, "n"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("double Unbind: %v", err)
+	}
+	if err := r.Delete(tx, obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(tx, obj.OID); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("double Delete: %v", err)
+	}
+	if _, err := r.Load(tx, obj.OID); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("Load deleted: %v", err)
+	}
+	_ = tx.Commit()
+}
+
+func TestNewUnknownClass(t *testing.T) {
+	r, tm := memEnv(t)
+	tx, _ := tm.Begin()
+	if _, err := r.New(tx, "GHOST", nil); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("New(GHOST): %v", err)
+	}
+	_ = tx.Abort()
+}
+
+func TestSelfAccessors(t *testing.T) {
+	r, tm := memEnv(t)
+	c := stockClass(t, r)
+	c.DefineMethod(Method{
+		Name: "inspect", Params: nil,
+		Body: func(self *Self, _ []any) (any, error) {
+			return self.OID(), nil
+		},
+	})
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	got, err := r.Invoke(tx, obj, "inspect")
+	if err != nil || got != obj.OID {
+		t.Fatalf("Self.OID()=%v err=%v", got, err)
+	}
+	_ = tx.Commit()
+}
+
+func TestClassMethodsListing(t *testing.T) {
+	r, _ := memEnv(t)
+	c := stockClass(t, r)
+	ms := c.Methods()
+	if len(ms) != 3 || ms[0] != "get_price" {
+		t.Fatalf("Methods()=%v", ms)
+	}
+}
+
+func TestSignatureErrors(t *testing.T) {
+	r, _ := memEnv(t)
+	stockClass(t, r)
+	if _, err := r.Signature("GHOST", "m"); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("Signature unknown class: %v", err)
+	}
+	if _, err := r.Signature("STOCK", "ghost"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("Signature unknown method: %v", err)
+	}
+}
+
+func TestPersistLargeObjectMoves(t *testing.T) {
+	// Growing an object past its page forces relocation; the OID index
+	// must follow.
+	r, tm, _ := persistEnv(t)
+	c := stockClass(t, r)
+	c.DefineMethod(Method{
+		Name: "grow", Params: []string{"n"}, Mutates: true,
+		Body: func(self *Self, args []any) (any, error) {
+			blob := make([]byte, 0, args[0].(int))
+			for i := 0; i < args[0].(int); i++ {
+				blob = append(blob, byte(i))
+			}
+			self.Set("blob", string(blob))
+			return nil, nil
+		},
+	})
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	// Fill the object's page so the grown record cannot stay.
+	for i := 0; i < 3; i++ {
+		if _, err := r.New(tx, "STOCK", map[string]any{"pad": strings.Repeat("p", 900)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Invoke(tx, obj, "grow", 2500); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := tm.Begin()
+	loaded, err := r.Load(tx2, obj.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Attr("blob").(string)) != 2500 {
+		t.Fatalf("blob len=%d", len(loaded.Attr("blob").(string)))
+	}
+	_ = tx2.Commit()
+}

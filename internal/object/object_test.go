@@ -1,0 +1,463 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// stockClass registers the paper's STOCK class on a registry.
+func stockClass(t *testing.T, r *Registry) *Class {
+	t.Helper()
+	c, err := r.DefineClass("STOCK", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DefineMethod(Method{
+		Name: "set_price", Params: []string{"price"}, Mutates: true,
+		Body: func(self *Self, args []any) (any, error) {
+			self.Set("price", args[0])
+			return nil, nil
+		},
+	})
+	c.DefineMethod(Method{
+		Name: "get_price", Params: nil,
+		Body: func(self *Self, args []any) (any, error) {
+			return self.Get("price"), nil
+		},
+	})
+	c.DefineMethod(Method{
+		Name: "sell_stock", Params: []string{"qty"}, Mutates: true,
+		Body: func(self *Self, args []any) (any, error) {
+			cur, _ := self.Get("qty").(int)
+			q := args[0].(int)
+			if q > cur {
+				return nil, errors.New("not enough shares")
+			}
+			self.Set("qty", cur-q)
+			return cur - q, nil
+		},
+	})
+	return c
+}
+
+func memEnv(t *testing.T) (*Registry, *txn.Manager) {
+	t.Helper()
+	tm := txn.NewManager(nil, lockmgr.New())
+	return NewRegistry(nil, nil), tm
+}
+
+func persistEnv(t *testing.T) (*Registry, *txn.Manager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	tm := txn.NewManager(st, lockmgr.New())
+	r := NewRegistry(nil, st)
+	tx, err := tm.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InitCatalog(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return r, tm, dir
+}
+
+func TestDefineClassValidation(t *testing.T) {
+	r, _ := memEnv(t)
+	if _, err := r.DefineClass("A", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DefineClass("A", "", false); !errors.Is(err, ErrDuplicateClass) {
+		t.Fatalf("dup class: %v", err)
+	}
+	if _, err := r.DefineClass("B", "Ghost", false); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("unknown super: %v", err)
+	}
+	if _, err := r.Class("Ghost"); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("Class(Ghost): %v", err)
+	}
+}
+
+func TestInvokeMemoryMode(t *testing.T) {
+	r, tm := memEnv(t)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	obj, err := r.New(tx, "STOCK", map[string]any{"price": 10.0, "qty": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(tx, obj, "set_price", 42.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Invoke(tx, obj, "get_price")
+	if err != nil || got.(float64) != 42.5 {
+		t.Fatalf("get_price=%v err=%v", got, err)
+	}
+	if _, err := r.Invoke(tx, obj, "no_such"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	if _, err := r.Invoke(tx, obj, "set_price"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	_ = tx.Commit()
+}
+
+func TestMethodInheritance(t *testing.T) {
+	r, tm := memEnv(t)
+	stockClass(t, r)
+	if _, err := r.DefineClass("TECH_STOCK", "STOCK", true); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := tm.Begin()
+	obj, err := r.New(tx, "TECH_STOCK", map[string]any{"qty": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// set_price is inherited from STOCK.
+	if _, err := r.Invoke(tx, obj, "set_price", 1.0); err != nil {
+		t.Fatalf("inherited method: %v", err)
+	}
+	_ = tx.Commit()
+}
+
+func TestReactiveInvokeSignalsEvents(t *testing.T) {
+	det := detector.New()
+	tm := txn.NewManager(nil, lockmgr.New())
+	r := NewRegistry(det, nil)
+	stockClass(t, r)
+
+	sig, err := r.Signature("STOCK", "set_price")
+	if err != nil || sig != "set_price(price)" {
+		t.Fatalf("Signature=%q err=%v", sig, err)
+	}
+	if _, err := det.DefinePrimitive("pb", "STOCK", sig, event.Begin, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.DefinePrimitive("pe", "STOCK", sig, event.End, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got []*event.Occurrence
+	subscribe := func(name string) {
+		if _, err := det.Subscribe(name, detector.Recent,
+			detector.SubscriberFunc(func(o *event.Occurrence, _ detector.Context) { got = append(got, o) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subscribe("pb")
+	subscribe("pe")
+
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	if _, err := r.Invoke(tx, obj, "set_price", 9.75); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("signalled %d events, want begin+end", len(got))
+	}
+	if got[0].Name != "pb" || got[0].Modifier != event.Begin {
+		t.Fatalf("first event: %v", got[0])
+	}
+	if got[1].Name != "pe" || got[1].Modifier != event.End {
+		t.Fatalf("second event: %v", got[1])
+	}
+	for _, o := range got {
+		if o.Object != obj.OID || o.Txn != tx.ID() {
+			t.Fatalf("occurrence identity: %v", o)
+		}
+		if v, ok := o.Params.Get("price"); !ok || v.(float64) != 9.75 {
+			t.Fatalf("params: %v", o.Params)
+		}
+	}
+	_ = tx.Commit()
+}
+
+func TestNonReactiveClassSilent(t *testing.T) {
+	det := detector.New()
+	tm := txn.NewManager(nil, lockmgr.New())
+	r := NewRegistry(det, nil)
+	c, _ := r.DefineClass("QUIET", "", false)
+	c.DefineMethod(Method{Name: "poke", Body: func(self *Self, _ []any) (any, error) { return nil, nil }})
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "QUIET", nil)
+	if _, err := r.Invoke(tx, obj, "poke"); err != nil {
+		t.Fatal(err)
+	}
+	if st := det.StatsSnapshot(); st.Signals != 0 {
+		t.Fatalf("non-reactive class signalled: %+v", st)
+	}
+	_ = tx.Commit()
+}
+
+func TestNonAtomicArgsNotCollected(t *testing.T) {
+	det := detector.New()
+	tm := txn.NewManager(nil, lockmgr.New())
+	r := NewRegistry(det, nil)
+	c, _ := r.DefineClass("C", "", true)
+	c.DefineMethod(Method{
+		Name: "mix", Params: []string{"a", "blob"},
+		Body: func(self *Self, _ []any) (any, error) { return nil, nil },
+	})
+	if _, err := det.DefinePrimitive("e", "C", "mix(a,blob)", event.End, 0); err != nil {
+		t.Fatal(err)
+	}
+	var last *event.Occurrence
+	if _, err := det.Subscribe("e", detector.Recent,
+		detector.SubscriberFunc(func(o *event.Occurrence, _ detector.Context) { last = o })); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "C", nil)
+	if _, err := r.Invoke(tx, obj, "mix", 7, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no event")
+	}
+	if _, ok := last.Params.Get("a"); !ok {
+		t.Fatalf("atomic param dropped: %v", last.Params)
+	}
+	if _, ok := last.Params.Get("blob"); ok {
+		t.Fatalf("non-atomic param collected: %v", last.Params)
+	}
+	_ = tx.Commit()
+}
+
+func TestPersistentLifecycle(t *testing.T) {
+	r, tm, _ := persistEnv(t)
+	stockClass(t, r)
+
+	tx, _ := tm.Begin()
+	obj, err := r.New(tx, "STOCK", map[string]any{"price": 10.0, "qty": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(tx, "IBM", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(tx, obj, "set_price", 33.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, _ := tm.Begin()
+	oid, err := r.Resolve(tx2, "IBM")
+	if err != nil || oid != obj.OID {
+		t.Fatalf("Resolve=%v err=%v", oid, err)
+	}
+	loaded, err := r.Load(tx2, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Attr("price").(float64) != 33.0 || loaded.Attr("qty").(int) != 100 {
+		t.Fatalf("loaded attrs: %v %v", loaded.Attr("price"), loaded.Attr("qty"))
+	}
+	if _, err := r.Load(tx2, 9999); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("Load unknown: %v", err)
+	}
+	if _, err := r.Resolve(tx2, "GHOST"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("Resolve unknown: %v", err)
+	}
+	_ = tx2.Commit()
+}
+
+func TestAbortRollsBackObjectState(t *testing.T) {
+	r, tm, _ := persistEnv(t)
+	stockClass(t, r)
+
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", map[string]any{"price": 10.0})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, _ := tm.Begin()
+	loaded, _ := r.Load(tx2, obj.OID)
+	if _, err := r.Invoke(tx2, loaded, "set_price", 99.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx3, _ := tm.Begin()
+	again, err := r.Load(tx3, obj.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Attr("price").(float64) != 10.0 {
+		t.Fatalf("aborted update persisted: %v", again.Attr("price"))
+	}
+	_ = tx3.Commit()
+}
+
+func TestAbortRollsBackNewObjectAndName(t *testing.T) {
+	r, tm, _ := persistEnv(t)
+	stockClass(t, r)
+
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	if err := r.Bind(tx, "TMP", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, _ := tm.Begin()
+	if _, err := r.Load(tx2, obj.OID); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("aborted object still loadable: %v", err)
+	}
+	if _, err := r.Resolve(tx2, "TMP"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("aborted binding still resolvable: %v", err)
+	}
+	_ = tx2.Commit()
+}
+
+func TestDeleteAndUnbind(t *testing.T) {
+	r, tm, _ := persistEnv(t)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", nil)
+	if err := r.Bind(tx, "X", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(tx, obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unbind(tx, "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unbind(tx, "X"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("double unbind: %v", err)
+	}
+	if err := r.Delete(tx, obj.OID); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("double delete: %v", err)
+	}
+	_ = tx.Commit()
+}
+
+func TestCatalogSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := txn.NewManager(st, lockmgr.New())
+	r := NewRegistry(nil, st)
+	tx, _ := tm.Begin()
+	if err := r.InitCatalog(tx); err != nil {
+		t.Fatal(err)
+	}
+	stockClass(t, r)
+	obj, err := r.New(tx, "STOCK", map[string]any{"price": 5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(tx, "ACME", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(storage.Options{Dir: dir, PoolSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tm2 := txn.NewManager(st2, lockmgr.New())
+	r2 := NewRegistry(nil, st2)
+	stockClass(t, r2)
+	tx2, _ := tm2.Begin()
+	if err := r2.InitCatalog(tx2); err != nil {
+		t.Fatal(err) // validates, does not recreate
+	}
+	oid, err := r2.Resolve(tx2, "ACME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := r2.Load(tx2, oid)
+	if err != nil || loaded.Attr("price").(float64) != 5.5 {
+		t.Fatalf("reloaded: %v %v", loaded, err)
+	}
+	_ = tx2.Commit()
+}
+
+func TestManyObjectsGrowCatalog(t *testing.T) {
+	r, tm, _ := persistEnv(t)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	oids := make([]event.OID, 0, 200)
+	for i := 0; i < 200; i++ {
+		obj, err := r.New(tx, "STOCK", map[string]any{"qty": i})
+		if err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+		oids = append(oids, obj.OID)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := tm.Begin()
+	for i, oid := range oids {
+		obj, err := r.Load(tx2, oid)
+		if err != nil || obj.Attr("qty").(int) != i {
+			t.Fatalf("object %d: %v %v", i, obj, err)
+		}
+	}
+	_ = tx2.Commit()
+}
+
+func TestSelfInvokeNested(t *testing.T) {
+	r, tm := memEnv(t)
+	c := stockClass(t, r)
+	c.DefineMethod(Method{
+		Name: "discount", Params: []string{"pct"}, Mutates: true,
+		Body: func(self *Self, args []any) (any, error) {
+			cur, _ := self.Get("price").(float64)
+			_, err := self.Invoke("set_price", cur*(1-args[0].(float64)))
+			return nil, err
+		},
+	})
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", map[string]any{"price": 100.0})
+	if _, err := r.Invoke(tx, obj, "discount", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.Attr("price").(float64); got != 75.0 {
+		t.Fatalf("price=%v", got)
+	}
+	_ = tx.Commit()
+}
+
+func TestMethodErrorPropagates(t *testing.T) {
+	r, tm := memEnv(t)
+	stockClass(t, r)
+	tx, _ := tm.Begin()
+	obj, _ := r.New(tx, "STOCK", map[string]any{"qty": 5})
+	if _, err := r.Invoke(tx, obj, "sell_stock", 10); err == nil {
+		t.Fatal("overselling succeeded")
+	}
+	if got := obj.Attr("qty").(int); got != 5 {
+		t.Fatalf("qty=%d after failed sell", got)
+	}
+	_ = tx.Commit()
+}

@@ -1,0 +1,540 @@
+package object
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// The persistence manager keeps a small catalog in the storage manager:
+//
+//   - a fixed-location meta record (the first record ever inserted, page 0
+//     slot 0) holding the OID counter and the RIDs of the two maps below;
+//     it is fixed-size so updates never relocate it;
+//   - the OID index, a gob-encoded map OID -> RID;
+//   - the name map (the Open OODB name manager), a gob-encoded
+//     map name -> OID.
+//
+// Catalog mutations take an exclusive "catalog" lock in the calling
+// transaction, so aborts roll the maps back together with the data.
+
+const (
+	metaMagic   = "SENTOBJ1"
+	metaSize    = 8 + 8 + 8 + 8 // magic + nextOID + indexRID + nameRID
+	catalogLock = "catalog"
+)
+
+var metaRID = storage.RID{Page: 0, Slot: 0}
+
+type persistedObj struct {
+	Class string
+	Attrs map[string]any
+}
+
+func init() {
+	gob.Register(map[string]any{})
+	gob.Register(event.OID(0))
+}
+
+func encodeObj(obj *Instance) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(persistedObj{Class: obj.Class.Name, Attrs: obj.attrs}); err != nil {
+		return nil, fmt.Errorf("object: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeRID(b []byte, rid storage.RID) {
+	binary.LittleEndian.PutUint32(b, uint32(rid.Page))
+	binary.LittleEndian.PutUint16(b[4:], rid.Slot)
+}
+
+func decodeRID(b []byte) storage.RID {
+	return storage.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint32(b)),
+		Slot: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+type meta struct {
+	nextOID  uint64
+	indexRID storage.RID
+	nameRID  storage.RID
+}
+
+func (m meta) encode() []byte {
+	b := make([]byte, metaSize)
+	copy(b, metaMagic)
+	binary.LittleEndian.PutUint64(b[8:], m.nextOID)
+	encodeRID(b[16:], m.indexRID)
+	encodeRID(b[24:], m.nameRID)
+	return b
+}
+
+func decodeMeta(b []byte) (meta, error) {
+	if len(b) != metaSize || string(b[:8]) != metaMagic {
+		return meta{}, fmt.Errorf("object: record %v is not the catalog meta", metaRID)
+	}
+	return meta{
+		nextOID:  binary.LittleEndian.Uint64(b[8:]),
+		indexRID: decodeRID(b[16:]),
+		nameRID:  decodeRID(b[24:]),
+	}, nil
+}
+
+func encodeMap[K comparable, V any](m map[K]V) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("object: encode catalog map: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMap[K comparable, V any](b []byte) (map[K]V, error) {
+	var m map[K]V
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("object: decode catalog map: %w", err)
+	}
+	return m, nil
+}
+
+// InitCatalog creates the persistence catalog on a fresh store or
+// validates it on an existing one. It must run (in its own transaction)
+// before any objects are created and before any other record is inserted
+// into a fresh store.
+func (r *Registry) InitCatalog(tx *txn.Txn) error {
+	if r.store == nil {
+		return ErrNotPersistent
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	if data, err := tx.Read(metaRID); err == nil {
+		_, derr := decodeMeta(data)
+		return derr
+	}
+	idx, err := encodeMap(map[uint64]storage.RID{})
+	if err != nil {
+		return err
+	}
+	names, err := encodeMap(map[string]uint64{})
+	if err != nil {
+		return err
+	}
+	m := meta{nextOID: 1}
+	rid, err := tx.Insert(m.encode())
+	if err != nil {
+		return err
+	}
+	if rid != metaRID {
+		return fmt.Errorf("object: catalog meta landed at %v, want %v (store not fresh)", rid, metaRID)
+	}
+	if m.indexRID, err = tx.Insert(idx); err != nil {
+		return err
+	}
+	if m.nameRID, err = tx.Insert(names); err != nil {
+		return err
+	}
+	_, err = tx.Update(metaRID, m.encode())
+	return err
+}
+
+func (r *Registry) readMeta(tx *txn.Txn) (meta, error) {
+	data, err := tx.Read(metaRID)
+	if err != nil {
+		return meta{}, fmt.Errorf("object: catalog not initialised: %w", err)
+	}
+	return decodeMeta(data)
+}
+
+func (r *Registry) readIndex(tx *txn.Txn, m meta) (map[uint64]storage.RID, error) {
+	data, err := tx.Read(m.indexRID)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMap[uint64, storage.RID](data)
+}
+
+func (r *Registry) writeIndex(tx *txn.Txn, m meta, idx map[uint64]storage.RID) error {
+	data, err := encodeMap(idx)
+	if err != nil {
+		return err
+	}
+	newRID, err := tx.Update(m.indexRID, data)
+	if err != nil {
+		return err
+	}
+	if newRID != m.indexRID {
+		m.indexRID = newRID
+		if _, err := tx.Update(metaRID, m.encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) readNames(tx *txn.Txn, m meta) (map[string]uint64, error) {
+	data, err := tx.Read(m.nameRID)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMap[string, uint64](data)
+}
+
+func (r *Registry) writeNames(tx *txn.Txn, m meta, names map[string]uint64) error {
+	data, err := encodeMap(names)
+	if err != nil {
+		return err
+	}
+	newRID, err := tx.Update(m.nameRID, data)
+	if err != nil {
+		return err
+	}
+	if newRID != m.nameRID {
+		m.nameRID = newRID
+		if _, err := tx.Update(metaRID, m.encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New creates an object of the class with the given initial attributes and
+// returns it. With a store, the object is persisted under tx; without, it
+// lives in memory.
+func (r *Registry) New(tx *txn.Txn, class string, attrs map[string]any) (*Instance, error) {
+	c, err := r.Class(class)
+	if err != nil {
+		return nil, err
+	}
+	if attrs == nil {
+		attrs = map[string]any{}
+	}
+	cp := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	if r.store == nil {
+		r.mu.Lock()
+		r.memNextOID++
+		obj := &Instance{OID: r.memNextOID, Class: c, attrs: cp}
+		r.memObjects[obj.OID] = obj
+		r.mu.Unlock()
+		return obj, nil
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return nil, err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return nil, err
+	}
+	obj := &Instance{OID: event.OID(m.nextOID), Class: c, attrs: cp}
+	m.nextOID++
+	data, err := encodeObj(obj)
+	if err != nil {
+		return nil, err
+	}
+	rid, err := tx.Insert(data)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := r.readIndex(tx, m)
+	if err != nil {
+		return nil, err
+	}
+	idx[uint64(obj.OID)] = rid
+	if err := r.writeIndex(tx, m, idx); err != nil {
+		return nil, err
+	}
+	// Re-read meta: writeIndex may have relocated the index record.
+	m2, err := r.readMeta(tx)
+	if err != nil {
+		return nil, err
+	}
+	m2.nextOID = m.nextOID
+	if _, err := tx.Update(metaRID, m2.encode()); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// Load fetches the object with the given OID.
+func (r *Registry) Load(tx *txn.Txn, oid event.OID) (*Instance, error) {
+	if r.store == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if obj, ok := r.memObjects[oid]; ok {
+			return obj, nil
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Shared); err != nil {
+		return nil, err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := r.readIndex(tx, m)
+	if err != nil {
+		return nil, err
+	}
+	rid, ok := idx[uint64(oid)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+	}
+	data, err := tx.Read(rid)
+	if err != nil {
+		return nil, err
+	}
+	var p persistedObj
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("object: decode object %v: %w", oid, err)
+	}
+	c, err := r.Class(p.Class)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{OID: oid, Class: c, attrs: p.Attrs}, nil
+}
+
+// persist writes an object's current attribute state back to the store.
+func (r *Registry) persist(tx *txn.Txn, obj *Instance) error {
+	if r.store == nil {
+		return nil // memory mode: attrs are already live
+	}
+	if tx == nil {
+		return fmt.Errorf("object: persisting %v requires a transaction", obj.OID)
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return err
+	}
+	idx, err := r.readIndex(tx, m)
+	if err != nil {
+		return err
+	}
+	rid, ok := idx[uint64(obj.OID)]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, obj.OID)
+	}
+	data, err := encodeObj(obj)
+	if err != nil {
+		return err
+	}
+	newRID, err := tx.Update(rid, data)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		idx[uint64(obj.OID)] = newRID
+		if err := r.writeIndex(tx, m, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes an object.
+func (r *Registry) Delete(tx *txn.Txn, oid event.OID) error {
+	if r.store == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.memObjects[oid]; !ok {
+			return fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+		}
+		delete(r.memObjects, oid)
+		return nil
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return err
+	}
+	idx, err := r.readIndex(tx, m)
+	if err != nil {
+		return err
+	}
+	rid, ok := idx[uint64(oid)]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+	}
+	if err := tx.Delete(rid); err != nil {
+		return err
+	}
+	delete(idx, uint64(oid))
+	return r.writeIndex(tx, m, idx)
+}
+
+// ForEach visits every object of the class (and its subclasses when
+// includeSubclasses is set), in OID order — the class extent, which rule
+// conditions use to query database state. fn returning false stops the
+// scan.
+func (r *Registry) ForEach(tx *txn.Txn, class string, includeSubclasses bool, fn func(*Instance) bool) error {
+	matches := func(c *Class) bool {
+		if c.Name == class {
+			return true
+		}
+		if !includeSubclasses {
+			return false
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for cur := c; cur != nil && cur.Name != ""; {
+			if cur.Name == class {
+				return true
+			}
+			if cur.Super == "" {
+				return false
+			}
+			cur = r.classes[cur.Super]
+		}
+		return false
+	}
+	if r.store == nil {
+		r.mu.Lock()
+		oids := make([]event.OID, 0, len(r.memObjects))
+		for oid := range r.memObjects {
+			oids = append(oids, oid)
+		}
+		r.mu.Unlock()
+		sortOIDs(oids)
+		for _, oid := range oids {
+			r.mu.Lock()
+			obj := r.memObjects[oid]
+			r.mu.Unlock()
+			if obj == nil || !matches(obj.Class) {
+				continue
+			}
+			if !fn(obj) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Shared); err != nil {
+		return err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return err
+	}
+	idx, err := r.readIndex(tx, m)
+	if err != nil {
+		return err
+	}
+	oids := make([]event.OID, 0, len(idx))
+	for oid := range idx {
+		oids = append(oids, event.OID(oid))
+	}
+	sortOIDs(oids)
+	for _, oid := range oids {
+		obj, err := r.Load(tx, oid)
+		if err != nil {
+			return err
+		}
+		if !matches(obj.Class) {
+			continue
+		}
+		if !fn(obj) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func sortOIDs(oids []event.OID) {
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+}
+
+// Bind associates a name with an OID in the name manager.
+func (r *Registry) Bind(tx *txn.Txn, name string, oid event.OID) error {
+	if r.store == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.memNames[name] = oid
+		return nil
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return err
+	}
+	names, err := r.readNames(tx, m)
+	if err != nil {
+		return err
+	}
+	names[name] = uint64(oid)
+	return r.writeNames(tx, m, names)
+}
+
+// Resolve looks a name up in the name manager.
+func (r *Registry) Resolve(tx *txn.Txn, name string) (event.OID, error) {
+	if r.store == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if oid, ok := r.memNames[name]; ok {
+			return oid, nil
+		}
+		return 0, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Shared); err != nil {
+		return 0, err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return 0, err
+	}
+	names, err := r.readNames(tx, m)
+	if err != nil {
+		return 0, err
+	}
+	if oid, ok := names[name]; ok {
+		return event.OID(oid), nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownName, name)
+}
+
+// Unbind removes a name binding.
+func (r *Registry) Unbind(tx *txn.Txn, name string) error {
+	if r.store == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.memNames[name]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownName, name)
+		}
+		delete(r.memNames, name)
+		return nil
+	}
+	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	m, err := r.readMeta(tx)
+	if err != nil {
+		return err
+	}
+	names, err := r.readNames(tx, m)
+	if err != nil {
+		return err
+	}
+	if _, ok := names[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	delete(names, name)
+	return r.writeNames(tx, m, names)
+}

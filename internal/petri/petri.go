@@ -1,0 +1,209 @@
+// Package petri implements a SAMOS-style colored-Petri-net composite
+// event detector (Gatziu & Dittrich, ref [7] of the paper), used as the
+// baseline the Sentinel event-graph detector is benchmarked against.
+//
+// Each primitive event is an input place; each composite event is a
+// transition consuming tokens from its input places and depositing a
+// token (the composite occurrence) into its output place. Tokens are
+// coloured with the occurrence they carry; transitions consume the oldest
+// enabled token combination (chronicle-style), which is the SAMOS default.
+package petri
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Errors reported by the net builder.
+var (
+	ErrUnknownPlace = errors.New("petri: unknown place")
+	ErrDuplicate    = errors.New("petri: place already exists")
+)
+
+// place holds the unconsumed tokens of one event.
+type place struct {
+	name   string
+	tokens []*event.Occurrence
+	outs   []*transition // transitions consuming from this place
+	subs   []func(*event.Occurrence)
+}
+
+// transKind distinguishes the supported composite operators.
+type transKind int
+
+const (
+	transAnd transKind = iota
+	transSeq
+	transOr
+)
+
+// transition consumes input tokens and produces a composite token.
+type transition struct {
+	kind   transKind
+	inputs []*place
+	output *place
+}
+
+// Net is a colored Petri net for composite event detection.
+type Net struct {
+	places map[string]*place
+	// Detections counts produced composite tokens (benchmarks).
+	Detections uint64
+}
+
+// New creates an empty net.
+func New() *Net {
+	return &Net{places: make(map[string]*place)}
+}
+
+// AddPrimitive declares an input place for a primitive event.
+func (n *Net) AddPrimitive(name string) error {
+	return n.addPlace(name)
+}
+
+func (n *Net) addPlace(name string) error {
+	if _, dup := n.places[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	n.places[name] = &place{name: name}
+	return nil
+}
+
+func (n *Net) getPlaces(names []string) ([]*place, error) {
+	out := make([]*place, len(names))
+	for i, name := range names {
+		p, ok := n.places[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownPlace, name)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// addTransition wires a composite event: output place name, operator, and
+// input place names.
+func (n *Net) addTransition(name string, kind transKind, inputs []string) error {
+	ins, err := n.getPlaces(inputs)
+	if err != nil {
+		return err
+	}
+	if err := n.addPlace(name); err != nil {
+		return err
+	}
+	t := &transition{kind: kind, inputs: ins, output: n.places[name]}
+	for _, p := range ins {
+		p.outs = append(p.outs, t)
+	}
+	return nil
+}
+
+// AddAnd declares name = a ∧ b.
+func (n *Net) AddAnd(name, a, b string) error {
+	return n.addTransition(name, transAnd, []string{a, b})
+}
+
+// AddSeq declares name = a ; b.
+func (n *Net) AddSeq(name, a, b string) error {
+	return n.addTransition(name, transSeq, []string{a, b})
+}
+
+// AddOr declares name = a ∨ b.
+func (n *Net) AddOr(name, a, b string) error {
+	return n.addTransition(name, transOr, []string{a, b})
+}
+
+// Subscribe registers a callback on detections of the named event.
+func (n *Net) Subscribe(name string, fn func(*event.Occurrence)) error {
+	p, ok := n.places[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlace, name)
+	}
+	p.subs = append(p.subs, fn)
+	return nil
+}
+
+// Signal deposits a primitive occurrence into its place and fires enabled
+// transitions to fixpoint.
+func (n *Net) Signal(occ *event.Occurrence) error {
+	p, ok := n.places[occ.Name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlace, occ.Name)
+	}
+	n.deposit(p, occ)
+	return nil
+}
+
+// deposit adds a token and evaluates downstream transitions.
+func (n *Net) deposit(p *place, occ *event.Occurrence) {
+	p.tokens = append(p.tokens, occ)
+	for _, fn := range p.subs {
+		fn(occ)
+	}
+	for _, t := range p.outs {
+		n.fire(t)
+	}
+}
+
+// fire consumes enabled token combinations until the transition disables.
+func (n *Net) fire(t *transition) {
+	switch t.kind {
+	case transOr:
+		// OR propagates every token of either input immediately.
+		for _, in := range t.inputs {
+			for len(in.tokens) > 0 {
+				tok := in.tokens[0]
+				in.tokens = in.tokens[1:]
+				n.produce(t, []*event.Occurrence{tok})
+			}
+		}
+	case transAnd:
+		for len(t.inputs[0].tokens) > 0 && len(t.inputs[1].tokens) > 0 {
+			a := t.inputs[0].tokens[0]
+			b := t.inputs[1].tokens[0]
+			t.inputs[0].tokens = t.inputs[0].tokens[1:]
+			t.inputs[1].tokens = t.inputs[1].tokens[1:]
+			if a.Seq > b.Seq {
+				a, b = b, a
+			}
+			n.produce(t, []*event.Occurrence{a, b})
+		}
+	case transSeq:
+		for len(t.inputs[0].tokens) > 0 && len(t.inputs[1].tokens) > 0 {
+			a := t.inputs[0].tokens[0]
+			b := t.inputs[1].tokens[0]
+			if a.Seq >= b.Seq {
+				// Terminator predates the oldest initiator: the
+				// terminator token can never participate; drop it.
+				t.inputs[1].tokens = t.inputs[1].tokens[1:]
+				continue
+			}
+			t.inputs[0].tokens = t.inputs[0].tokens[1:]
+			t.inputs[1].tokens = t.inputs[1].tokens[1:]
+			n.produce(t, []*event.Occurrence{a, b})
+		}
+	}
+}
+
+func (n *Net) produce(t *transition, constituents []*event.Occurrence) {
+	last := constituents[len(constituents)-1]
+	occ := &event.Occurrence{
+		Name:         t.output.name,
+		Kind:         event.KindComposite,
+		Seq:          last.Seq,
+		Time:         last.Time,
+		Txn:          last.Txn,
+		Constituents: constituents,
+	}
+	n.Detections++
+	n.deposit(t.output, occ)
+}
+
+// Flush clears all tokens (transaction boundary).
+func (n *Net) Flush() {
+	for _, p := range n.places {
+		p.tokens = nil
+	}
+}

@@ -1,0 +1,155 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func occ(name string, seq uint64) *event.Occurrence {
+	return &event.Occurrence{Name: name, Kind: event.KindExplicit, Seq: seq}
+}
+
+func collect(t *testing.T, n *Net, name string) *[]*event.Occurrence {
+	t.Helper()
+	var got []*event.Occurrence
+	if err := n.Subscribe(name, func(o *event.Occurrence) { got = append(got, o) }); err != nil {
+		t.Fatal(err)
+	}
+	return &got
+}
+
+func build(t *testing.T, prims ...string) *Net {
+	t.Helper()
+	n := New()
+	for _, p := range prims {
+		if err := n.AddPrimitive(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestAndTransition(t *testing.T) {
+	n := build(t, "a", "b")
+	if err := n.AddAnd("x", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, n, "x")
+	if err := n.Signal(occ("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatal("AND fired on one token")
+	}
+	if err := n.Signal(occ("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || len((*got)[0].Constituents) != 2 {
+		t.Fatalf("got=%v", *got)
+	}
+	if n.Detections != 1 {
+		t.Fatalf("Detections=%d", n.Detections)
+	}
+}
+
+func TestAndOrderNormalized(t *testing.T) {
+	n := build(t, "a", "b")
+	_ = n.AddAnd("x", "a", "b")
+	got := collect(t, n, "x")
+	n.Signal(occ("b", 1))
+	n.Signal(occ("a", 2))
+	cs := (*got)[0].Constituents
+	if cs[0].Seq != 1 || cs[1].Seq != 2 {
+		t.Fatalf("constituents not in time order: %v", cs)
+	}
+}
+
+func TestSeqTransition(t *testing.T) {
+	n := build(t, "a", "b")
+	if err := n.AddSeq("x", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, n, "x")
+	n.Signal(occ("b", 1)) // terminator first: dropped, never fires
+	n.Signal(occ("a", 2))
+	if len(*got) != 0 {
+		t.Fatal("SEQ fired out of order")
+	}
+	n.Signal(occ("b", 3))
+	if len(*got) != 1 {
+		t.Fatalf("got=%d", len(*got))
+	}
+}
+
+func TestOrTransition(t *testing.T) {
+	n := build(t, "a", "b")
+	if err := n.AddOr("x", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, n, "x")
+	n.Signal(occ("a", 1))
+	n.Signal(occ("b", 2))
+	if len(*got) != 2 {
+		t.Fatalf("OR fired %d times", len(*got))
+	}
+}
+
+func TestNestedNet(t *testing.T) {
+	// (a AND b) ; c
+	n := build(t, "a", "b", "c")
+	_ = n.AddAnd("ab", "a", "b")
+	if err := n.AddSeq("x", "ab", "c"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, n, "x")
+	n.Signal(occ("a", 1))
+	n.Signal(occ("b", 2))
+	n.Signal(occ("c", 3))
+	if len(*got) != 1 {
+		t.Fatalf("nested detection=%d", len(*got))
+	}
+}
+
+func TestChronicleStyleConsumption(t *testing.T) {
+	n := build(t, "a", "b")
+	_ = n.AddSeq("x", "a", "b")
+	got := collect(t, n, "x")
+	n.Signal(occ("a", 1))
+	n.Signal(occ("a", 2))
+	n.Signal(occ("b", 3))
+	n.Signal(occ("b", 4))
+	n.Signal(occ("b", 5))
+	if len(*got) != 2 {
+		t.Fatalf("detections=%d want 2 (FIFO pairing)", len(*got))
+	}
+}
+
+func TestFlush(t *testing.T) {
+	n := build(t, "a", "b")
+	_ = n.AddAnd("x", "a", "b")
+	got := collect(t, n, "x")
+	n.Signal(occ("a", 1))
+	n.Flush()
+	n.Signal(occ("b", 2))
+	if len(*got) != 0 {
+		t.Fatal("flushed token participated")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	n := build(t, "a")
+	if err := n.AddPrimitive("a"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup place: %v", err)
+	}
+	if err := n.AddAnd("x", "a", "ghost"); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("unknown input: %v", err)
+	}
+	if err := n.Subscribe("ghost", nil); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("subscribe unknown: %v", err)
+	}
+	if err := n.Signal(occ("ghost", 1)); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("signal unknown: %v", err)
+	}
+}

@@ -1,0 +1,617 @@
+// Package rules implements Sentinel's rule manager: ECA rule definition
+// with the paper's optional attributes (parameter context, coupling mode,
+// priority, rule trigger mode), runtime activation and deactivation, the
+// deferred-to-immediate rewrite via the A* operator, condition-side event
+// masking, and execution of each triggered rule as a subtransaction on the
+// priority scheduler.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// CouplingMode decides when a triggered rule's condition-action pair runs
+// relative to the triggering transaction (HiPAC's coupling modes).
+type CouplingMode int
+
+// Coupling modes.
+const (
+	// Immediate runs the rule at the next scheduling point, inside a
+	// subtransaction of the triggering transaction, which is suspended.
+	Immediate CouplingMode = iota
+	// Deferred postpones the rule to just before the triggering
+	// transaction commits. Sentinel implements it by rewriting the event
+	// to A*(beginTransaction, E, preCommitTransaction).
+	Deferred
+	// Detached runs the rule in a separate top-level transaction,
+	// asynchronously with the triggering one.
+	Detached
+)
+
+// String returns the Sentinel keyword for the mode.
+func (m CouplingMode) String() string {
+	switch m {
+	case Immediate:
+		return "IMMEDIATE"
+	case Deferred:
+		return "DEFERRED"
+	case Detached:
+		return "DETACHED"
+	default:
+		return fmt.Sprintf("CouplingMode(%d)", int(m))
+	}
+}
+
+// ParseCoupling converts a Sentinel keyword to a CouplingMode.
+func ParseCoupling(s string) (CouplingMode, error) {
+	switch {
+	case eq(s, "IMMEDIATE"), s == "":
+		return Immediate, nil
+	case eq(s, "DEFERRED"):
+		return Deferred, nil
+	case eq(s, "DETACHED"):
+		return Detached, nil
+	default:
+		return Immediate, fmt.Errorf("rules: unknown coupling mode %q", s)
+	}
+}
+
+// TriggerMode decides which event occurrences may trigger the rule
+// relative to its definition time.
+type TriggerMode int
+
+// Trigger modes.
+const (
+	// Now only considers constituent occurrences from the rule's
+	// definition instant onward (the default).
+	Now TriggerMode = iota
+	// Previous also accepts occurrences that temporally precede the rule
+	// definition (possible when the event expression predates the rule).
+	Previous
+)
+
+// String returns the Sentinel keyword for the mode.
+func (m TriggerMode) String() string {
+	switch m {
+	case Now:
+		return "NOW"
+	case Previous:
+		return "PREVIOUS"
+	default:
+		return fmt.Sprintf("TriggerMode(%d)", int(m))
+	}
+}
+
+// ParseTrigger converts a Sentinel keyword to a TriggerMode.
+func ParseTrigger(s string) (TriggerMode, error) {
+	switch {
+	case eq(s, "NOW"), s == "":
+		return Now, nil
+	case eq(s, "PREVIOUS"):
+		return Previous, nil
+	default:
+		return Now, fmt.Errorf("rules: unknown trigger mode %q", s)
+	}
+}
+
+func eq(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 32
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Visibility scopes a class-owned rule — the paper's future-work item
+// "expanding the rule management support to public, private, and
+// protected rules", realized against the class hierarchy:
+//
+//   - Public rules fire for any matching occurrence (the default).
+//   - Protected rules fire only when every method-event constituent comes
+//     from the owning class or one of its subclasses.
+//   - Private rules fire only for the owning class itself, not its
+//     subclasses.
+type Visibility int
+
+// Rule visibilities.
+const (
+	// Public rules are unrestricted.
+	Public Visibility = iota
+	// Protected rules cover the owning class's subtree.
+	Protected
+	// Private rules cover exactly the owning class.
+	Private
+)
+
+// String returns the keyword for the visibility.
+func (v Visibility) String() string {
+	switch v {
+	case Public:
+		return "PUBLIC"
+	case Protected:
+		return "PROTECTED"
+	case Private:
+		return "PRIVATE"
+	default:
+		return fmt.Sprintf("Visibility(%d)", int(v))
+	}
+}
+
+// ParseVisibility converts a keyword to a Visibility.
+func ParseVisibility(s string) (Visibility, error) {
+	switch {
+	case eq(s, "PUBLIC"), s == "":
+		return Public, nil
+	case eq(s, "PROTECTED"):
+		return Protected, nil
+	case eq(s, "PRIVATE"):
+		return Private, nil
+	default:
+		return Public, fmt.Errorf("rules: unknown visibility %q", s)
+	}
+}
+
+// Execution is the information a rule's condition and action receive: the
+// triggering occurrence (with the full constituent parameter lists), the
+// detection context, and the subtransaction the rule runs in. Database
+// operations performed by the action must go through Txn so that nested
+// rule triggerings are attributed and scheduled correctly.
+type Execution struct {
+	Rule       *Rule
+	Occurrence *event.Occurrence
+	Context    detector.Context
+	Txn        *txn.Txn
+	task       *sched.Task
+}
+
+// Params returns the parameter lists of every constituent primitive
+// occurrence, in detection order (the paper's linked PARA_LIST).
+func (e *Execution) Params() []event.ParamList { return e.Occurrence.AllParams() }
+
+// Condition is a rule condition: side-effect free, returns whether the
+// action should run. A nil Condition is treated as "true".
+type Condition func(*Execution) bool
+
+// Action is a rule action. A non-nil error aborts the rule's
+// subtransaction (its database effects are rolled back).
+type Action func(*Execution) error
+
+// Spec describes a rule to Define. Zero values give the paper's defaults:
+// RECENT context, IMMEDIATE coupling, priority 0, NOW trigger mode.
+type Spec struct {
+	Name      string
+	Event     string // name of a defined event
+	Condition Condition
+	Action    Action
+	Context   detector.Context
+	Coupling  CouplingMode
+	Priority  int
+	Trigger   TriggerMode
+	// Class, when non-empty, makes this a class-owned rule subject to
+	// Visibility scoping against the class hierarchy.
+	Class      string
+	Visibility Visibility
+}
+
+// Errors reported by the rule manager.
+var (
+	ErrDuplicateRule = errors.New("rules: rule already defined")
+	ErrUnknownRule   = errors.New("rules: unknown rule")
+	ErrNoAction      = errors.New("rules: rule needs an action")
+)
+
+// Rule is a defined ECA rule.
+type Rule struct {
+	mgr       *Manager
+	name      string
+	eventName string // the event subscribed to (rewritten for deferred)
+	userEvent string // the event the user named
+	cond      Condition
+	action    Action
+	ctx       detector.Context
+	coupling  CouplingMode
+	priority  int
+	trigger   TriggerMode
+	class     string
+	vis       Visibility
+
+	mu      sync.Mutex
+	enabled bool
+	minSeq  uint64
+	unsub   func()
+
+	// Fired counts completed executions (condition evaluated), for tests
+	// and the debugger.
+	fired uint64
+}
+
+// Name returns the rule's name.
+func (r *Rule) Name() string { return r.name }
+
+// Event returns the name of the event the user defined the rule on.
+func (r *Rule) Event() string { return r.userEvent }
+
+// Coupling returns the rule's coupling mode.
+func (r *Rule) Coupling() CouplingMode { return r.coupling }
+
+// Priority returns the rule's priority class.
+func (r *Rule) Priority() int { return r.priority }
+
+// Context returns the rule's parameter context.
+func (r *Rule) Context() detector.Context { return r.ctx }
+
+// Enabled reports whether the rule currently fires.
+func (r *Rule) Enabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enabled
+}
+
+// Fired returns the number of completed executions.
+func (r *Rule) Fired() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired
+}
+
+// Manager owns the rule catalog and drives rule execution.
+type Manager struct {
+	det   *detector.Detector
+	txns  *txn.Manager
+	sched *sched.Scheduler
+
+	mu       sync.Mutex
+	rules    map[string]*Rule
+	running  map[uint64]*sched.Task // rule subtxn id -> its task
+	detached sync.WaitGroup
+
+	// OnError receives errors from rule executions (aborted actions,
+	// subtransaction failures). Default: discard.
+	OnError func(rule string, err error)
+}
+
+// NewManager wires a rule manager to its detector, transaction manager and
+// scheduler.
+func NewManager(det *detector.Detector, txns *txn.Manager, s *sched.Scheduler) *Manager {
+	return &Manager{
+		det:     det,
+		txns:    txns,
+		sched:   s,
+		rules:   make(map[string]*Rule),
+		running: make(map[uint64]*sched.Task),
+	}
+}
+
+// Scheduler returns the rule scheduler (the facade drains it at
+// scheduling points).
+func (m *Manager) Scheduler() *sched.Scheduler { return m.sched }
+
+// Define creates, registers and enables a rule.
+func (m *Manager) Define(spec Spec) (*Rule, error) {
+	if spec.Action == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoAction, spec.Name)
+	}
+	m.mu.Lock()
+	if _, dup := m.rules[spec.Name]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateRule, spec.Name)
+	}
+	m.mu.Unlock()
+
+	eventName := spec.Event
+	if spec.Coupling == Deferred {
+		// The Sentinel pre-processor rewrite: deferred on E becomes
+		// immediate on A*(beginTransaction, E, preCommitTransaction).
+		rewritten, err := m.deferredEvent(spec.Name, spec.Event)
+		if err != nil {
+			return nil, err
+		}
+		eventName = rewritten
+	} else if _, err := m.det.Lookup(spec.Event); err != nil {
+		return nil, err
+	}
+
+	if spec.Class == "" && spec.Visibility != Public {
+		return nil, fmt.Errorf("rules: %q: %v visibility requires an owning class", spec.Name, spec.Visibility)
+	}
+	r := &Rule{
+		mgr:       m,
+		name:      spec.Name,
+		eventName: eventName,
+		userEvent: spec.Event,
+		cond:      spec.Condition,
+		action:    spec.Action,
+		ctx:       spec.Context,
+		coupling:  spec.Coupling,
+		priority:  spec.Priority,
+		trigger:   spec.Trigger,
+		class:     spec.Class,
+		vis:       spec.Visibility,
+	}
+	if err := r.Enable(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.rules[spec.Name] = r
+	m.mu.Unlock()
+	return r, nil
+}
+
+// deferredEvent builds (or reuses) the A* rewrite event for a deferred
+// rule and returns its name.
+func (m *Manager) deferredEvent(rule, userEvent string) (string, error) {
+	e, err := m.det.Lookup(userEvent)
+	if err != nil {
+		return "", err
+	}
+	bt, err := m.det.TransactionEvent(event.BeginTransaction)
+	if err != nil {
+		return "", err
+	}
+	pc, err := m.det.TransactionEvent(event.PreCommit)
+	if err != nil {
+		return "", err
+	}
+	name := "A*(beginTransaction," + userEvent + ",preCommitTransaction)"
+	if _, err := m.det.AStar(name, bt, e, pc); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Get returns a defined rule.
+func (m *Manager) Get(name string) (*Rule, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.rules[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownRule, name)
+}
+
+// Rules returns the names of all defined rules.
+func (m *Manager) Rules() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.rules))
+	for n := range m.rules {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Drop disables and removes a rule.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	r, ok := m.rules[name]
+	delete(m.rules, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRule, name)
+	}
+	r.Disable()
+	return nil
+}
+
+// WaitDetached blocks until every in-flight detached rule finished; the
+// facade calls it on close.
+func (m *Manager) WaitDetached() { m.detached.Wait() }
+
+// Enable (re)activates the rule. In NOW trigger mode only occurrences
+// from this instant onward are considered.
+func (r *Rule) Enable() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.enabled {
+		return nil
+	}
+	unsub, err := r.mgr.det.Subscribe(r.eventName, r.ctx, r)
+	if err != nil {
+		return err
+	}
+	r.unsub = unsub
+	r.enabled = true
+	if r.trigger == Now {
+		r.minSeq = r.mgr.det.SeqNow() + 1
+	} else {
+		r.minSeq = 0
+	}
+	return nil
+}
+
+// Disable deactivates the rule: it unsubscribes from the event graph, so
+// the per-node context counters drop and detection in this context stops
+// if no other rule needs it.
+func (r *Rule) Disable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.unsub()
+	r.unsub = nil
+	r.enabled = false
+}
+
+// inScope applies the rule's visibility: every method-event constituent
+// must come from the owning class (private) or its subtree (protected).
+// Non-method constituents (transaction, explicit, temporal events) carry
+// no class and pass.
+func (r *Rule) inScope(occ *event.Occurrence) bool {
+	if r.class == "" || r.vis == Public {
+		return true
+	}
+	for _, leaf := range occ.Leaves() {
+		if leaf.Kind != event.KindMethod {
+			continue
+		}
+		switch r.vis {
+		case Private:
+			if leaf.Class != r.class {
+				return false
+			}
+		case Protected:
+			if !r.mgr.det.IsSubclass(leaf.Class, r.class) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Name, Visibility and Class accessors for introspection.
+
+// Class returns the owning class ("" for application-level rules).
+func (r *Rule) Class() string { return r.class }
+
+// Visibility returns the rule's scope.
+func (r *Rule) Visibility() Visibility { return r.vis }
+
+// Notify implements detector.Subscriber: it packages the triggered rule as
+// a scheduler task (or a detached goroutine). It runs under the detector
+// lock, so it only enqueues.
+func (r *Rule) Notify(occ *event.Occurrence, ctx detector.Context) {
+	r.mu.Lock()
+	if !r.enabled || occ.StartSeq() < r.minSeq {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	m := r.mgr
+	if r.coupling == Detached {
+		m.detached.Add(1)
+		go func() {
+			defer m.detached.Done()
+			m.runDetached(r, occ, ctx)
+		}()
+		return
+	}
+
+	// Parent: the transaction the occurrence was signalled under. If it
+	// was a rule's subtransaction, this is a nested triggering: the new
+	// rule becomes a child subtransaction and its effective priority
+	// derives from the triggering rule's (depth-first execution).
+	m.mu.Lock()
+	parentTask := m.running[occ.Txn]
+	m.mu.Unlock()
+	var prio sched.Path
+	if parentTask != nil {
+		prio = parentTask.Priority.Child(r.priority)
+	} else {
+		prio = sched.Path{r.priority}
+	}
+	task := &sched.Task{Rule: r.name, Priority: prio}
+	task.Run = func(t *sched.Task) { m.execute(r, occ, ctx, t) }
+	m.sched.Enqueue(task)
+}
+
+// execute runs one triggered rule inside a fresh subtransaction of the
+// triggering transaction (Figure 3 of the paper: condition and action
+// packaged as the body of the thread, bracketed by begin/end
+// subtransaction).
+func (m *Manager) execute(r *Rule, occ *event.Occurrence, ctx detector.Context, t *sched.Task) {
+	if !r.inScope(occ) {
+		return
+	}
+	parent := m.txns.Lookup(occ.Txn)
+	var sub *txn.Txn
+	var err error
+	if parent != nil {
+		sub, err = parent.BeginSub()
+	} else {
+		// Occurrence outside any live transaction (e.g. explicit event
+		// with no txn): run the rule in its own top-level transaction.
+		sub, err = m.txns.Begin()
+	}
+	if err != nil {
+		m.reportError(r.name, fmt.Errorf("begin rule subtransaction: %w", err))
+		return
+	}
+	m.mu.Lock()
+	m.running[sub.ID()] = t
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.running, sub.ID())
+		m.mu.Unlock()
+	}()
+	m.runBody(r, &Execution{Rule: r, Occurrence: occ, Context: ctx, Txn: sub, task: t})
+}
+
+// runDetached executes a detached rule in its own top-level transaction.
+func (m *Manager) runDetached(r *Rule, occ *event.Occurrence, ctx detector.Context) {
+	if !r.inScope(occ) {
+		return
+	}
+	top, err := m.txns.Begin()
+	if err != nil {
+		m.reportError(r.name, fmt.Errorf("begin detached transaction: %w", err))
+		return
+	}
+	m.runBody(r, &Execution{Rule: r, Occurrence: occ, Context: ctx, Txn: top})
+}
+
+// runBody evaluates the condition (with the detector masked, §3.2.1) and,
+// if true, the action; the subtransaction commits unless the action failed
+// or panicked.
+func (m *Manager) runBody(r *Rule, exec *Execution) {
+	committed := false
+	defer func() {
+		if p := recover(); p != nil {
+			_ = exec.Txn.Abort()
+			m.reportError(r.name, fmt.Errorf("rule panicked: %v", p))
+		} else if !committed {
+			_ = exec.Txn.Abort()
+		}
+	}()
+
+	ok := true
+	if r.cond != nil {
+		m.det.SetMasked(true)
+		ok = r.cond(exec)
+		m.det.SetMasked(false)
+	}
+	var actErr error
+	if ok {
+		actErr = r.action(exec)
+	}
+	r.mu.Lock()
+	r.fired++
+	r.mu.Unlock()
+	if actErr != nil {
+		_ = exec.Txn.Abort()
+		committed = true // finished (aborted) — don't double-abort
+		m.reportError(r.name, actErr)
+		return
+	}
+	if err := exec.Txn.Commit(); err != nil {
+		m.reportError(r.name, fmt.Errorf("commit rule subtransaction: %w", err))
+		return
+	}
+	committed = true
+}
+
+func (m *Manager) reportError(rule string, err error) {
+	if m.OnError != nil {
+		m.OnError(rule, err)
+	}
+}

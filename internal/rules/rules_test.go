@@ -1,0 +1,568 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// env bundles the subsystems a rule manager needs.
+type env struct {
+	det   *detector.Detector
+	txns  *txn.Manager
+	sched *sched.Scheduler
+	rules *Manager
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	d := detector.New()
+	d.DeclareClass("C", "")
+	for _, e := range []string{"e1", "e2", "e3"} {
+		if _, err := d.DefinePrimitive(e, "C", "m"+e[1:], event.End, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tm := txn.NewManager(nil, lockmgr.New())
+	s := sched.New(4)
+	m := NewManager(d, tm, s)
+	ev := &env{det: d, txns: tm, sched: s, rules: m}
+	// Wire transaction events into the detector, like the facade does.
+	tm.SetListener(func(name string, id uint64) {
+		d.SignalTxn(name, id)
+		if name == "preCommitTransaction" {
+			s.Drain()
+		}
+	})
+	return ev
+}
+
+// sig signals eN under the given transaction and drains the scheduler
+// (the facade's scheduling point after a reactive method returns).
+func (e *env) sig(name string, tx *txn.Txn) {
+	id := uint64(0)
+	if tx != nil {
+		id = tx.ID()
+	}
+	e.det.SignalMethod("C", "m"+name[1:], event.End, 1, event.NewParams("src", name), id)
+	e.sched.Drain()
+}
+
+func TestModeStringsAndParsing(t *testing.T) {
+	if Immediate.String() != "IMMEDIATE" || Deferred.String() != "DEFERRED" || Detached.String() != "DETACHED" {
+		t.Fatal("coupling strings")
+	}
+	if Now.String() != "NOW" || Previous.String() != "PREVIOUS" {
+		t.Fatal("trigger strings")
+	}
+	if !strings.Contains(CouplingMode(9).String(), "9") || !strings.Contains(TriggerMode(9).String(), "9") {
+		t.Fatal("unknown mode strings")
+	}
+	for _, c := range []struct {
+		in   string
+		want CouplingMode
+	}{{"immediate", Immediate}, {"DEFERRED", Deferred}, {"Detached", Detached}, {"", Immediate}} {
+		got, err := ParseCoupling(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseCoupling(%q)=%v,%v", c.in, got, err)
+		}
+	}
+	if _, err := ParseCoupling("zzz"); err == nil {
+		t.Fatal("ParseCoupling(zzz)")
+	}
+	for _, c := range []struct {
+		in   string
+		want TriggerMode
+	}{{"now", Now}, {"PREVIOUS", Previous}, {"", Now}} {
+		got, err := ParseTrigger(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseTrigger(%q)=%v,%v", c.in, got, err)
+		}
+	}
+	if _, err := ParseTrigger("zzz"); err == nil {
+		t.Fatal("ParseTrigger(zzz)")
+	}
+}
+
+func TestImmediateRuleFires(t *testing.T) {
+	e := newEnv(t)
+	var mu sync.Mutex
+	var got []string
+	_, err := e.rules.Define(Spec{
+		Name:  "R1",
+		Event: "e1",
+		Action: func(x *Execution) error {
+			mu.Lock()
+			defer mu.Unlock()
+			v, _ := x.Params()[0].Get("src")
+			got = append(got, v.(string))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if len(got) != 1 || got[0] != "e1" {
+		t.Fatalf("rule executions: %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionGatesAction(t *testing.T) {
+	e := newEnv(t)
+	var ran int
+	_, err := e.rules.Define(Spec{
+		Name:      "R",
+		Event:     "e1",
+		Condition: func(x *Execution) bool { v, _ := x.Params()[0].Get("src"); return v.(string) == "never" },
+		Action:    func(*Execution) error { ran++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if ran != 0 {
+		t.Fatal("action ran despite false condition")
+	}
+	r, _ := e.rules.Get("R")
+	if r.Fired() != 1 {
+		t.Fatalf("Fired=%d (condition evaluation counts)", r.Fired())
+	}
+	_ = tx.Commit()
+}
+
+func TestConditionMasksEvents(t *testing.T) {
+	// Events signalled while a condition runs must not be acknowledged.
+	e := newEnv(t)
+	var e2Fires int
+	if _, err := e.rules.Define(Spec{
+		Name:   "Watcher",
+		Event:  "e2",
+		Action: func(*Execution) error { e2Fires++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{
+		Name:  "Prober",
+		Event: "e1",
+		Condition: func(x *Execution) bool {
+			// A condition invoking an event-generating method: masked.
+			e.det.SignalMethod("C", "m2", event.End, 1, nil, x.Occurrence.Txn)
+			return true
+		},
+		Action: func(*Execution) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if e2Fires != 0 {
+		t.Fatalf("masked condition still triggered a rule %d times", e2Fires)
+	}
+	// And signalling e2 outside a condition still works.
+	e.sig("e2", tx)
+	if e2Fires != 1 {
+		t.Fatalf("masking stuck: %d", e2Fires)
+	}
+	_ = tx.Commit()
+}
+
+func TestMultipleRulesOneEvent(t *testing.T) {
+	e := newEnv(t)
+	var mu sync.Mutex
+	var ran []string
+	for _, name := range []string{"A", "B", "C"} {
+		name := name
+		if _, err := e.rules.Define(Spec{
+			Name:  name,
+			Event: "e1",
+			Action: func(*Execution) error {
+				mu.Lock()
+				ran = append(ran, name)
+				mu.Unlock()
+				return nil
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if len(ran) != 3 {
+		t.Fatalf("ran=%v", ran)
+	}
+	_ = tx.Commit()
+}
+
+func TestPrioritySerialOrder(t *testing.T) {
+	e := newEnv(t)
+	e.sched.Serial = true
+	var ran []string
+	for _, rc := range []struct {
+		name string
+		prio int
+	}{{"low", 1}, {"high", 9}, {"mid", 5}} {
+		rc := rc
+		if _, err := e.rules.Define(Spec{
+			Name:     rc.name,
+			Event:    "e1",
+			Priority: rc.prio,
+			Action:   func(*Execution) error { ran = append(ran, rc.name); return nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("ran=%v want %v", ran, want)
+		}
+	}
+	_ = tx.Commit()
+}
+
+func TestDeferredRunsOncePerTxnAtPreCommit(t *testing.T) {
+	e := newEnv(t)
+	var runs int
+	var leaves int
+	if _, err := e.rules.Define(Spec{
+		Name:     "Def",
+		Event:    "e1",
+		Coupling: Deferred,
+		Context:  detector.Cumulative,
+		Action: func(x *Execution) error {
+			runs++
+			leaves = len(x.Occurrence.Leaves())
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	e.sig("e1", tx)
+	e.sig("e1", tx)
+	if runs != 0 {
+		t.Fatalf("deferred rule ran before commit: %d", runs)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("deferred rule ran %d times, want exactly 1", runs)
+	}
+	if leaves != 5 { // beginTxn + 3×e1 + preCommit
+		t.Fatalf("deferred composite leaves=%d want 5", leaves)
+	}
+
+	// A transaction without e1 must not fire the deferred rule.
+	tx2, _ := e.txns.Begin()
+	e.sig("e2", tx2)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("deferred rule fired without its event: %d", runs)
+	}
+}
+
+func TestDetachedRunsInOwnTransaction(t *testing.T) {
+	e := newEnv(t)
+	done := make(chan uint64, 1)
+	if _, err := e.rules.Define(Spec{
+		Name:     "Det",
+		Event:    "e1",
+		Coupling: Detached,
+		Action: func(x *Execution) error {
+			done <- x.Txn.ID()
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	select {
+	case id := <-done:
+		if id == tx.ID() {
+			t.Fatal("detached rule ran inside the triggering transaction")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("detached rule never ran")
+	}
+	e.rules.WaitDetached()
+	_ = tx.Commit()
+}
+
+func TestNestedRuleTriggering(t *testing.T) {
+	// R1's action raises e2, triggering R2 — nested, depth-first.
+	e := newEnv(t)
+	e.sched.Serial = true
+	var ran []string
+	if _, err := e.rules.Define(Spec{
+		Name:  "R1",
+		Event: "e1",
+		Action: func(x *Execution) error {
+			ran = append(ran, "R1")
+			// Signal from inside the rule, under the rule's subtxn.
+			e.det.SignalMethod("C", "m2", event.End, 1, nil, x.Txn.ID())
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{
+		Name:   "R2",
+		Event:  "e2",
+		Action: func(*Execution) error { ran = append(ran, "R2"); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if len(ran) != 2 || ran[0] != "R1" || ran[1] != "R2" {
+		t.Fatalf("ran=%v", ran)
+	}
+	_ = tx.Commit()
+}
+
+func TestNestedDepthFirstBeforeSiblings(t *testing.T) {
+	e := newEnv(t)
+	e.sched.Serial = true
+	var ran []string
+	// Two rules on e1: High (prio 9, spawns a child via e2), Low (prio 1).
+	if _, err := e.rules.Define(Spec{
+		Name: "High", Event: "e1", Priority: 9,
+		Action: func(x *Execution) error {
+			ran = append(ran, "High")
+			e.det.SignalMethod("C", "m2", event.End, 1, nil, x.Txn.ID())
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{
+		Name: "Low", Event: "e1", Priority: 1,
+		Action: func(*Execution) error { ran = append(ran, "Low"); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{
+		Name: "Child", Event: "e2", Priority: 5,
+		Action: func(*Execution) error { ran = append(ran, "Child"); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	want := []string{"High", "Child", "Low"}
+	for i := range want {
+		if i >= len(ran) || ran[i] != want[i] {
+			t.Fatalf("ran=%v want %v", ran, want)
+		}
+	}
+	_ = tx.Commit()
+}
+
+func TestEnableDisable(t *testing.T) {
+	e := newEnv(t)
+	var runs int
+	r, err := e.rules.Define(Spec{
+		Name:   "R",
+		Event:  "e1",
+		Action: func(*Execution) error { runs++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	r.Disable()
+	if r.Enabled() {
+		t.Fatal("still enabled")
+	}
+	e.sig("e1", tx)
+	if err := r.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	e.sig("e1", tx)
+	if runs != 2 {
+		t.Fatalf("runs=%d want 2", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestTriggerModeNowIgnoresPastOccurrences(t *testing.T) {
+	// Two rules on the same SEQ event: one defined after the initiator
+	// occurred with NOW (must not fire for that initiator), one with
+	// PREVIOUS (fires).
+	e := newEnv(t)
+	e1, _ := e.det.Lookup("e1")
+	e2, _ := e.det.Lookup("e2")
+	if _, err := e.det.Seq("s", e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	// An always-on rule keeps the chronicle context live so state exists
+	// before the other rules are defined.
+	if _, err := e.rules.Define(Spec{
+		Name: "keeper", Event: "s", Context: detector.Chronicle,
+		Action: func(*Execution) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx) // initiator occurs BEFORE the rules are defined
+
+	var nowRuns, prevRuns int
+	if _, err := e.rules.Define(Spec{
+		Name: "NowRule", Event: "s", Context: detector.Chronicle, Trigger: Now,
+		Action: func(*Execution) error { nowRuns++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{
+		Name: "PrevRule", Event: "s", Context: detector.Chronicle, Trigger: Previous,
+		Action: func(*Execution) error { prevRuns++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.sig("e2", tx) // terminator
+	if prevRuns != 1 {
+		t.Fatalf("PREVIOUS rule runs=%d want 1", prevRuns)
+	}
+	if nowRuns != 0 {
+		t.Fatalf("NOW rule fired on a pre-definition initiator (%d)", nowRuns)
+	}
+	_ = tx.Commit()
+}
+
+func TestRuleActionErrorAbortsSubtransaction(t *testing.T) {
+	e := newEnv(t)
+	var reported error
+	var mu sync.Mutex
+	e.rules.OnError = func(rule string, err error) {
+		mu.Lock()
+		reported = err
+		mu.Unlock()
+	}
+	boom := errors.New("boom")
+	if _, err := e.rules.Define(Spec{
+		Name:   "R",
+		Event:  "e1",
+		Action: func(*Execution) error { return boom },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(reported, boom) {
+		t.Fatalf("reported=%v", reported)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("triggering txn must survive rule failure: %v", err)
+	}
+}
+
+func TestRulePanicRecovered(t *testing.T) {
+	e := newEnv(t)
+	var reported error
+	e.rules.OnError = func(rule string, err error) { reported = err }
+	if _, err := e.rules.Define(Spec{
+		Name:   "R",
+		Event:  "e1",
+		Action: func(*Execution) error { panic("kaboom") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if reported == nil || !strings.Contains(reported.Error(), "kaboom") {
+		t.Fatalf("reported=%v", reported)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.rules.Define(Spec{Name: "R", Event: "e1"}); !errors.Is(err, ErrNoAction) {
+		t.Fatalf("no action: %v", err)
+	}
+	act := func(*Execution) error { return nil }
+	if _, err := e.rules.Define(Spec{Name: "R", Event: "ghost", Action: act}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if _, err := e.rules.Define(Spec{Name: "R", Event: "e1", Action: act}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rules.Define(Spec{Name: "R", Event: "e2", Action: act}); !errors.Is(err, ErrDuplicateRule) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := e.rules.Get("nope"); !errors.Is(err, ErrUnknownRule) {
+		t.Fatalf("Get unknown: %v", err)
+	}
+	if err := e.rules.Drop("nope"); !errors.Is(err, ErrUnknownRule) {
+		t.Fatalf("Drop unknown: %v", err)
+	}
+	if err := e.rules.Drop("R"); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.rules.Rules()) != 0 {
+		t.Fatalf("Rules=%v", e.rules.Rules())
+	}
+}
+
+func TestDroppedRuleStopsFiring(t *testing.T) {
+	e := newEnv(t)
+	var runs int
+	if _, err := e.rules.Define(Spec{
+		Name: "R", Event: "e1",
+		Action: func(*Execution) error { runs++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	if err := e.rules.Drop("R"); err != nil {
+		t.Fatal(err)
+	}
+	e.sig("e1", tx)
+	if runs != 1 {
+		t.Fatalf("runs=%d want 1", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestRuleAccessors(t *testing.T) {
+	e := newEnv(t)
+	r, err := e.rules.Define(Spec{
+		Name: "R", Event: "e1", Priority: 7, Coupling: Deferred,
+		Context: detector.Cumulative,
+		Action:  func(*Execution) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "R" || r.Event() != "e1" || r.Priority() != 7 ||
+		r.Coupling() != Deferred || r.Context() != detector.Cumulative || !r.Enabled() {
+		t.Fatalf("accessors: %+v", r)
+	}
+}

@@ -1,0 +1,168 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestVisibilityStrings(t *testing.T) {
+	if Public.String() != "PUBLIC" || Protected.String() != "PROTECTED" || Private.String() != "PRIVATE" {
+		t.Fatal("visibility strings")
+	}
+	if !strings.Contains(Visibility(9).String(), "9") {
+		t.Fatal("unknown visibility")
+	}
+	for _, c := range []struct {
+		in   string
+		want Visibility
+	}{{"public", Public}, {"PROTECTED", Protected}, {"Private", Private}, {"", Public}} {
+		got, err := ParseVisibility(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseVisibility(%q)=%v,%v", c.in, got, err)
+		}
+	}
+	if _, err := ParseVisibility("zzz"); err == nil {
+		t.Fatal("ParseVisibility(zzz)")
+	}
+}
+
+// hierEnv builds SECURITY <- STOCK <- TECH_STOCK with a class-level event
+// on SECURITY.trade that fires for the whole subtree.
+func hierEnv(t *testing.T) *env {
+	t.Helper()
+	e := newEnv(t)
+	e.det.DeclareClass("SECURITY", "")
+	e.det.DeclareClass("STOCK", "SECURITY")
+	e.det.DeclareClass("TECH_STOCK", "STOCK")
+	if _, err := e.det.DefinePrimitive("trade", "SECURITY", "trade", event.End, 0); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (e *env) trade(class string, tx uint64) {
+	e.det.SignalMethod(class, "trade", event.End, 1, nil, tx)
+	e.sched.Drain()
+}
+
+func TestPrivateRuleFiresOnlyForOwningClass(t *testing.T) {
+	e := hierEnv(t)
+	var runs []string
+	if _, err := e.rules.Define(Spec{
+		Name: "P", Event: "trade", Class: "STOCK", Visibility: Private,
+		Action: func(x *Execution) error {
+			runs = append(runs, x.Occurrence.Leaves()[0].Class)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.trade("SECURITY", tx.ID())   // superclass: out of scope
+	e.trade("STOCK", tx.ID())      // owning class: fires
+	e.trade("TECH_STOCK", tx.ID()) // subclass: out of scope for private
+	if len(runs) != 1 || runs[0] != "STOCK" {
+		t.Fatalf("private rule ran for %v", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestProtectedRuleCoversSubtree(t *testing.T) {
+	e := hierEnv(t)
+	var runs []string
+	if _, err := e.rules.Define(Spec{
+		Name: "Pr", Event: "trade", Class: "STOCK", Visibility: Protected,
+		Action: func(x *Execution) error {
+			runs = append(runs, x.Occurrence.Leaves()[0].Class)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.trade("SECURITY", tx.ID())   // above the owner: out of scope
+	e.trade("STOCK", tx.ID())      // fires
+	e.trade("TECH_STOCK", tx.ID()) // subclass: fires
+	if len(runs) != 2 || runs[0] != "STOCK" || runs[1] != "TECH_STOCK" {
+		t.Fatalf("protected rule ran for %v", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestPublicClassRuleUnrestricted(t *testing.T) {
+	e := hierEnv(t)
+	var runs int
+	if _, err := e.rules.Define(Spec{
+		Name: "Pub", Event: "trade", Class: "STOCK", Visibility: Public,
+		Action: func(*Execution) error { runs++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	e.trade("SECURITY", tx.ID())
+	e.trade("STOCK", tx.ID())
+	e.trade("TECH_STOCK", tx.ID())
+	if runs != 3 {
+		t.Fatalf("public rule runs=%d", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestVisibilityRequiresClass(t *testing.T) {
+	e := newEnv(t)
+	_, err := e.rules.Define(Spec{
+		Name: "Bad", Event: "e1", Visibility: Private,
+		Action: func(*Execution) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("class-less private rule accepted")
+	}
+}
+
+func TestScopedRuleOnCompositeEvent(t *testing.T) {
+	// A protected rule on a composite fires only when all method
+	// constituents are in the subtree.
+	e := hierEnv(t)
+	trade, _ := e.det.Lookup("trade")
+	e.det.DeclareClass("OTHER", "")
+	other, err := e.det.DefinePrimitive("oevt", "OTHER", "poke", event.End, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.det.And("mix", trade, other); err != nil {
+		t.Fatal(err)
+	}
+	var runs int
+	if _, err := e.rules.Define(Spec{
+		Name: "Scoped", Event: "mix", Class: "STOCK", Visibility: Protected,
+		Action: func(*Execution) error { runs++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.txns.Begin()
+	// trade on STOCK + poke on OTHER: the OTHER constituent is outside
+	// the subtree, so the protected rule must not run.
+	e.det.SignalMethod("STOCK", "trade", event.End, 1, nil, tx.ID())
+	e.det.SignalMethod("OTHER", "poke", event.End, 1, nil, tx.ID())
+	e.sched.Drain()
+	if runs != 0 {
+		t.Fatalf("protected composite rule ran %d times", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestRuleVisibilityAccessors(t *testing.T) {
+	e := hierEnv(t)
+	r, err := e.rules.Define(Spec{
+		Name: "A", Event: "trade", Class: "STOCK", Visibility: Protected,
+		Action: func(*Execution) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Class() != "STOCK" || r.Visibility() != Protected {
+		t.Fatalf("accessors: %q %v", r.Class(), r.Visibility())
+	}
+}

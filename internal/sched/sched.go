@@ -1,0 +1,193 @@
+// Package sched implements Sentinel's rule scheduler: triggered rules are
+// packaged as tasks (the paper packages condition+action into a thread) and
+// executed in priority order — prioritized serial execution across priority
+// classes, concurrent execution of the rules inside one class, and
+// depth-first execution of nested (cascading) rule triggerings, whose
+// effective priority is derived from the triggering rule's priority exactly
+// as §3.2.3 describes.
+//
+// Effective priorities are paths: a top-level rule of priority p has path
+// [p]; a rule of priority q triggered from inside it has path [p q]. Paths
+// order lexicographically with larger elements first, and a path extending
+// another runs before it resumes — which is precisely priority-ordered
+// depth-first execution.
+package sched
+
+import (
+	"sync"
+)
+
+// Path is an effective priority: the chain of rule priorities from the
+// outermost triggering rule to this one.
+type Path []int
+
+// Less reports whether p is strictly less urgent than q: higher priority
+// values win; on a tie the deeper (nested) task wins, implementing
+// depth-first descent into cascaded rules.
+func (p Path) Less(q Path) bool {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
+// Equal reports whether two paths denote the same priority class.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Child returns the effective priority of a rule with priority prio
+// triggered from inside a task with path p.
+func (p Path) Child(prio int) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = prio
+	return out
+}
+
+// Task is one triggered rule awaiting execution.
+type Task struct {
+	// Rule names the rule, for traces.
+	Rule string
+	// Priority is the task's effective priority path.
+	Priority Path
+	// Run executes the rule (condition + action in a subtransaction). It
+	// receives the task so nested triggerings can derive child paths.
+	Run func(t *Task)
+}
+
+// Scheduler executes tasks with a bounded worker pool per priority class.
+// The zero value is not usable; call New.
+type Scheduler struct {
+	mu      sync.Mutex
+	queue   []*Task
+	workers int
+	// Serial forces one-at-a-time execution even within a priority class,
+	// for the prioritized-serial execution mode.
+	Serial bool
+
+	// Ran counts executed tasks, for the benchmarks.
+	Ran uint64
+}
+
+// New creates a scheduler whose classes run up to workers tasks
+// concurrently (the paper's pool of free threads). workers < 1 means 1.
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scheduler{workers: workers}
+}
+
+// Enqueue adds a triggered rule. Safe to call from anywhere, including
+// from inside a running task (nested triggering).
+func (s *Scheduler) Enqueue(t *Task) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+}
+
+// Pending returns the number of queued tasks.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Drain runs tasks until the queue is empty: this is the scheduling point
+// at which the paper suspends the main application. Each round takes the
+// most urgent priority class, runs all its tasks (concurrently up to the
+// worker bound, or serially in Serial mode), waits for them — including
+// any deeper tasks they spawned, which outrank them — and repeats.
+func (s *Scheduler) Drain() { s.drainAbove(nil) }
+
+// drainAbove runs every queued task whose priority strictly outranks
+// floor; a nil floor means run everything. Nested tasks always outrank
+// their spawner (their path extends it), so recursion on the spawner's
+// path yields depth-first execution without ever dipping below the
+// in-progress class.
+func (s *Scheduler) drainAbove(floor Path) {
+	for {
+		batch := s.takeTopClassAbove(floor)
+		if len(batch) == 0 {
+			return
+		}
+		if s.Serial || len(batch) == 1 {
+			for _, t := range batch {
+				s.runOne(t)
+				// Deeper tasks spawned by t run before t's siblings.
+				s.drainAbove(t.Priority)
+			}
+			continue
+		}
+		sem := make(chan struct{}, s.workers)
+		var wg sync.WaitGroup
+		for _, t := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t *Task) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.runOne(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+}
+
+func (s *Scheduler) runOne(t *Task) {
+	t.Run(t)
+	s.mu.Lock()
+	s.Ran++
+	s.mu.Unlock()
+}
+
+// takeTopClassAbove removes and returns every queued task belonging to the
+// most urgent priority class that strictly outranks floor. Enqueue order
+// within the class is preserved.
+func (s *Scheduler) takeTopClassAbove(floor Path) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var top Path
+	found := false
+	for _, t := range s.queue {
+		if floor != nil && !floor.Less(t.Priority) {
+			continue
+		}
+		if !found || top.Less(t.Priority) {
+			top = t.Priority
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	var batch []*Task
+	rest := s.queue[:0]
+	for _, t := range s.queue {
+		if t.Priority.Equal(top) {
+			batch = append(batch, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	for i := len(rest); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = rest
+	return batch
+}

@@ -1,0 +1,189 @@
+package snoop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decl is a top-level declaration: a class, an event or a rule.
+type Decl interface{ decl() }
+
+// ClassDecl declares a (reactive) class and the primitive events on its
+// methods — the paper's event interface specification inside the class
+// definition.
+type ClassDecl struct {
+	Name     string
+	Super    string
+	Reactive bool
+	Events   []ClassEvent
+	// Rules declared inside the class body; they are owned by the class
+	// and may carry a visibility (public/protected/private).
+	Rules []*RuleDecl
+}
+
+func (*ClassDecl) decl() {}
+
+// ClassEvent is one "event begin(e2) && end(e3) set_price(price);" item.
+type ClassEvent struct {
+	// BeginName / EndName are the event names for the two variants; empty
+	// when the variant is not declared.
+	BeginName string
+	EndName   string
+	Method    string
+	Params    []string
+}
+
+// Signature renders the method signature the detector matches.
+func (ce ClassEvent) Signature() string {
+	return ce.Method + "(" + strings.Join(ce.Params, ",") + ")"
+}
+
+// EventDecl declares a named event expression.
+type EventDecl struct {
+	Name string
+	Expr Expr
+}
+
+func (*EventDecl) decl() {}
+
+// RuleDecl declares a rule in the paper's positional form.
+type RuleDecl struct {
+	Name      string
+	Event     string
+	Condition string
+	// CondExpr is an inline predicate ("qty > 10") given as a quoted
+	// string instead of a named condition function.
+	CondExpr string
+	Action   string
+	Context  string // "" = default (RECENT)
+	Coupling string // "" = default (IMMEDIATE)
+	Priority int
+	HasPrio  bool
+	Trigger  string // "" = default (NOW)
+	// Class and Visibility are set for rules declared inside a class
+	// body ("" / "PUBLIC" otherwise).
+	Class      string
+	Visibility string
+}
+
+func (*RuleDecl) decl() {}
+
+// Expr is an event expression node.
+type Expr interface {
+	// Canon renders the canonical expression text used as the node name
+	// in the event graph, so structurally identical subexpressions share
+	// one node.
+	Canon() string
+}
+
+// RefExpr references a named event.
+type RefExpr struct{ Name string }
+
+// Canon returns the referenced name.
+func (e *RefExpr) Canon() string { return e.Name }
+
+// PrimExpr is an inline primitive method event:
+// begin STOCK.set_price(price) or begin STOCK("IBM").set_price(price).
+type PrimExpr struct {
+	Begin    bool
+	Class    string
+	Instance string // named object, "" for class-level
+	Method   string
+	Params   []string
+}
+
+// Signature renders the method signature.
+func (e *PrimExpr) Signature() string {
+	return e.Method + "(" + strings.Join(e.Params, ",") + ")"
+}
+
+// Canon renders the canonical name.
+func (e *PrimExpr) Canon() string {
+	mod := "end"
+	if e.Begin {
+		mod = "begin"
+	}
+	inst := ""
+	if e.Instance != "" {
+		inst = "(" + strconv.Quote(e.Instance) + ")"
+	}
+	return fmt.Sprintf("%s %s%s.%s", mod, e.Class, inst, e.Signature())
+}
+
+// BinExpr is AND, OR or SEQ.
+type BinExpr struct {
+	Op   string // "and", "or", "seq"
+	L, R Expr
+}
+
+// Canon renders the canonical name.
+func (e *BinExpr) Canon() string {
+	op := map[string]string{"and": "^", "or": "|", "seq": ">>"}[e.Op]
+	return "(" + e.L.Canon() + op + e.R.Canon() + ")"
+}
+
+// NotExpr is not(Mid)[Start, End].
+type NotExpr struct{ Start, Mid, End Expr }
+
+// Canon renders the canonical name.
+func (e *NotExpr) Canon() string {
+	return "not(" + e.Mid.Canon() + ")[" + e.Start.Canon() + "," + e.End.Canon() + "]"
+}
+
+// AnyExpr is any(m, e1, ..., en).
+type AnyExpr struct {
+	M      int
+	Events []Expr
+}
+
+// Canon renders the canonical name.
+func (e *AnyExpr) Canon() string {
+	parts := make([]string, len(e.Events))
+	for i, ev := range e.Events {
+		parts[i] = ev.Canon()
+	}
+	return fmt.Sprintf("any(%d,%s)", e.M, strings.Join(parts, ","))
+}
+
+// AperiodicExpr is A(start, mid, end) or A*(start, mid, end).
+type AperiodicExpr struct {
+	Star            bool
+	Start, Mid, End Expr
+}
+
+// Canon renders the canonical name.
+func (e *AperiodicExpr) Canon() string {
+	op := "A"
+	if e.Star {
+		op = "A*"
+	}
+	return fmt.Sprintf("%s(%s,%s,%s)", op, e.Start.Canon(), e.Mid.Canon(), e.End.Canon())
+}
+
+// PeriodicExpr is P(start, period, end) or P*(start, period, end).
+type PeriodicExpr struct {
+	Star       bool
+	Start, End Expr
+	Period     uint64
+}
+
+// Canon renders the canonical name.
+func (e *PeriodicExpr) Canon() string {
+	op := "P"
+	if e.Star {
+		op = "P*"
+	}
+	return fmt.Sprintf("%s(%s,%d,%s)", op, e.Start.Canon(), e.Period, e.End.Canon())
+}
+
+// PlusExpr is start + delta.
+type PlusExpr struct {
+	Start Expr
+	Delta uint64
+}
+
+// Canon renders the canonical name.
+func (e *PlusExpr) Canon() string {
+	return fmt.Sprintf("(%s+%d)", e.Start.Canon(), e.Delta)
+}

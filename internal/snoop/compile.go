@@ -1,0 +1,284 @@
+package snoop
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/object"
+	"repro/internal/rules"
+)
+
+// Compiler turns parsed Sentinel declarations into event-graph nodes and
+// rule definitions — the run-time equivalent of the code the Sentinel
+// pre- and post-processors generate at compile time.
+type Compiler struct {
+	// Det receives event definitions. Required.
+	Det *detector.Detector
+	// Rules receives rule definitions; nil makes top-level rule
+	// declarations an error and silently skips rules declared inside
+	// class bodies (events-only tools like snoopc).
+	Rules *rules.Manager
+	// Objects, when non-nil, gets classes declared by class blocks (with
+	// no methods — bodies are bound in Go).
+	Objects *object.Registry
+	// Conditions and Actions bind the function names used in rule
+	// declarations. The condition name "true" (or "") means no condition.
+	Conditions map[string]rules.Condition
+	Actions    map[string]rules.Action
+	// Resolve maps instance names in instance-level events (e.g.
+	// STOCK("IBM")) to OIDs; nil makes instance-level events an error.
+	Resolve func(name string) (event.OID, error)
+}
+
+// ErrNoRuleManager is returned for rule declarations without a manager.
+var ErrNoRuleManager = errors.New("snoop: compiler has no rule manager")
+
+// CompileSource parses and compiles a specification.
+func (c *Compiler) CompileSource(src string) error {
+	decls, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return c.Compile(decls)
+}
+
+// Compile applies the declarations in order.
+func (c *Compiler) Compile(decls []Decl) error {
+	for _, d := range decls {
+		var err error
+		switch d := d.(type) {
+		case *ClassDecl:
+			err = c.compileClass(d)
+		case *EventDecl:
+			err = c.compileEvent(d)
+		case *RuleDecl:
+			err = c.compileRule(d)
+		default:
+			err = fmt.Errorf("snoop: unknown declaration %T", d)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Compiler) compileClass(d *ClassDecl) error {
+	c.Det.DeclareClass(d.Name, d.Super)
+	if c.Objects != nil {
+		if _, err := c.Objects.DefineClass(d.Name, d.Super, d.Reactive); err != nil &&
+			!errors.Is(err, object.ErrDuplicateClass) {
+			return err
+		}
+	}
+	for _, ce := range d.Events {
+		if ce.BeginName != "" {
+			if _, err := c.Det.DefinePrimitive(ce.BeginName, d.Name, ce.Signature(), event.Begin, 0); err != nil {
+				return err
+			}
+		}
+		if ce.EndName != "" {
+			if _, err := c.Det.DefinePrimitive(ce.EndName, d.Name, ce.Signature(), event.End, 0); err != nil {
+				return err
+			}
+		}
+	}
+	if c.Rules != nil {
+		for _, rd := range d.Rules {
+			if err := c.compileRule(rd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Compiler) compileEvent(d *EventDecl) error {
+	node, err := c.compileExpr(d.Expr)
+	if err != nil {
+		return err
+	}
+	return c.Det.Alias(d.Name, node.Name())
+}
+
+// builtinTxnEvents maps the transaction event identifiers.
+var builtinTxnEvents = map[string]string{
+	"beginTransaction":     event.BeginTransaction,
+	"preCommitTransaction": event.PreCommit,
+	"commitTransaction":    event.CommitTransaction,
+	"abortTransaction":     event.AbortTransaction,
+}
+
+// compileExpr builds (or reuses) the event-graph subtree for an
+// expression and returns its node. Subexpressions are named by their
+// canonical text, so common subexpressions share nodes.
+func (c *Compiler) compileExpr(e Expr) (detector.Node, error) {
+	switch e := e.(type) {
+	case *RefExpr:
+		if txnName, ok := builtinTxnEvents[e.Name]; ok {
+			return c.Det.TransactionEvent(txnName)
+		}
+		return c.Det.Lookup(e.Name)
+	case *PrimExpr:
+		var oid event.OID
+		if e.Instance != "" {
+			if c.Resolve == nil {
+				return nil, fmt.Errorf("snoop: instance-level event %s needs a name resolver", e.Canon())
+			}
+			var err error
+			oid, err = c.Resolve(e.Instance)
+			if err != nil {
+				return nil, fmt.Errorf("snoop: resolve instance %q: %w", e.Instance, err)
+			}
+		}
+		mod := event.End
+		if e.Begin {
+			mod = event.Begin
+		}
+		return c.Det.DefinePrimitive(e.Canon(), e.Class, e.Signature(), mod, oid)
+	case *BinExpr:
+		l, err := c.compileExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "and":
+			return c.Det.And(e.Canon(), l, r)
+		case "or":
+			return c.Det.Or(e.Canon(), l, r)
+		case "seq":
+			return c.Det.Seq(e.Canon(), l, r)
+		default:
+			return nil, fmt.Errorf("snoop: unknown operator %q", e.Op)
+		}
+	case *NotExpr:
+		start, err := c.compileExpr(e.Start)
+		if err != nil {
+			return nil, err
+		}
+		mid, err := c.compileExpr(e.Mid)
+		if err != nil {
+			return nil, err
+		}
+		end, err := c.compileExpr(e.End)
+		if err != nil {
+			return nil, err
+		}
+		return c.Det.Not(e.Canon(), start, mid, end)
+	case *AnyExpr:
+		kids := make([]detector.Node, len(e.Events))
+		for i, ev := range e.Events {
+			k, err := c.compileExpr(ev)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = k
+		}
+		return c.Det.Any(e.Canon(), e.M, kids...)
+	case *AperiodicExpr:
+		start, err := c.compileExpr(e.Start)
+		if err != nil {
+			return nil, err
+		}
+		mid, err := c.compileExpr(e.Mid)
+		if err != nil {
+			return nil, err
+		}
+		end, err := c.compileExpr(e.End)
+		if err != nil {
+			return nil, err
+		}
+		if e.Star {
+			return c.Det.AStar(e.Canon(), start, mid, end)
+		}
+		return c.Det.A(e.Canon(), start, mid, end)
+	case *PeriodicExpr:
+		start, err := c.compileExpr(e.Start)
+		if err != nil {
+			return nil, err
+		}
+		end, err := c.compileExpr(e.End)
+		if err != nil {
+			return nil, err
+		}
+		if e.Star {
+			return c.Det.PStar(e.Canon(), start, e.Period, end)
+		}
+		return c.Det.P(e.Canon(), start, e.Period, end)
+	case *PlusExpr:
+		start, err := c.compileExpr(e.Start)
+		if err != nil {
+			return nil, err
+		}
+		return c.Det.Plus(e.Canon(), start, e.Delta)
+	default:
+		return nil, fmt.Errorf("snoop: unknown expression %T", e)
+	}
+}
+
+func (c *Compiler) compileRule(d *RuleDecl) error {
+	if c.Rules == nil {
+		return fmt.Errorf("%w (rule %q)", ErrNoRuleManager, d.Name)
+	}
+	var cond rules.Condition
+	switch {
+	case d.CondExpr != "":
+		var err error
+		cond, err = PredicateCondition(d.CondExpr)
+		if err != nil {
+			return fmt.Errorf("snoop: rule %q: %w", d.Name, err)
+		}
+	case d.Condition != "" && d.Condition != "true":
+		var ok bool
+		cond, ok = c.Conditions[d.Condition]
+		if !ok {
+			return fmt.Errorf("snoop: rule %q: unbound condition function %q", d.Name, d.Condition)
+		}
+	}
+	action, ok := c.Actions[d.Action]
+	if !ok {
+		return fmt.Errorf("snoop: rule %q: unbound action function %q", d.Name, d.Action)
+	}
+	ctx, err := detector.ParseContext(d.Context)
+	if err != nil {
+		return err
+	}
+	coupling, err := rules.ParseCoupling(d.Coupling)
+	if err != nil {
+		return err
+	}
+	trigger, err := rules.ParseTrigger(d.Trigger)
+	if err != nil {
+		return err
+	}
+	vis, err := rules.ParseVisibility(d.Visibility)
+	if err != nil {
+		return err
+	}
+	eventName := d.Event
+	if txnName, ok := builtinTxnEvents[eventName]; ok {
+		if _, err := c.Det.TransactionEvent(txnName); err != nil {
+			return err
+		}
+		eventName = txnName
+	}
+	_, err = c.Rules.Define(rules.Spec{
+		Name:       d.Name,
+		Event:      eventName,
+		Condition:  cond,
+		Action:     action,
+		Context:    ctx,
+		Coupling:   coupling,
+		Priority:   d.Priority,
+		Trigger:    trigger,
+		Class:      d.Class,
+		Visibility: vis,
+	})
+	return err
+}

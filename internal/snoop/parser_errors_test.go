@@ -1,0 +1,109 @@
+package snoop
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every malformed declaration must produce a positioned parse error, never
+// a panic or silent acceptance.
+func TestParserErrorTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring expected in the error
+	}{
+		{"missing class name", `class { }`, "class name"},
+		{"missing superclass", `class C extends { }`, "superclass"},
+		{"missing brace", `class C reactive event end(e) m();`, "'{'"},
+		{"bad class item", `class C { banana; }`, "event or rule"},
+		{"bad modifier", `class C { event middle(e) m(); }`, "begin"},
+		{"event missing paren", `class C { event end e m(); }`, "'('"},
+		{"event missing name", `class C { event end() m(); }`, "event name"},
+		{"event missing close", `class C { event end(e m(); }`, "')'"},
+		{"duplicate begin", `class C { event begin(a) && begin(b) m(); }`, "duplicate begin"},
+		{"duplicate end", `class C { event end(a) && end(b) m(); }`, "duplicate end"},
+		{"missing method", `class C { event end(e) (); }`, "method name"},
+		{"missing semicolon", `class C { event end(e) m() }`, "';'"},
+		{"param not ident", `class C { event end(e) m(1); }`, "parameter name"},
+		{"event decl no eq", `event x e1;`, "'='"},
+		{"event decl no expr", `event x = ;`, "expression"},
+		{"event decl no semi", `event x = e1`, "';'"},
+		{"dangling operator", `event x = e1 and ;`, "expression"},
+		{"unclosed paren", `event x = (e1 and e2;`, "')'"},
+		{"not missing bracket", `event x = not(e1)(a, b);`, "'['"},
+		{"not missing comma", `event x = not(e1)[a b];`, "','"},
+		{"not missing close", `event x = not(e1)[a, b);`, "']'"},
+		{"any missing count", `event x = any(e1, e2);`, "count"},
+		{"any no events", `event x = any(2);`, "at least one"},
+		{"A missing comma", `event x = A(e1 e2, e3);`, "','"},
+		{"P bad period", `event x = P(e1, e2, e3);`, "period"},
+		{"plus bad delta", `event x = e1 + e2;`, "time delta"},
+		{"prim missing dot", `event x = begin STOCK set_price(p);`, "'.'"},
+		{"prim missing method", `event x = begin STOCK.(p);`, "method name"},
+		{"prim bad instance", `event x = begin STOCK(IBM).m(p);`, "instance name string"},
+		{"rule missing name", `rule (e, c, a);`, "rule name"},
+		{"rule missing paren", `rule R e, c, a);`, "'('"},
+		{"rule missing event", `rule R(, c, a);`, "event name"},
+		{"rule missing cond", `rule R(e, , a);`, "condition"},
+		{"rule missing action", `rule R(e, c, );`, "action"},
+		{"rule bad attr", `rule R(e, c, a, WEIRD);`, "unknown rule attribute"},
+		{"rule trailing junk", `rule R(e, c, a, [);`, "unexpected"},
+		{"rule missing semi", `rule R(e, c, a)`, "';'"},
+		{"top-level junk", `flurble;`, "expected class, event or rule"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err.Error(), c.want)
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error %q lacks position", err.Error())
+			}
+		})
+	}
+}
+
+func TestParserAcceptsComments(t *testing.T) {
+	src := `
+// line comment
+# hash comment
+event x = e1 and e2; // trailing
+`
+	decls, err := Parse(src)
+	if err != nil || len(decls) != 1 {
+		t.Fatalf("decls=%v err=%v", decls, err)
+	}
+}
+
+func TestCanonCoverage(t *testing.T) {
+	// Canon strings for every expression form parse back structurally.
+	srcs := map[string]string{
+		`event x = e1 and e2;`:                 "(e1^e2)",
+		`event x = e1 or e2;`:                  "(e1|e2)",
+		`event x = e1 >> e2;`:                  "(e1>>e2)",
+		`event x = not(e2)[e1, e3];`:           "not(e2)[e1,e3]",
+		`event x = any(1, e1);`:                "any(1,e1)",
+		`event x = A(e1, e2, e3);`:             "A(e1,e2,e3)",
+		`event x = A*(e1, e2, e3);`:            "A*(e1,e2,e3)",
+		`event x = P(e1, 7, e3);`:              "P(e1,7,e3)",
+		`event x = P*(e1, 7, e3);`:             "P*(e1,7,e3)",
+		`event x = e1 + 7;`:                    "(e1+7)",
+		`event x = end STOCK.m(a, b);`:         "end STOCK.m(a,b)",
+		`event x = begin STOCK("I").m();`:      `begin STOCK("I").m()`,
+		`event x = (e1 and e2) >> (e3 or e4);`: "((e1^e2)>>(e3|e4))",
+	}
+	for src, want := range srcs {
+		decls, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := decls[0].(*EventDecl).Expr.Canon(); got != want {
+			t.Errorf("%s: canon=%q want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package snoop
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+	"repro/internal/rules"
+)
+
+// Inline condition predicates: instead of naming a bound Go function, a
+// rule declaration may give a quoted predicate over the triggering
+// occurrence's parameters, e.g.
+//
+//	rule R(e1, "qty > 10 and price <= 99.5", act);
+//
+// Grammar (lexed with the Snoop lexer):
+//
+//	pred    := andPred { "or" andPred }
+//	andPred := unary   { "and" unary }
+//	unary   := "not" unary | "(" pred ")" | cmp
+//	cmp     := operand ( "==" | "!=" | "<" | "<=" | ">" | ">=" ) operand
+//	operand := IDENT | NUMBER | STRING | "true" | "false"
+//
+// An identifier names an event parameter; the first parameter with that
+// name across the constituent occurrences (in detection order) supplies
+// the value. A comparison whose parameter is absent evaluates to false.
+// Numeric comparisons coerce all integer and float widths to float64;
+// strings and booleans compare with == and != only.
+
+// Pred is a compiled predicate.
+type Pred interface {
+	Eval(x *rules.Execution) bool
+	String() string
+}
+
+// ParsePredicate compiles a predicate source string.
+func ParsePredicate(src string) (Pred, error) {
+	toks, err := lexPred(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &predParser{toks: toks}
+	pred, err := p.orPred()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, errAt(p.cur(), "trailing input in predicate")
+	}
+	return pred, nil
+}
+
+// Condition wraps a parsed predicate as a rule condition.
+func PredicateCondition(src string) (rules.Condition, error) {
+	pred, err := ParsePredicate(src)
+	if err != nil {
+		return nil, err
+	}
+	return func(x *rules.Execution) bool { return pred.Eval(x) }, nil
+}
+
+// lexPred extends the Snoop lexer with the comparison punctuation that
+// only predicates use.
+func lexPred(src string) ([]token, error) {
+	// Pre-split comparison operators into ident-safe sentinels is messy;
+	// instead run a small dedicated scan for  < > = !  and delegate the
+	// rest to the main lexer by tokenizing segment-wise.
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	flushWord := func(start, sl, sc int) error {
+		if start == i {
+			return nil
+		}
+		seg := src[start:i]
+		sub, err := lex(seg)
+		if err != nil {
+			return err
+		}
+		for _, t := range sub[:len(sub)-1] { // drop EOF
+			t.line, t.col = sl, sc
+			toks = append(toks, t)
+		}
+		return nil
+	}
+	start, sl, sc := 0, 1, 1
+	for i < len(src) {
+		c := src[i]
+		isCmp := c == '<' || c == '>' || c == '=' || c == '!'
+		if !isCmp {
+			if c == '\n' {
+				line++
+				col = 0
+			}
+			i++
+			col++
+			continue
+		}
+		if err := flushWord(start, sl, sc); err != nil {
+			return nil, err
+		}
+		op := string(c)
+		if i+1 < len(src) && src[i+1] == '=' {
+			op += "="
+			i++
+			col++
+		}
+		switch op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			toks = append(toks, token{tokPunct, op, line, col})
+		default:
+			return nil, &Error{Line: line, Col: col, Msg: fmt.Sprintf("bad comparison operator %q", op)}
+		}
+		i++
+		col++
+		start, sl, sc = i, line, col
+	}
+	if err := flushWord(start, sl, sc); err != nil {
+		return nil, err
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+type predParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *predParser) cur() token  { return p.toks[p.pos] }
+func (p *predParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *predParser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || (kind == tokIdent && equalFoldStr(t.text, text)) || t.text == text
+}
+func (p *predParser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func equalFoldStr(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 32
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *predParser) orPred() (Pred, error) {
+	l, err := p.andPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.andPred()
+		if err != nil {
+			return nil, err
+		}
+		l = &orPred{l, r}
+	}
+	return l, nil
+}
+
+func (p *predParser) andPred() (Pred, error) {
+	l, err := p.unaryPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		l = &andPred{l, r}
+	}
+	return l, nil
+}
+
+func (p *predParser) unaryPred() (Pred, error) {
+	if p.accept(tokIdent, "not") {
+		inner, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		return &notPred{inner}, nil
+	}
+	if p.accept(tokPunct, "(") {
+		inner, err := p.orPred()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokPunct, ")") {
+			return nil, errAt(p.cur(), "expected ')' in predicate")
+		}
+		return inner, nil
+	}
+	return p.cmp()
+}
+
+func (p *predParser) cmp() (Pred, error) {
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.cur()
+	if opTok.kind != tokPunct {
+		return nil, errAt(opTok, "expected comparison operator, found %v", opTok)
+	}
+	switch opTok.text {
+	case "==", "!=", "<", "<=", ">", ">=":
+		p.pos++
+	default:
+		return nil, errAt(opTok, "expected comparison operator, found %v", opTok)
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &cmpPred{op: opTok.text, l: l, r: r}, nil
+}
+
+// operand is either a parameter reference or a literal.
+type operand struct {
+	param string // non-empty: look up this event parameter
+	lit   any    // literal value otherwise
+}
+
+func (p *predParser) operand() (operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		switch {
+		case equalFoldStr(t.text, "true"):
+			return operand{lit: true}, nil
+		case equalFoldStr(t.text, "false"):
+			return operand{lit: false}, nil
+		default:
+			return operand{param: t.text}, nil
+		}
+	case tokNumber:
+		// The Snoop lexer emits integer tokens; a following ".digits"
+		// makes it a float.
+		text := t.text
+		if p.at(tokPunct, ".") {
+			p.pos++
+			frac := p.next()
+			if frac.kind != tokNumber {
+				return operand{}, errAt(frac, "expected fraction digits")
+			}
+			text += "." + frac.text
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return operand{}, errAt(t, "bad number %q", text)
+			}
+			return operand{lit: f}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return operand{}, errAt(t, "bad number %q", text)
+		}
+		return operand{lit: float64(n)}, nil
+	case tokString:
+		return operand{lit: t.text}, nil
+	default:
+		return operand{}, errAt(t, "expected parameter, number or string, found %v", t)
+	}
+}
+
+// resolve returns the operand's value for an execution.
+func (o operand) resolve(x *rules.Execution) (any, bool) {
+	if o.param == "" {
+		return o.lit, true
+	}
+	for _, list := range x.Occurrence.AllParams() {
+		if v, ok := list.Get(o.param); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+type cmpPred struct {
+	op   string
+	l, r operand
+}
+
+func (c *cmpPred) String() string {
+	return fmt.Sprintf("%s %s %s", opString(c.l), c.op, opString(c.r))
+}
+
+func opString(o operand) string {
+	if o.param != "" {
+		return o.param
+	}
+	return fmt.Sprintf("%v", o.lit)
+}
+
+func (c *cmpPred) Eval(x *rules.Execution) bool {
+	lv, ok := c.l.resolve(x)
+	if !ok {
+		return false
+	}
+	rv, ok := c.r.resolve(x)
+	if !ok {
+		return false
+	}
+	if lf, lok := toFloat(lv); lok {
+		if rf, rok := toFloat(rv); rok {
+			switch c.op {
+			case "==":
+				return lf == rf
+			case "!=":
+				return lf != rf
+			case "<":
+				return lf < rf
+			case "<=":
+				return lf <= rf
+			case ">":
+				return lf > rf
+			case ">=":
+				return lf >= rf
+			}
+			return false
+		}
+	}
+	// Non-numeric: equality only.
+	switch c.op {
+	case "==":
+		return lv == rv
+	case "!=":
+		return lv != rv
+	default:
+		return false
+	}
+}
+
+// toFloat coerces any numeric atomic value to float64.
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int8:
+		return float64(n), true
+	case int16:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint8:
+		return float64(n), true
+	case uint16:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	case event.OID:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}
+
+type andPred struct{ l, r Pred }
+
+func (a *andPred) Eval(x *rules.Execution) bool { return a.l.Eval(x) && a.r.Eval(x) }
+func (a *andPred) String() string               { return "(" + a.l.String() + " and " + a.r.String() + ")" }
+
+type orPred struct{ l, r Pred }
+
+func (o *orPred) Eval(x *rules.Execution) bool { return o.l.Eval(x) || o.r.Eval(x) }
+func (o *orPred) String() string               { return "(" + o.l.String() + " or " + o.r.String() + ")" }
+
+type notPred struct{ inner Pred }
+
+func (n *notPred) Eval(x *rules.Execution) bool { return !n.inner.Eval(x) }
+func (n *notPred) String() string               { return "not " + n.inner.String() }

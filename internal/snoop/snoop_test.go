@@ -1,0 +1,331 @@
+package snoop
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/lockmgr"
+	"repro/internal/rules"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+const stockSpec = `
+// The paper's STOCK class, in Sentinel surface syntax.
+class STOCK reactive {
+    event end(e1) sell_stock(qty);
+    event begin(e2) && end(e3) set_price(price);
+}
+
+event e4 = e2 and e1;   # AND operator, as in the paper's example
+event s  = e1 >> e3;
+event alt = e1 or e2;
+`
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Parse("event e = @;"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+	if _, err := Parse(`event e = "unterminated`); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	var perr *Error
+	_, err := Parse("bogus decl;")
+	if !errors.As(err, &perr) {
+		t.Fatalf("error type: %v", err)
+	}
+	if !strings.Contains(perr.Error(), "line 1") {
+		t.Fatalf("error lacks position: %v", perr)
+	}
+}
+
+func TestParseClassDecl(t *testing.T) {
+	decls, err := Parse(stockSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 4 {
+		t.Fatalf("decls=%d", len(decls))
+	}
+	cd, ok := decls[0].(*ClassDecl)
+	if !ok || cd.Name != "STOCK" || !cd.Reactive {
+		t.Fatalf("class decl: %+v", decls[0])
+	}
+	if len(cd.Events) != 2 {
+		t.Fatalf("class events: %+v", cd.Events)
+	}
+	if cd.Events[0].EndName != "e1" || cd.Events[0].Method != "sell_stock" ||
+		cd.Events[0].Signature() != "sell_stock(qty)" {
+		t.Fatalf("event 0: %+v", cd.Events[0])
+	}
+	if cd.Events[1].BeginName != "e2" || cd.Events[1].EndName != "e3" {
+		t.Fatalf("event 1 (begin && end): %+v", cd.Events[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	decls, err := Parse("event x = a or b and c >> d;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := decls[0].(*EventDecl)
+	// and binds tighter than or, >> binds loosest:
+	// ((a or (b and c)) >> d)
+	want := "((a|(b^c))>>d)"
+	if got := ed.Expr.Canon(); got != want {
+		t.Fatalf("canon=%q want %q", got, want)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	src := `
+event n  = not(e2)[e1, e3];
+event an = any(2, e1, e2, e3);
+event ap = A(e1, e2, e3);
+event as = A*(e1, e2, e3);
+event p  = P(e1, 50, e3);
+event ps = P*(e1, 50, e3);
+event pl = e1 + 100;
+event pr = begin STOCK("IBM").set_price(price);
+event tb = beginTransaction >> e1;
+`
+	decls, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canons := map[string]string{
+		"n":  "not(e2)[e1,e3]",
+		"an": "any(2,e1,e2,e3)",
+		"ap": "A(e1,e2,e3)",
+		"as": "A*(e1,e2,e3)",
+		"p":  "P(e1,50,e3)",
+		"ps": "P*(e1,50,e3)",
+		"pl": "(e1+100)",
+		"pr": `begin STOCK("IBM").set_price(price)`,
+		"tb": "(beginTransaction>>e1)",
+	}
+	for _, d := range decls {
+		ed := d.(*EventDecl)
+		if got := ed.Expr.Canon(); got != canons[ed.Name] {
+			t.Errorf("%s: canon=%q want %q", ed.Name, got, canons[ed.Name])
+		}
+	}
+}
+
+func TestParseRuleDecl(t *testing.T) {
+	decls, err := Parse("rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := decls[0].(*RuleDecl)
+	if rd.Name != "R1" || rd.Event != "e4" || rd.Condition != "cond1" || rd.Action != "action1" {
+		t.Fatalf("rule: %+v", rd)
+	}
+	if rd.Context != "CUMULATIVE" || rd.Coupling != "DEFERRED" || rd.Priority != 10 || !rd.HasPrio || rd.Trigger != "NOW" {
+		t.Fatalf("rule attrs: %+v", rd)
+	}
+	// Minimal form.
+	decls, err = Parse("rule R2(e1, true, act);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd2 := decls[0].(*RuleDecl)
+	if rd2.Context != "" || rd2.Coupling != "" || rd2.HasPrio {
+		t.Fatalf("defaults: %+v", rd2)
+	}
+	if _, err := Parse("rule R3(e1, c, a, BANANA);"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+type compiled struct {
+	det   *detector.Detector
+	txns  *txn.Manager
+	sched *sched.Scheduler
+	rules *rules.Manager
+	comp  *Compiler
+}
+
+func newCompiler(t *testing.T) *compiled {
+	t.Helper()
+	d := detector.New()
+	tm := txn.NewManager(nil, lockmgr.New())
+	s := sched.New(4)
+	rm := rules.NewManager(d, tm, s)
+	tm.SetListener(func(name string, id uint64) {
+		d.SignalTxn(name, id)
+		if name == "preCommitTransaction" {
+			s.Drain()
+		}
+	})
+	return &compiled{
+		det: d, txns: tm, sched: s, rules: rm,
+		comp: &Compiler{
+			Det:        d,
+			Rules:      rm,
+			Conditions: map[string]rules.Condition{},
+			Actions:    map[string]rules.Action{},
+		},
+	}
+}
+
+func TestCompileAndDetect(t *testing.T) {
+	c := newCompiler(t)
+	var fired []string
+	c.comp.Actions["action1"] = func(x *rules.Execution) error {
+		fired = append(fired, x.Rule.Name())
+		return nil
+	}
+	spec := stockSpec + "\nrule R1(e4, true, action1, RECENT, IMMEDIATE, 5, NOW);\n"
+	if err := c.comp.CompileSource(spec); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := c.txns.Begin()
+	// e4 = e2 AND e1: begin set_price, then end sell_stock.
+	c.det.SignalMethod("STOCK", "set_price(price)", event.Begin, 1, event.NewParams("price", 10.0), tx.ID())
+	c.sched.Drain()
+	c.det.SignalMethod("STOCK", "sell_stock(qty)", event.End, 1, event.NewParams("qty", 5), tx.ID())
+	c.sched.Drain()
+	if len(fired) != 1 || fired[0] != "R1" {
+		t.Fatalf("fired=%v", fired)
+	}
+	_ = tx.Commit()
+}
+
+func TestCompileDeferredRuleFromSpec(t *testing.T) {
+	c := newCompiler(t)
+	var runs int
+	c.comp.Actions["act"] = func(*rules.Execution) error { runs++; return nil }
+	spec := stockSpec + "\nrule RD(e1, true, act, CUMULATIVE, DEFERRED);\n"
+	if err := c.comp.CompileSource(spec); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := c.txns.Begin()
+	c.det.SignalMethod("STOCK", "sell_stock(qty)", event.End, 1, nil, tx.ID())
+	c.det.SignalMethod("STOCK", "sell_stock(qty)", event.End, 1, nil, tx.ID())
+	c.sched.Drain()
+	if runs != 0 {
+		t.Fatal("deferred rule ran early")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("deferred runs=%d", runs)
+	}
+}
+
+func TestCompileSharedSubexpressions(t *testing.T) {
+	c := newCompiler(t)
+	spec := stockSpec + `
+event x1 = (e1 and e2) >> e3;
+event x2 = (e1 and e2) or e3;
+`
+	if err := c.comp.CompileSource(spec); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := c.det.Lookup("(e1^e2)")
+	if err != nil {
+		t.Fatalf("shared subexpression not registered: %v", err)
+	}
+	x1, _ := c.det.Lookup("x1")
+	x2, _ := c.det.Lookup("x2")
+	if x1.Kids()[0] != n1 || x2.Kids()[0] != n1 {
+		t.Fatal("subexpression not shared between x1 and x2")
+	}
+}
+
+func TestCompileInstanceLevelEvent(t *testing.T) {
+	c := newCompiler(t)
+	c.comp.Resolve = func(name string) (event.OID, error) {
+		if name == "IBM" {
+			return 42, nil
+		}
+		return 0, errors.New("unknown")
+	}
+	spec := `
+class Stock reactive { event end(dummy) noop(); }
+event ibm = begin Stock("IBM").set_price(price);
+`
+	if err := c.comp.CompileSource(spec); err != nil {
+		t.Fatal(err)
+	}
+	var got []*event.Occurrence
+	if _, err := c.det.Subscribe("ibm", detector.Recent,
+		detector.SubscriberFunc(func(o *event.Occurrence, _ detector.Context) { got = append(got, o) })); err != nil {
+		t.Fatal(err)
+	}
+	c.det.SignalMethod("Stock", "set_price(price)", event.Begin, 7, nil, 1) // other object
+	c.det.SignalMethod("Stock", "set_price(price)", event.Begin, 42, nil, 1)
+	if len(got) != 1 || got[0].Object != 42 {
+		t.Fatalf("instance filter: %v", got)
+	}
+
+	// Without a resolver it must fail.
+	c2 := newCompiler(t)
+	if err := c2.comp.CompileSource(spec); err == nil {
+		t.Fatal("instance event compiled without resolver")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	c := newCompiler(t)
+	if err := c.comp.CompileSource("event x = ghost and ghost2;"); err == nil {
+		t.Fatal("unknown event reference accepted")
+	}
+	if err := c.comp.CompileSource("rule R(e, true, missing);"); err == nil {
+		t.Fatal("unbound action accepted")
+	}
+	c.comp.Actions["a"] = func(*rules.Execution) error { return nil }
+	if err := c.comp.CompileSource("rule R(ghost, true, a);"); err == nil {
+		t.Fatal("rule on unknown event accepted")
+	}
+	if err := c.comp.CompileSource("rule R(ghost, missingCond, a);"); err == nil {
+		t.Fatal("unbound condition accepted")
+	}
+	eventsOnly := &Compiler{Det: detector.New()}
+	if err := eventsOnly.CompileSource("rule R(x, true, a);"); !errors.Is(err, ErrNoRuleManager) {
+		t.Fatalf("rules without manager: %v", err)
+	}
+}
+
+func TestCompileTransactionEventRule(t *testing.T) {
+	c := newCompiler(t)
+	var runs int
+	c.comp.Actions["onBegin"] = func(*rules.Execution) error { runs++; return nil }
+	if err := c.comp.CompileSource("rule RB(beginTransaction, true, onBegin);"); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := c.txns.Begin()
+	c.sched.Drain()
+	if runs != 1 {
+		t.Fatalf("runs=%d", runs)
+	}
+	_ = tx.Commit()
+}
+
+func TestCompileConditionBinding(t *testing.T) {
+	c := newCompiler(t)
+	var condCalls, actCalls int
+	c.comp.Conditions["gate"] = func(x *rules.Execution) bool {
+		condCalls++
+		v, _ := x.Params()[0].Get("qty")
+		return v.(int) > 10
+	}
+	c.comp.Actions["act"] = func(*rules.Execution) error { actCalls++; return nil }
+	if err := c.comp.CompileSource(stockSpec + "rule R(e1, gate, act);"); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := c.txns.Begin()
+	c.det.SignalMethod("STOCK", "sell_stock(qty)", event.End, 1, event.NewParams("qty", 5), tx.ID())
+	c.sched.Drain()
+	c.det.SignalMethod("STOCK", "sell_stock(qty)", event.End, 1, event.NewParams("qty", 50), tx.ID())
+	c.sched.Drain()
+	if condCalls != 2 || actCalls != 1 {
+		t.Fatalf("cond=%d act=%d", condCalls, actCalls)
+	}
+	_ = tx.Commit()
+}

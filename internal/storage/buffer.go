@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolFull is returned when every frame in the buffer pool is pinned.
+var ErrPoolFull = errors.New("storage: buffer pool full (all frames pinned)")
+
+// frame is one buffer-pool slot.
+type frame struct {
+	page    Page
+	pins    int
+	dirty   bool
+	lruElem *list.Element // non-nil iff unpinned and resident
+}
+
+// flushLogFunc is called before a dirty page is written, with the page LSN,
+// to enforce the WAL rule (log-before-data).
+type flushLogFunc func(upToLSN uint64) error
+
+// BufferPool caches pages in memory with LRU replacement and pin counting.
+// Dirty pages are written back on eviction and on FlushAll, always after
+// forcing the log up to the page LSN (WAL rule).
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *DiskManager
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID, front = least recently used
+	flushLog flushLogFunc
+
+	// Hits and Misses count page lookups for the benchmark harness.
+	Hits, Misses uint64
+}
+
+// NewBufferPool creates a pool of the given capacity over disk. flushLog
+// may be nil when no WAL is in use (tests, read-only tools).
+func NewBufferPool(disk *DiskManager, capacity int, flushLog flushLogFunc) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+		flushLog: flushLog,
+	}
+}
+
+// Fetch pins page id into the pool, reading it from disk on a miss, and
+// returns the in-memory page. The caller must Unpin it when done.
+func (b *BufferPool) Fetch(id PageID) (*Page, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fr, ok := b.frames[id]; ok {
+		b.Hits++
+		b.pinLocked(fr)
+		return &fr.page, nil
+	}
+	b.Misses++
+	fr, err := b.newFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.disk.ReadPage(id, &fr.page); err != nil {
+		return nil, err
+	}
+	fr.pins = 1
+	b.frames[id] = fr
+	return &fr.page, nil
+}
+
+// NewPage allocates a fresh page on disk, formats it as an empty slotted
+// page, and returns it pinned.
+func (b *BufferPool) NewPage() (*Page, error) {
+	id, err := b.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, err := b.newFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	fr.page.ID = id
+	fr.page.InitPage()
+	fr.pins = 1
+	fr.dirty = true
+	b.frames[id] = fr
+	return &fr.page, nil
+}
+
+// Unpin releases one pin on page id, marking the page dirty if it was
+// modified while pinned.
+func (b *BufferPool) Unpin(id PageID, dirty bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, ok := b.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin of page %d that is not pinned", id))
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lruElem = b.lru.PushBack(id)
+	}
+}
+
+func (b *BufferPool) pinLocked(fr *frame) {
+	if fr.pins == 0 && fr.lruElem != nil {
+		b.lru.Remove(fr.lruElem)
+		fr.lruElem = nil
+	}
+	fr.pins++
+}
+
+// newFrameLocked returns a fresh frame, evicting the LRU unpinned page if
+// the pool is at capacity.
+func (b *BufferPool) newFrameLocked() (*frame, error) {
+	if len(b.frames) < b.capacity {
+		return &frame{}, nil
+	}
+	elem := b.lru.Front()
+	if elem == nil {
+		return nil, ErrPoolFull
+	}
+	victimID := elem.Value.(PageID)
+	victim := b.frames[victimID]
+	if victim.dirty {
+		if err := b.writeBackLocked(victim); err != nil {
+			return nil, err
+		}
+	}
+	b.lru.Remove(elem)
+	delete(b.frames, victimID)
+	victim.lruElem = nil
+	victim.pins = 0
+	victim.dirty = false
+	return victim, nil
+}
+
+// writeBackLocked flushes one dirty frame, honouring the WAL rule.
+func (b *BufferPool) writeBackLocked(fr *frame) error {
+	if b.flushLog != nil {
+		if err := b.flushLog(fr.page.LSN()); err != nil {
+			return err
+		}
+	}
+	if err := b.disk.WritePage(&fr.page); err != nil {
+		return err
+	}
+	fr.dirty = false
+	return nil
+}
+
+// FlushAll writes every dirty page back to disk (used by checkpointing and
+// clean shutdown). Pinned pages are flushed too; they stay resident.
+func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, fr := range b.frames {
+		if fr.dirty {
+			if err := b.writeBackLocked(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return b.disk.Sync()
+}
+
+// Resident reports how many pages are currently cached (for tests).
+func (b *BufferPool) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DiskManager reads and writes fixed-size pages in a single database file
+// and allocates new pages at the end of the file. It is safe for concurrent
+// use; page-level consistency is the buffer pool's job.
+type DiskManager struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages PageID // number of allocated pages
+}
+
+// OpenDisk opens (creating if necessary) the database file at path.
+func OpenDisk(path string) (*DiskManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open database file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat database file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: database file size %d is not a multiple of the page size", st.Size())
+	}
+	return &DiskManager{f: f, pages: PageID(st.Size() / PageSize)}, nil
+}
+
+// Allocate reserves a fresh page and returns its ID. The page contents on
+// disk are undefined until the first WritePage.
+func (d *DiskManager) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.pages
+	d.pages++
+	// Extend the file eagerly so ReadPage of an allocated-but-unwritten
+	// page returns zeroes rather than an error.
+	if err := d.f.Truncate(int64(d.pages) * PageSize); err != nil {
+		d.pages--
+		return 0, fmt.Errorf("storage: extend database file: %w", err)
+	}
+	return id, nil
+}
+
+// NumPages returns the number of allocated pages.
+func (d *DiskManager) NumPages() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+// EnsureAllocated grows the file to cover page id, for recovery redo of
+// allocations that happened after the last checkpoint.
+func (d *DiskManager) EnsureAllocated(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < d.pages {
+		return nil
+	}
+	d.pages = id + 1
+	if err := d.f.Truncate(int64(d.pages) * PageSize); err != nil {
+		return fmt.Errorf("storage: extend database file: %w", err)
+	}
+	return nil
+}
+
+// ReadPage fills p.Data from disk.
+func (d *DiskManager) ReadPage(id PageID, p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id >= d.pages {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, d.pages)
+	}
+	if _, err := d.f.ReadAt(p.Data[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p.ID = id
+	return nil
+}
+
+// WritePage writes p.Data to disk.
+func (d *DiskManager) WritePage(p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.ID >= d.pages {
+		return fmt.Errorf("storage: write of unallocated page %d (have %d)", p.ID, d.pages)
+	}
+	if _, err := d.f.WriteAt(p.Data[:], int64(p.ID)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
+	}
+	return nil
+}
+
+// Sync flushes the database file to stable storage.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+// Close closes the database file.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

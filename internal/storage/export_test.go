@@ -1,0 +1,8 @@
+package storage
+
+import "os"
+
+// openAppend opens path for appending, for tests that simulate torn writes.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

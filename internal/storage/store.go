@@ -1,0 +1,690 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the directory holding the database file and log.
+	Dir string
+	// PoolSize is the buffer pool capacity in pages (default 64).
+	PoolSize int
+	// SyncWAL makes every log flush fsync. Durable but slow; benchmarks
+	// and tests leave it off.
+	SyncWAL bool
+}
+
+// Errors reported by the store.
+var (
+	ErrNoSuchTxn   = errors.New("storage: no such active transaction")
+	ErrTxnDone     = errors.New("storage: transaction already finished")
+	ErrStoreClosed = errors.New("storage: store is closed")
+)
+
+// txnState tracks one active transaction — top-level or nested. Nested
+// transactions (subtransactions) are the paper's future-work extension we
+// implement: a subtransaction's operations merge into its parent on commit
+// and are undone (with CLRs) on abort.
+type txnState struct {
+	id       uint64
+	parent   uint64 // zero for top-level transactions
+	children int
+	ops      []*LogRecord // forward operations, for runtime undo on abort
+	done     bool
+}
+
+// Store is the storage manager: heap records addressed by RID, buffered
+// pages, a write-ahead log, and atomic, durable top-level transactions.
+// This is the layer the paper obtains from Exodus; everything above
+// (locking for isolation, nested subtransactions, objects) is built on it.
+//
+// The store itself does not enforce isolation: the caller (the lock
+// manager / transaction manager) must ensure conflicting record accesses
+// are serialized, as Sentinel's nested transaction manager does with its
+// own lock table on top of Exodus.
+type Store struct {
+	mu     sync.Mutex
+	disk   *DiskManager
+	pool   *BufferPool
+	wal    *WAL
+	txns   map[uint64]*txnState
+	next   uint64
+	fsm    map[PageID]int // approximate free bytes per page
+	closed bool
+}
+
+// Open opens (creating or recovering as needed) the store in opts.Dir.
+func Open(opts Options) (*Store, error) {
+	if opts.PoolSize == 0 {
+		opts.PoolSize = 64
+	}
+	disk, err := OpenDisk(filepath.Join(opts.Dir, "sentinel.db"))
+	if err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(filepath.Join(opts.Dir, "sentinel.log"), opts.SyncWAL)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	s := &Store{
+		disk: disk,
+		wal:  wal,
+		txns: make(map[uint64]*txnState),
+		fsm:  make(map[PageID]int),
+	}
+	s.pool = NewBufferPool(disk, opts.PoolSize, wal.Flush)
+	if err := s.recover(); err != nil {
+		wal.Close()
+		disk.Close()
+		return nil, err
+	}
+	if err := s.rebuildFSM(); err != nil {
+		wal.Close()
+		disk.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close checkpoints and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStoreClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	return s.disk.Close()
+}
+
+// Begin starts a top-level transaction and returns its id.
+func (s *Store) Begin() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStoreClosed
+	}
+	s.next++
+	id := s.next
+	s.txns[id] = &txnState{id: id}
+	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id}); err != nil {
+		delete(s.txns, id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// BeginSub starts a subtransaction of parent. Its operations become part
+// of the parent if it commits and are rolled back if it aborts; durability
+// is decided solely by the outcome of the top-level ancestor.
+func (s *Store) BeginSub(parent uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStoreClosed
+	}
+	p, err := s.activeTxn(parent)
+	if err != nil {
+		return 0, err
+	}
+	s.next++
+	id := s.next
+	s.txns[id] = &txnState{id: id, parent: parent}
+	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id, Parent: parent}); err != nil {
+		delete(s.txns, id)
+		return 0, err
+	}
+	p.children++
+	return id, nil
+}
+
+func (s *Store) activeTxn(id uint64) (*txnState, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, id)
+	}
+	if t.done {
+		return nil, fmt.Errorf("%w: %d", ErrTxnDone, id)
+	}
+	return t, nil
+}
+
+// Commit finishes the transaction. A top-level commit forces the log and
+// makes the effects durable; a subtransaction commit merges its operations
+// into the parent, deferring durability to the top-level outcome.
+func (s *Store) Commit(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(id)
+	if err != nil {
+		return err
+	}
+	if t.children > 0 {
+		return fmt.Errorf("storage: commit of txn %d with %d active subtransactions", id, t.children)
+	}
+	lsn, err := s.wal.Append(&LogRecord{Type: RecCommit, Txn: id})
+	if err != nil {
+		return err
+	}
+	if t.parent != 0 {
+		if p := s.txns[t.parent]; p != nil {
+			p.ops = append(p.ops, t.ops...)
+			p.children--
+		}
+	} else if err := s.wal.Flush(lsn + 1); err != nil {
+		return err
+	}
+	t.done = true
+	delete(s.txns, id)
+	return nil
+}
+
+// Abort rolls back every operation of the transaction. Each undo step is
+// logged as a compensation (CLR) record before it is applied, and the abort
+// record — meaning "rollback complete" — is appended last, so a crash at
+// any point leaves recovery enough information to finish or redo the
+// rollback.
+func (s *Store) Abort(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(id)
+	if err != nil {
+		return err
+	}
+	if t.children > 0 {
+		return fmt.Errorf("storage: abort of txn %d with %d active subtransactions", id, t.children)
+	}
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		clr := compensationFor(t.ops[i])
+		lsn, err := s.wal.Append(clr)
+		if err != nil {
+			return err
+		}
+		if err := s.undoOp(t.ops[i], lsn); err != nil {
+			return fmt.Errorf("storage: abort txn %d: %w", id, err)
+		}
+	}
+	abortLSN, err := s.wal.Append(&LogRecord{Type: RecAbort, Txn: id})
+	if err != nil {
+		return err
+	}
+	if t.parent != 0 {
+		if p := s.txns[t.parent]; p != nil {
+			p.children--
+		}
+	} else if err := s.wal.Flush(abortLSN + 1); err != nil {
+		return err
+	}
+	t.done = true
+	delete(s.txns, id)
+	return nil
+}
+
+// compensationFor describes the undo of a forward operation as a redo-able
+// forward operation of its own.
+func compensationFor(rec *LogRecord) *LogRecord {
+	switch rec.Type {
+	case RecInsert:
+		return &LogRecord{Type: RecDelete, Txn: rec.Txn, CLR: true, RID: rec.RID, Before: rec.After}
+	case RecDelete:
+		return &LogRecord{Type: RecInsert, Txn: rec.Txn, CLR: true, RID: rec.RID, After: rec.Before}
+	case RecUpdate:
+		return &LogRecord{Type: RecUpdate, Txn: rec.Txn, CLR: true, RID: rec.RID, Before: rec.After, After: rec.Before}
+	default:
+		// RecAlloc has no undo; emit a no-op CLR so counts stay aligned.
+		return &LogRecord{Type: RecAlloc, Txn: rec.Txn, CLR: true, RID: rec.RID}
+	}
+}
+
+// undoOp reverses one logged operation. Undo is lenient about already-
+// reversed effects so it stays idempotent under crash-recovery replay.
+func (s *Store) undoOp(rec *LogRecord, stampLSN uint64) error {
+	page, err := s.pool.Fetch(rec.RID.Page)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(rec.RID.Page, true)
+	switch rec.Type {
+	case RecInsert:
+		if page.Live(rec.RID.Slot) {
+			if err := page.Delete(rec.RID.Slot); err != nil {
+				return err
+			}
+		}
+	case RecDelete:
+		if !page.Live(rec.RID.Slot) {
+			if err := page.InsertAt(rec.RID.Slot, rec.Before); err != nil {
+				return err
+			}
+		}
+	case RecUpdate:
+		if page.Live(rec.RID.Slot) {
+			if err := page.Update(rec.RID.Slot, rec.Before); err != nil {
+				return err
+			}
+		} else if err := page.InsertAt(rec.RID.Slot, rec.Before); err != nil {
+			return err
+		}
+	case RecAlloc:
+		// Allocation is not undone; the empty page is simply reusable.
+	default:
+		return fmt.Errorf("storage: cannot undo %v record", rec.Type)
+	}
+	page.SetLSN(stampLSN)
+	s.noteFree(page)
+	return nil
+}
+
+// Insert stores data as a new record under transaction id.
+func (s *Store) Insert(id uint64, data []byte) (RID, error) {
+	if len(data) > MaxRecordSize {
+		return RID{}, ErrRecordTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(id)
+	if err != nil {
+		return RID{}, err
+	}
+	page, fresh, err := s.pageWithSpace(id, len(data))
+	if err != nil {
+		return RID{}, err
+	}
+	defer s.pool.Unpin(page.ID, true)
+	slot, err := page.Insert(data)
+	if err != nil {
+		return RID{}, err
+	}
+	rid := RID{Page: page.ID, Slot: slot}
+	rec := &LogRecord{Type: RecInsert, Txn: id, RID: rid, After: cloneBytes(data)}
+	lsn, err := s.wal.Append(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	page.SetLSN(lsn)
+	t.ops = append(t.ops, rec)
+	s.noteFree(page)
+	_ = fresh
+	return rid, nil
+}
+
+// pageWithSpace returns a pinned page with at least need bytes free,
+// allocating (and logging) a new page when none qualifies.
+func (s *Store) pageWithSpace(txn uint64, need int) (*Page, bool, error) {
+	for pid, free := range s.fsm {
+		if free >= need+slotEntrySize {
+			page, err := s.pool.Fetch(pid)
+			if err != nil {
+				return nil, false, err
+			}
+			if page.FreeSpace() >= need {
+				return page, false, nil
+			}
+			s.fsm[pid] = page.FreeSpace()
+			s.pool.Unpin(pid, false)
+		}
+	}
+	page, err := s.pool.NewPage()
+	if err != nil {
+		return nil, false, err
+	}
+	rec := &LogRecord{Type: RecAlloc, Txn: txn, RID: RID{Page: page.ID}}
+	lsn, err := s.wal.Append(rec)
+	if err != nil {
+		s.pool.Unpin(page.ID, true)
+		return nil, false, err
+	}
+	page.SetLSN(lsn)
+	s.fsm[page.ID] = page.FreeSpace()
+	return page, true, nil
+}
+
+// Read returns a copy of the record at rid.
+func (s *Store) Read(rid RID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	page, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Unpin(rid.Page, false)
+	data, err := page.Read(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	return cloneBytes(data), nil
+}
+
+// Update replaces the record at rid, possibly moving it to another page
+// when it no longer fits; the (possibly new) RID is returned.
+func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
+	if len(data) > MaxRecordSize {
+		return RID{}, ErrRecordTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(id)
+	if err != nil {
+		return RID{}, err
+	}
+	page, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	old, err := page.Read(rid.Slot)
+	if err != nil {
+		s.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	before := cloneBytes(old)
+	if err := page.Update(rid.Slot, data); err == nil {
+		rec := &LogRecord{Type: RecUpdate, Txn: id, RID: rid, Before: before, After: cloneBytes(data)}
+		lsn, aerr := s.wal.Append(rec)
+		if aerr != nil {
+			s.pool.Unpin(rid.Page, true)
+			return RID{}, aerr
+		}
+		page.SetLSN(lsn)
+		t.ops = append(t.ops, rec)
+		s.noteFree(page)
+		s.pool.Unpin(rid.Page, true)
+		return rid, nil
+	} else if !errors.Is(err, ErrNoSpace) {
+		s.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	// Record must move: log delete + insert so undo/redo compose.
+	if err := page.Delete(rid.Slot); err != nil {
+		s.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	delRec := &LogRecord{Type: RecDelete, Txn: id, RID: rid, Before: before}
+	lsn, err := s.wal.Append(delRec)
+	if err != nil {
+		s.pool.Unpin(rid.Page, true)
+		return RID{}, err
+	}
+	page.SetLSN(lsn)
+	t.ops = append(t.ops, delRec)
+	s.noteFree(page)
+	s.pool.Unpin(rid.Page, true)
+
+	newPage, _, err := s.pageWithSpace(id, len(data))
+	if err != nil {
+		return RID{}, err
+	}
+	defer s.pool.Unpin(newPage.ID, true)
+	slot, err := newPage.Insert(data)
+	if err != nil {
+		return RID{}, err
+	}
+	newRID := RID{Page: newPage.ID, Slot: slot}
+	insRec := &LogRecord{Type: RecInsert, Txn: id, RID: newRID, After: cloneBytes(data)}
+	lsn, err = s.wal.Append(insRec)
+	if err != nil {
+		return RID{}, err
+	}
+	newPage.SetLSN(lsn)
+	t.ops = append(t.ops, insRec)
+	s.noteFree(newPage)
+	return newRID, nil
+}
+
+// Delete removes the record at rid.
+func (s *Store) Delete(id uint64, rid RID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.activeTxn(id)
+	if err != nil {
+		return err
+	}
+	page, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(rid.Page, true)
+	old, err := page.Read(rid.Slot)
+	if err != nil {
+		return err
+	}
+	before := cloneBytes(old)
+	if err := page.Delete(rid.Slot); err != nil {
+		return err
+	}
+	rec := &LogRecord{Type: RecDelete, Txn: id, RID: rid, Before: before}
+	lsn, err := s.wal.Append(rec)
+	if err != nil {
+		return err
+	}
+	page.SetLSN(lsn)
+	t.ops = append(t.ops, rec)
+	s.noteFree(page)
+	return nil
+}
+
+// Checkpoint flushes all dirty pages and logs a checkpoint record. After a
+// checkpoint, recovery redo still scans the full log but page LSN checks
+// make pre-checkpoint work a no-op.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	active := make([]uint64, 0, len(s.txns))
+	for id := range s.txns {
+		active = append(active, id)
+	}
+	s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	lsn, err := s.wal.Append(&LogRecord{Type: RecCheckpoint, Active: active})
+	if err != nil {
+		return err
+	}
+	return s.wal.Flush(lsn + 1)
+}
+
+// recover replays the log in the ARIES style: redo every operation —
+// forward and compensation alike — whose effect is missing (repeating
+// history, guarded by page LSNs), then undo the still-uncompensated
+// operations of every transaction that neither committed nor completed its
+// rollback. Each recovery undo logs its own CLR and the loser finally gets
+// an abort record, so recovery itself is crash-safe and idempotent.
+func (s *Store) recover() error {
+	type txnInfo struct {
+		committed bool
+		aborted   bool   // rollback completed (abort record present)
+		parent    uint64 // zero for top-level transactions
+		forward   []*LogRecord
+		clrs      int
+	}
+	txns := map[uint64]*txnInfo{}
+	get := func(id uint64) *txnInfo {
+		t := txns[id]
+		if t == nil {
+			t = &txnInfo{}
+			txns[id] = t
+		}
+		return t
+	}
+	var allOps []*LogRecord
+	err := s.wal.Scan(0, func(rec *LogRecord) error {
+		switch rec.Type {
+		case RecBegin:
+			get(rec.Txn).parent = rec.Parent
+		case RecCommit:
+			get(rec.Txn).committed = true
+		case RecAbort:
+			get(rec.Txn).aborted = true
+		case RecInsert, RecDelete, RecUpdate:
+			allOps = append(allOps, rec)
+			if rec.CLR {
+				get(rec.Txn).clrs++
+			} else {
+				get(rec.Txn).forward = append(get(rec.Txn).forward, rec)
+			}
+		case RecAlloc:
+			if !rec.CLR {
+				allOps = append(allOps, rec)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Redo pass: repeat history, including compensations.
+	for _, rec := range allOps {
+		if err := s.redoOp(rec); err != nil {
+			return fmt.Errorf("storage: recovery redo lsn %d: %w", rec.LSN, err)
+		}
+	}
+	// A transaction's effects are durable only when it and every ancestor
+	// committed — a committed subtransaction inside a crashed top-level
+	// transaction is still a loser.
+	var effCommitted func(id uint64) bool
+	effCommitted = func(id uint64) bool {
+		t := txns[id]
+		if t == nil || !t.committed {
+			return false
+		}
+		if t.parent == 0 {
+			return true
+		}
+		return effCommitted(t.parent)
+	}
+	// Undo pass: for each unresolved transaction the last clrs forward
+	// operations were already compensated (runtime abort undoes in strict
+	// reverse order); the rest are undone here, newest first across all
+	// losers, each with its own CLR.
+	var losers []uint64
+	var toUndo []*LogRecord
+	for id, t := range txns {
+		if effCommitted(id) || t.aborted {
+			continue
+		}
+		remaining := t.forward
+		if t.clrs > 0 && t.clrs <= len(remaining) {
+			remaining = remaining[:len(remaining)-t.clrs]
+		}
+		if len(remaining) > 0 || t.clrs > 0 {
+			losers = append(losers, id)
+		}
+		toUndo = append(toUndo, remaining...)
+	}
+	sort.Slice(toUndo, func(i, j int) bool { return toUndo[i].LSN > toUndo[j].LSN })
+	for _, rec := range toUndo {
+		clr := compensationFor(rec)
+		lsn, err := s.wal.Append(clr)
+		if err != nil {
+			return err
+		}
+		if err := s.undoOp(rec, lsn); err != nil {
+			return fmt.Errorf("storage: recovery undo lsn %d: %w", rec.LSN, err)
+		}
+	}
+	for _, id := range losers {
+		if _, err := s.wal.Append(&LogRecord{Type: RecAbort, Txn: id}); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.Flush(^uint64(0)); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// redoOp re-applies one logged operation if the page has not seen it.
+func (s *Store) redoOp(rec *LogRecord) error {
+	if rec.Type == RecAlloc {
+		if err := s.disk.EnsureAllocated(rec.RID.Page); err != nil {
+			return err
+		}
+	}
+	page, err := s.pool.Fetch(rec.RID.Page)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(rec.RID.Page, true)
+	if page.LSN() >= rec.LSN {
+		return nil // effect already on the page
+	}
+	switch rec.Type {
+	case RecAlloc:
+		page.InitPage()
+	case RecInsert:
+		if !page.Live(rec.RID.Slot) {
+			if err := page.InsertAt(rec.RID.Slot, rec.After); err != nil {
+				return err
+			}
+		}
+	case RecDelete:
+		if page.Live(rec.RID.Slot) {
+			if err := page.Delete(rec.RID.Slot); err != nil {
+				return err
+			}
+		}
+	case RecUpdate:
+		if page.Live(rec.RID.Slot) {
+			if err := page.Update(rec.RID.Slot, rec.After); err != nil {
+				return err
+			}
+		} else if err := page.InsertAt(rec.RID.Slot, rec.After); err != nil {
+			return err
+		}
+	}
+	page.SetLSN(rec.LSN)
+	return nil
+}
+
+// rebuildFSM scans all pages to rebuild the free-space map after open.
+func (s *Store) rebuildFSM() error {
+	n := s.disk.NumPages()
+	for pid := PageID(0); pid < n; pid++ {
+		page, err := s.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		s.fsm[pid] = page.FreeSpace()
+		s.pool.Unpin(pid, false)
+	}
+	return nil
+}
+
+func (s *Store) noteFree(p *Page) { s.fsm[p.ID] = p.FreeSpace() }
+
+// ActiveTxns returns the ids of transactions still in flight (tests).
+func (s *Store) ActiveTxns() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.txns))
+	for id := range s.txns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PoolStats exposes buffer pool hit/miss counters for the benchmarks.
+func (s *Store) PoolStats() (hits, misses uint64) {
+	return s.pool.Hits, s.pool.Misses
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

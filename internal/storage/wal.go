@@ -1,0 +1,358 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecType identifies the kind of a log record.
+type RecType uint8
+
+// Log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecAlloc
+	RecCheckpoint
+)
+
+// String names the record type for traces.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecUpdate:
+		return "UPDATE"
+	case RecAlloc:
+		return "ALLOC"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// LogRecord is one entry in the write-ahead log. Before/After carry undo
+// and redo images for record-level operations. CLR marks a compensation
+// record written while undoing: it is redone like a forward operation and
+// never undone itself, which keeps recovery correct when slots freed by an
+// aborted transaction are reused before a crash.
+type LogRecord struct {
+	LSN    uint64 // byte offset of the record in the log file
+	Type   RecType
+	Txn    uint64
+	Parent uint64 // begin records of subtransactions: the parent txn
+	CLR    bool
+	RID    RID
+	Before []byte
+	After  []byte
+	Active []uint64 // checkpoint only: transactions active at checkpoint
+}
+
+// ErrLogCorrupted marks a log entry that failed its checksum; recovery
+// treats it (and everything after) as a torn tail and stops.
+var ErrLogCorrupted = errors.New("storage: log record failed checksum")
+
+// WAL is the write-ahead log: an append-only file of checksummed records.
+// Appends are buffered; Flush forces the buffer (and optionally the OS
+// cache) so that every record up to a given LSN is durable before the
+// corresponding data page is written (the WAL rule).
+type WAL struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	nextLSN  uint64 // offset where the next record will be written
+	flushed  uint64 // all records below this offset are in the OS/file
+	syncMode bool   // fsync on every Flush
+}
+
+// OpenWAL opens (creating if necessary) the log file at path. When sync is
+// true every Flush also fsyncs, giving real durability; tests typically
+// pass false.
+func OpenWAL(path string, sync bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat log: %w", err)
+	}
+	end, err := scanEnd(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek log end: %w", err)
+	}
+	// Drop any torn tail so new records append after the last good one.
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate torn log tail: %w", err)
+	}
+	return &WAL{
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<16),
+		nextLSN:  uint64(end),
+		flushed:  uint64(end),
+		syncMode: sync,
+	}, nil
+}
+
+// scanEnd walks the log validating checksums and returns the offset just
+// past the last intact record.
+func scanEnd(f *os.File, size int64) (int64, error) {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, size), 1<<16)
+	off := int64(0)
+	for {
+		rec, n, err := readRecord(r, uint64(off))
+		if err != nil {
+			return off, nil // torn or truncated tail: stop at last good record
+		}
+		_ = rec
+		off += n
+	}
+}
+
+// Append adds rec to the log and returns its LSN. The record is buffered;
+// call Flush to make it durable.
+func (w *WAL) Append(rec *LogRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.nextLSN
+	rec.LSN = lsn
+	n, err := writeRecord(w.w, rec)
+	if err != nil {
+		return 0, fmt.Errorf("storage: append log record: %w", err)
+	}
+	w.nextLSN += uint64(n)
+	return lsn, nil
+}
+
+// Flush forces every appended record with LSN < upTo (use ^uint64(0) for
+// "everything") out of the buffer, fsyncing when the WAL was opened in sync
+// mode.
+func (w *WAL) Flush(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if upTo != ^uint64(0) && upTo < w.flushed {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush log: %w", err)
+	}
+	w.flushed = w.nextLSN
+	if w.syncMode {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync log: %w", err)
+		}
+	}
+	return nil
+}
+
+// NextLSN returns the LSN the next record will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	if err := w.Flush(^uint64(0)); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Scan replays the log from the given LSN, calling fn for every intact
+// record in order. Scanning stops at the first torn record or at EOF.
+func (w *WAL) Scan(from uint64, fn func(*LogRecord) error) error {
+	if err := w.Flush(^uint64(0)); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	size := int64(w.nextLSN)
+	f := w.f
+	w.mu.Unlock()
+	r := bufio.NewReaderSize(io.NewSectionReader(f, int64(from), size-int64(from)), 1<<16)
+	off := from
+	for {
+		rec, n, err := readRecord(r, off)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, ErrLogCorrupted) {
+				return nil // torn tail
+			}
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += uint64(n)
+	}
+}
+
+// On-disk record framing:
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// payload:
+//
+//	u8 type | u8 clr | u64 txn | u64 parent | u32 page | u16 slot |
+//	u32 len(before) | before | u32 len(after) | after |
+//	u32 len(active) | active u64s
+func writeRecord(w io.Writer, rec *LogRecord) (int, error) {
+	payload := make([]byte, 0, 32+len(rec.Before)+len(rec.After)+8*len(rec.Active))
+	payload = append(payload, byte(rec.Type))
+	if rec.CLR {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = binary.LittleEndian.AppendUint64(payload, rec.Txn)
+	payload = binary.LittleEndian.AppendUint64(payload, rec.Parent)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(rec.RID.Page))
+	payload = binary.LittleEndian.AppendUint16(payload, rec.RID.Slot)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Before)))
+	payload = append(payload, rec.Before...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.After)))
+	payload = append(payload, rec.After...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Active)))
+	for _, t := range rec.Active {
+		payload = binary.LittleEndian.AppendUint64(payload, t)
+	}
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
+}
+
+func readRecord(r io.Reader, lsn uint64) (*LogRecord, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if plen > 1<<24 {
+		return nil, 0, ErrLogCorrupted
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, ErrLogCorrupted
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, 0, ErrLogCorrupted
+	}
+	rec := &LogRecord{LSN: lsn}
+	p := payload
+	take := func(n int) []byte {
+		if len(p) < n {
+			p = nil
+			return nil
+		}
+		b := p[:n]
+		p = p[n:]
+		return b
+	}
+	tb := take(1)
+	if tb == nil {
+		return nil, 0, ErrLogCorrupted
+	}
+	rec.Type = RecType(tb[0])
+	cb := take(1)
+	if cb == nil {
+		return nil, 0, ErrLogCorrupted
+	}
+	rec.CLR = cb[0] == 1
+	if b := take(8); b != nil {
+		rec.Txn = binary.LittleEndian.Uint64(b)
+	} else {
+		return nil, 0, ErrLogCorrupted
+	}
+	if b := take(8); b != nil {
+		rec.Parent = binary.LittleEndian.Uint64(b)
+	} else {
+		return nil, 0, ErrLogCorrupted
+	}
+	if b := take(4); b != nil {
+		rec.RID.Page = PageID(binary.LittleEndian.Uint32(b))
+	} else {
+		return nil, 0, ErrLogCorrupted
+	}
+	if b := take(2); b != nil {
+		rec.RID.Slot = binary.LittleEndian.Uint16(b)
+	} else {
+		return nil, 0, ErrLogCorrupted
+	}
+	readBlob := func() ([]byte, bool) {
+		lb := take(4)
+		if lb == nil {
+			return nil, false
+		}
+		n := binary.LittleEndian.Uint32(lb)
+		b := take(int(n))
+		if b == nil && n > 0 {
+			return nil, false
+		}
+		out := make([]byte, n)
+		copy(out, b)
+		return out, true
+	}
+	var ok bool
+	if rec.Before, ok = readBlob(); !ok {
+		return nil, 0, ErrLogCorrupted
+	}
+	if rec.After, ok = readBlob(); !ok {
+		return nil, 0, ErrLogCorrupted
+	}
+	lb := take(4)
+	if lb == nil {
+		return nil, 0, ErrLogCorrupted
+	}
+	nActive := binary.LittleEndian.Uint32(lb)
+	for i := uint32(0); i < nActive; i++ {
+		b := take(8)
+		if b == nil {
+			return nil, 0, ErrLogCorrupted
+		}
+		rec.Active = append(rec.Active, binary.LittleEndian.Uint64(b))
+	}
+	return rec, int64(8 + plen), nil
+}

@@ -1,0 +1,383 @@
+// Package txn implements the Sentinel transaction manager: top-level
+// transactions backed by the storage manager (the Exodus role) plus the
+// nested subtransactions the paper adds for rule execution. Each rule's
+// condition and action run inside a subtransaction; subtransactions take
+// locks from the shared lock manager, inherit them to their parent on
+// commit, and roll back their own storage effects on abort.
+//
+// The manager is also an event source: it signals the system transaction
+// events the paper relies on — beginTransaction, preCommitTransaction,
+// commitTransaction and abortTransaction — to a registered listener
+// (normally the local composite event detector). Deferred coupling mode is
+// built entirely from these events via the A* operator rewrite.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int
+
+// Transaction states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors reported by the transaction manager.
+var (
+	ErrFinished       = errors.New("txn: transaction already finished")
+	ErrActiveChildren = errors.New("txn: subtransactions still active")
+	ErrNotNested      = errors.New("txn: operation requires a subtransaction")
+)
+
+// EventListener receives transaction system events. name is one of the
+// event-name constants in the event package; txn is the top-level
+// transaction id. Listeners are called synchronously, in the signalling
+// goroutine, which is what lets deferred rules run between preCommit and
+// the actual commit.
+type EventListener func(name string, txnID uint64)
+
+// Manager creates and tracks transactions. Store may be nil, in which case
+// transactions are purely logical (locks and events only) — useful for the
+// detector's own tests and for the in-memory examples.
+type Manager struct {
+	store    *storage.Store
+	locks    *lockmgr.Manager
+	listener atomic.Value // EventListener
+
+	mu   sync.Mutex
+	live map[uint64]*Txn
+	next uint64 // ids for store-less mode
+}
+
+// NewManager builds a transaction manager over the given store and lock
+// manager. locks must not be nil.
+func NewManager(store *storage.Store, locks *lockmgr.Manager) *Manager {
+	m := &Manager{store: store, locks: locks, live: make(map[uint64]*Txn)}
+	m.listener.Store(EventListener(func(string, uint64) {}))
+	return m
+}
+
+// SetListener installs the transaction-event listener (the LED hook).
+func (m *Manager) SetListener(l EventListener) {
+	if l == nil {
+		l = func(string, uint64) {}
+	}
+	m.listener.Store(l)
+}
+
+func (m *Manager) emit(name string, txnID uint64) {
+	m.listener.Load().(EventListener)(name, txnID)
+}
+
+// Locks returns the shared lock manager.
+func (m *Manager) Locks() *lockmgr.Manager { return m.locks }
+
+// Txn is one transaction, top-level or nested.
+type Txn struct {
+	mgr    *Manager
+	id     uint64
+	parent *Txn
+	depth  int
+
+	mu       sync.Mutex
+	status   Status
+	children int
+	// family, maintained on the root only, lists the ids of the root and
+	// every subtransaction ever begun beneath it; the event graph flush
+	// at transaction end covers occurrences signalled under any of them.
+	family []uint64
+	// onFinish callbacks run (newest first) after commit or abort, with
+	// the final status; the detector uses them to flush the event graph.
+	onFinish []func(Status)
+}
+
+// FamilyIDs returns the ids of the root transaction and every
+// subtransaction ever created beneath it (including finished ones).
+func (t *Txn) FamilyIDs() []uint64 {
+	r := t.Root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.family) == 0 {
+		return []uint64{r.id}
+	}
+	out := make([]uint64, len(r.family))
+	copy(out, r.family)
+	return out
+}
+
+// ID returns the transaction's id. Subtransactions have their own ids.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Root returns the top-level ancestor (itself for top-level transactions).
+func (t *Txn) Root() *Txn {
+	r := t
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// Depth returns the nesting depth (0 for top-level).
+func (t *Txn) Depth() int { return t.depth }
+
+// IsNested reports whether t is a subtransaction.
+func (t *Txn) IsNested() bool { return t.parent != nil }
+
+// Status returns the transaction's current state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// OnFinish registers f to run when the transaction commits or aborts.
+func (t *Txn) OnFinish(f func(Status)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onFinish = append(t.onFinish, f)
+}
+
+// Begin starts a top-level transaction and signals beginTransaction.
+func (m *Manager) Begin() (*Txn, error) {
+	var id uint64
+	if m.store != nil {
+		sid, err := m.store.Begin()
+		if err != nil {
+			return nil, err
+		}
+		id = sid
+	} else {
+		m.mu.Lock()
+		m.next++
+		id = m.next | 1<<63 // keep store-less ids out of the store's space
+		m.mu.Unlock()
+	}
+	t := &Txn{mgr: m, id: id, status: Active}
+	t.family = []uint64{id}
+	m.mu.Lock()
+	m.live[id] = t
+	m.mu.Unlock()
+	m.emit("beginTransaction", id)
+	return t, nil
+}
+
+// BeginSub starts a subtransaction of t. Rule executions are packaged in
+// subtransactions, one per triggered rule.
+func (t *Txn) BeginSub() (*Txn, error) {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return nil, ErrFinished
+	}
+	t.children++
+	t.mu.Unlock()
+
+	m := t.mgr
+	var id uint64
+	if m.store != nil {
+		sid, err := m.store.BeginSub(t.id)
+		if err != nil {
+			t.childDone()
+			return nil, err
+		}
+		id = sid
+	} else {
+		m.mu.Lock()
+		m.next++
+		id = m.next | 1<<63
+		m.mu.Unlock()
+	}
+	sub := &Txn{mgr: m, id: id, parent: t, depth: t.depth + 1, status: Active}
+	root := t.Root()
+	root.mu.Lock()
+	root.family = append(root.family, id)
+	root.mu.Unlock()
+	m.locks.SetParent(lockmgr.TxnID(id), lockmgr.TxnID(t.id))
+	m.mu.Lock()
+	m.live[id] = sub
+	m.mu.Unlock()
+	return sub, nil
+}
+
+func (t *Txn) childDone() {
+	t.mu.Lock()
+	t.children--
+	t.mu.Unlock()
+}
+
+// Lock acquires a lock on behalf of this transaction.
+func (t *Txn) Lock(resource string, mode lockmgr.Mode) error {
+	return t.mgr.locks.Lock(lockmgr.TxnID(t.id), resource, mode)
+}
+
+// Insert stores a record under this transaction.
+func (t *Txn) Insert(data []byte) (storage.RID, error) {
+	if t.mgr.store == nil {
+		return storage.RID{}, errors.New("txn: no store configured")
+	}
+	return t.mgr.store.Insert(t.id, data)
+}
+
+// Read returns the record at rid.
+func (t *Txn) Read(rid storage.RID) ([]byte, error) {
+	if t.mgr.store == nil {
+		return nil, errors.New("txn: no store configured")
+	}
+	return t.mgr.store.Read(rid)
+}
+
+// Update replaces the record at rid, returning its possibly-new RID.
+func (t *Txn) Update(rid storage.RID, data []byte) (storage.RID, error) {
+	if t.mgr.store == nil {
+		return storage.RID{}, errors.New("txn: no store configured")
+	}
+	return t.mgr.store.Update(t.id, rid, data)
+}
+
+// Delete removes the record at rid.
+func (t *Txn) Delete(rid storage.RID) error {
+	if t.mgr.store == nil {
+		return errors.New("txn: no store configured")
+	}
+	return t.mgr.store.Delete(t.id, rid)
+}
+
+// Commit finishes the transaction. For a top-level transaction the
+// preCommitTransaction event is signalled first — this is the hook that
+// makes deferred rules run "just before commit" — and the commit proceeds
+// only afterwards. For a subtransaction the locks are inherited by the
+// parent and the storage effects merge into it.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.mu.Unlock()
+
+	m := t.mgr
+	if t.parent == nil {
+		// The preCommit signal may trigger deferred rules, which create
+		// subtransactions; they must all be finished by the time the
+		// listener returns.
+		m.emit("preCommitTransaction", t.id)
+	}
+
+	t.mu.Lock()
+	if t.children > 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: txn %d", ErrActiveChildren, t.id)
+	}
+	t.status = Committed
+	finishers := t.takeFinishersLocked()
+	t.mu.Unlock()
+
+	if m.store != nil {
+		if err := m.store.Commit(t.id); err != nil {
+			t.mu.Lock()
+			t.status = Active
+			t.mu.Unlock()
+			return err
+		}
+	}
+	if t.parent != nil {
+		m.locks.Inherit(lockmgr.TxnID(t.id), lockmgr.TxnID(t.parent.id))
+		t.parent.childDone()
+	} else {
+		m.locks.ReleaseAll(lockmgr.TxnID(t.id))
+		m.emit("commitTransaction", t.id)
+	}
+	m.forget(t.id)
+	runFinishers(finishers, Committed)
+	return nil
+}
+
+// Abort rolls the transaction back: its storage effects are undone, its
+// locks released, and (for top-level transactions) abortTransaction is
+// signalled so the event graph can be flushed.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	if t.children > 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: txn %d", ErrActiveChildren, t.id)
+	}
+	t.status = Aborted
+	finishers := t.takeFinishersLocked()
+	t.mu.Unlock()
+
+	m := t.mgr
+	if m.store != nil {
+		if err := m.store.Abort(t.id); err != nil {
+			return err
+		}
+	}
+	m.locks.ReleaseAll(lockmgr.TxnID(t.id))
+	if t.parent != nil {
+		t.parent.childDone()
+	} else {
+		m.emit("abortTransaction", t.id)
+	}
+	m.forget(t.id)
+	runFinishers(finishers, Aborted)
+	return nil
+}
+
+func (t *Txn) takeFinishersLocked() []func(Status) {
+	f := t.onFinish
+	t.onFinish = nil
+	return f
+}
+
+func runFinishers(fs []func(Status), st Status) {
+	for i := len(fs) - 1; i >= 0; i-- {
+		fs[i](st)
+	}
+}
+
+func (m *Manager) forget(id uint64) {
+	m.mu.Lock()
+	delete(m.live, id)
+	m.mu.Unlock()
+}
+
+// Lookup returns the live transaction with the given id, or nil.
+func (m *Manager) Lookup(id uint64) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live[id]
+}
+
+// Live returns the number of unfinished transactions (tests).
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}

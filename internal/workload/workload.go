@@ -1,0 +1,223 @@
+// Package workload generates the synthetic event streams the benchmark
+// harness drives the detector with — the workload-generator half of a
+// BEAST-style active-DBMS benchmark. Streams are deterministic for a
+// given seed (xorshift PRNG, no global state), so benchmark runs and the
+// online-vs-batch experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Step is one generated action in a stream.
+type Step struct {
+	// Kind selects what happens.
+	Kind StepKind
+	// Class, Method, Modifier, Object and Params describe a method event.
+	Class    string
+	Method   string
+	Modifier event.Modifier
+	Object   event.OID
+	Params   event.ParamList
+	// Txn is the transaction the step belongs to.
+	Txn uint64
+}
+
+// StepKind classifies steps.
+type StepKind int
+
+// Step kinds.
+const (
+	// StepMethod signals a method event.
+	StepMethod StepKind = iota
+	// StepBegin opens a new transaction.
+	StepBegin
+	// StepCommit commits the current transaction.
+	StepCommit
+	// StepAbort aborts the current transaction.
+	StepAbort
+)
+
+// String names the kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepMethod:
+		return "method"
+	case StepBegin:
+		return "begin"
+	case StepCommit:
+		return "commit"
+	case StepAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a generated stream.
+type Config struct {
+	// Seed makes the stream reproducible.
+	Seed uint64
+	// Classes and MethodsPerClass shape the schema; events are uniform
+	// over (class, method) pairs unless Skew is set.
+	Classes         int
+	MethodsPerClass int
+	// Objects is the OID range events are spread over.
+	Objects int
+	// EventsPerTxn is the mean number of method events per transaction.
+	EventsPerTxn int
+	// AbortFraction (0..1 scaled by 1000) of transactions abort.
+	AbortPerMille int
+	// Skew, when true, concentrates 80% of events on the first class.
+	Skew bool
+	// Params attaches a small parameter list to each event.
+	Params bool
+}
+
+// Default returns a reasonable medium workload.
+func Default(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Classes:         4,
+		MethodsPerClass: 4,
+		Objects:         64,
+		EventsPerTxn:    10,
+		AbortPerMille:   100,
+		Params:          true,
+	}
+}
+
+// rng is xorshift64*; deterministic, allocation-free.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generator yields a deterministic stream of steps.
+type Generator struct {
+	cfg     Config
+	rnd     *rng
+	nextTxn uint64
+	curTxn  uint64
+	left    int // events left in the current transaction
+}
+
+// New creates a generator. Zero-valued config fields get the defaults.
+func New(cfg Config) *Generator {
+	def := Default(cfg.Seed)
+	if cfg.Classes == 0 {
+		cfg.Classes = def.Classes
+	}
+	if cfg.MethodsPerClass == 0 {
+		cfg.MethodsPerClass = def.MethodsPerClass
+	}
+	if cfg.Objects == 0 {
+		cfg.Objects = def.Objects
+	}
+	if cfg.EventsPerTxn == 0 {
+		cfg.EventsPerTxn = def.EventsPerTxn
+	}
+	return &Generator{cfg: cfg, rnd: newRng(cfg.Seed)}
+}
+
+// ClassName returns the i-th class name the generator uses.
+func ClassName(i int) string { return fmt.Sprintf("W%d", i) }
+
+// MethodName returns the j-th method name.
+func MethodName(j int) string { return fmt.Sprintf("op%d", j) }
+
+// Next returns the next step.
+func (g *Generator) Next() Step {
+	if g.curTxn == 0 {
+		g.nextTxn++
+		g.curTxn = g.nextTxn
+		g.left = 1 + g.rnd.intn(g.cfg.EventsPerTxn*2)
+		return Step{Kind: StepBegin, Txn: g.curTxn}
+	}
+	if g.left == 0 {
+		txn := g.curTxn
+		g.curTxn = 0
+		if g.rnd.intn(1000) < g.cfg.AbortPerMille {
+			return Step{Kind: StepAbort, Txn: txn}
+		}
+		return Step{Kind: StepCommit, Txn: txn}
+	}
+	g.left--
+	cls := g.rnd.intn(g.cfg.Classes)
+	if g.cfg.Skew && g.rnd.intn(10) < 8 {
+		cls = 0
+	}
+	st := Step{
+		Kind:     StepMethod,
+		Class:    ClassName(cls),
+		Method:   MethodName(g.rnd.intn(g.cfg.MethodsPerClass)),
+		Modifier: event.End,
+		Object:   event.OID(1 + g.rnd.intn(g.cfg.Objects)),
+		Txn:      g.curTxn,
+	}
+	if g.rnd.intn(2) == 0 {
+		st.Modifier = event.Begin
+	}
+	if g.cfg.Params {
+		st.Params = event.NewParams("v", g.rnd.intn(1000), "f", float64(g.rnd.intn(100))/10)
+	}
+	return st
+}
+
+// Steps returns the next n steps.
+func (g *Generator) Steps(n int) []Step {
+	out := make([]Step, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Signaller applies steps to anything with the detector's signalling
+// surface.
+type Signaller interface {
+	SignalMethod(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64)
+	SignalTxn(name string, txnID uint64)
+}
+
+// Apply drives n steps into the signaller and returns the step counts by
+// kind.
+func Apply(g *Generator, d Signaller, n int) map[StepKind]int {
+	counts := map[StepKind]int{}
+	for i := 0; i < n; i++ {
+		st := g.Next()
+		counts[st.Kind]++
+		switch st.Kind {
+		case StepMethod:
+			d.SignalMethod(st.Class, st.Method, st.Modifier, st.Object, st.Params, st.Txn)
+		case StepBegin:
+			d.SignalTxn(event.BeginTransaction, st.Txn)
+		case StepCommit:
+			d.SignalTxn(event.PreCommit, st.Txn)
+			d.SignalTxn(event.CommitTransaction, st.Txn)
+		case StepAbort:
+			d.SignalTxn(event.AbortTransaction, st.Txn)
+		}
+	}
+	return counts
+}

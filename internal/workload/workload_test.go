@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(Default(42)).Steps(500)
+	b := New(Default(42)).Steps(500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := New(Default(43)).Steps(500)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestTransactionBracketing(t *testing.T) {
+	g := New(Default(1))
+	open := false
+	var methods int
+	for i := 0; i < 5000; i++ {
+		st := g.Next()
+		switch st.Kind {
+		case StepBegin:
+			if open {
+				t.Fatal("begin inside open transaction")
+			}
+			open = true
+		case StepCommit, StepAbort:
+			if !open {
+				t.Fatalf("%v with no open transaction", st.Kind)
+			}
+			open = false
+		case StepMethod:
+			if !open {
+				t.Fatal("method event outside transaction")
+			}
+			methods++
+			if st.Txn == 0 {
+				t.Fatal("method step with no txn")
+			}
+		}
+	}
+	if methods == 0 {
+		t.Fatal("no method events generated")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	for k, want := range map[StepKind]string{
+		StepMethod: "method", StepBegin: "begin", StepCommit: "commit", StepAbort: "abort",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+	if !strings.Contains(StepKind(9).String(), "9") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestSkewConcentratesOnFirstClass(t *testing.T) {
+	cfg := Default(7)
+	cfg.Skew = true
+	g := New(cfg)
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 10000; i++ {
+		st := g.Next()
+		if st.Kind == StepMethod {
+			counts[st.Class]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no methods")
+	}
+	if frac := float64(counts[ClassName(0)]) / float64(total); frac < 0.7 {
+		t.Fatalf("skewed class got only %.2f of events", frac)
+	}
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	g := New(Config{Seed: 3})
+	st := g.Steps(100)
+	sawMethod := false
+	for _, s := range st {
+		if s.Kind == StepMethod {
+			sawMethod = true
+			if s.Class == "" || s.Method == "" {
+				t.Fatalf("defaults missing: %+v", s)
+			}
+		}
+	}
+	if !sawMethod {
+		t.Fatal("no method steps")
+	}
+}
+
+func TestApplyDrivesDetector(t *testing.T) {
+	d := detector.New()
+	cfg := Default(11)
+	cfg.Classes = 2
+	cfg.MethodsPerClass = 2
+	for c := 0; c < cfg.Classes; c++ {
+		d.DeclareClass(ClassName(c), "")
+		for m := 0; m < cfg.MethodsPerClass; m++ {
+			name := ClassName(c) + "." + MethodName(m)
+			if _, err := d.DefinePrimitive(name, ClassName(c), MethodName(m), event.End, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var seen int
+	if _, err := d.Subscribe(ClassName(0)+"."+MethodName(0), detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) { seen++ })); err != nil {
+		t.Fatal(err)
+	}
+	counts := Apply(New(cfg), d, 2000)
+	if counts[StepMethod] == 0 || counts[StepBegin] == 0 || counts[StepCommit] == 0 {
+		t.Fatalf("counts=%v", counts)
+	}
+	if seen == 0 {
+		t.Fatal("no events reached the subscriber")
+	}
+	// Begins equal commits+aborts (modulo the possibly-open last txn).
+	if diff := counts[StepBegin] - counts[StepCommit] - counts[StepAbort]; diff < 0 || diff > 1 {
+		t.Fatalf("unbalanced transactions: %v", counts)
+	}
+}

