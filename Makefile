@@ -1,0 +1,36 @@
+# Build, test, and benchmark entry points. `make check` is the tier-1
+# gate; `make bench` regenerates BENCH_detector.json (the committed
+# before/after numbers for the signal fast path).
+
+GO ?= go
+BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_
+BENCH_OUT ?= BENCH_detector.json
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the full gate: vet plus the whole suite under the race
+# detector (the concurrency stress tests only mean something with -race).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench reruns the detector signal-path benchmarks and records them under
+# the "after" label of $(BENCH_OUT), preserving the committed "before"
+# (seed) numbers. Run with BENCH_LABEL=before on a clean baseline to
+# regenerate both sides.
+BENCH_LABEL ?= after
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -cpu 1,4,8 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT) -merge
+
+clean:
+	$(GO) clean ./...

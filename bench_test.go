@@ -66,6 +66,39 @@ func BenchmarkE1_PrimitiveSignalNoSubscriber(b *testing.B) {
 	}
 }
 
+// BenchmarkE1_PrimitiveSignalParallel drives the subscribed signal path
+// from concurrent goroutines (run with -cpu 1,4,8 to see scaling): the
+// admission check is lock-free, but delivery serializes on the graph
+// mutex, so this measures contention on the consumed-signal path.
+func BenchmarkE1_PrimitiveSignalParallel(b *testing.B) {
+	d, _ := benchDetector(b, 1)
+	if _, err := d.Subscribe("e0", detector.Recent, drainSub()); err != nil {
+		b.Fatal(err)
+	}
+	params := event.NewParams("price", 42.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.SignalMethod("C", "m0", event.End, 1, params, 1)
+		}
+	})
+}
+
+// BenchmarkE1_PrimitiveSignalNoSubscriberParallel is the headline case for
+// the lock-free fast path: concurrent signallers of an unconsumed event
+// never touch the graph mutex, so throughput should scale with -cpu.
+func BenchmarkE1_PrimitiveSignalNoSubscriberParallel(b *testing.B) {
+	d, _ := benchDetector(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.SignalMethod("C", "m0", event.End, 1, nil, 1)
+		}
+	})
+}
+
 // BenchmarkE2_OperatorDetect measures end-to-end detection of each binary
 // operator (alternating constituent stream, RECENT context).
 func BenchmarkE2_OperatorDetect(b *testing.B) {
@@ -157,6 +190,30 @@ func BenchmarkE4_OnlineVsBatch(b *testing.B) {
 		for i := 0; i < b.N/streamLen+1; i++ {
 			d := build()
 			if _, err := detector.Replay(recorded.reader(), d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("signalbatch", func(b *testing.B) {
+		// The same stream injected through SignalBatch directly: one graph
+		// lock per stream instead of one per occurrence, and no gob
+		// round-trip, isolating the batching win from the decode cost.
+		stream := make([]event.Occurrence, streamLen)
+		for i := range stream {
+			stream[i] = event.Occurrence{
+				Kind:     event.KindMethod,
+				Class:    "C",
+				Method:   fmt.Sprintf("m%d", i%2),
+				Modifier: event.End,
+				Object:   1,
+				Txn:      1,
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N/streamLen+1; i++ {
+			d := build()
+			if _, err := d.SignalBatch(stream); err != nil {
 				b.Fatal(err)
 			}
 		}

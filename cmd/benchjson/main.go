@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so benchmark runs can be committed and diffed. With -merge it
+// folds the new run into an existing document under the given -label,
+// keeping earlier labels intact — the before/after workflow:
+//
+//	go test -bench E1 . | benchjson -label before -out BENCH.json
+//	... optimize ...
+//	go test -bench E1 . | benchjson -label after -out BENCH.json -merge
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "run", "top-level key for this run")
+	out := flag.String("out", "", "output file (default stdout)")
+	merge := flag.Bool("merge", false, "merge into an existing -out document")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string][]result{}
+	if *merge && *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	doc[*label] = results
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines ("BenchmarkX-8  N  T ns/op ...")
+// from go test output, tolerating interleaved log lines.
+func parse(f *os.File) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[2]+fields[3] == "" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: output" log lines
+		}
+		r := result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

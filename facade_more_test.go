@@ -2,6 +2,7 @@ package sentinel_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -9,11 +10,14 @@ import (
 	"time"
 
 	sentinel "repro"
+	"repro/internal/lockmgr"
 )
 
 // TestConcurrentTransactionsSerialize: two transactions invoking a
 // mutating method on the same object are serialized by the object lock;
-// the final state reflects both.
+// the final state reflects both. Load-then-Invoke is an S→X lock upgrade,
+// so concurrent workers can deadlock; the lock manager aborts a victim,
+// and the worker retries its transaction — the standard client response.
 func TestConcurrentTransactionsSerialize(t *testing.T) {
 	db := openStockDB(t, t.TempDir())
 	setup, _ := db.Begin()
@@ -28,28 +32,35 @@ func TestConcurrentTransactionsSerialize(t *testing.T) {
 	const workers, per = 4, 10
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
+	sellOne := func() error {
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		loaded, err := db.Load(tx, obj.OID)
+		if err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		if _, err := db.Invoke(tx, loaded, "sell_stock", 1); err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				tx, err := db.Begin()
-				if err != nil {
-					errs <- err
-					return
-				}
-				loaded, err := db.Load(tx, obj.OID)
-				if err != nil {
-					errs <- err
-					_ = tx.Abort()
-					return
-				}
-				if _, err := db.Invoke(tx, loaded, "sell_stock", 1); err != nil {
-					errs <- err
-					_ = tx.Abort()
-					return
-				}
-				if err := tx.Commit(); err != nil {
+				for {
+					err := sellOne()
+					if err == nil {
+						break
+					}
+					if errors.Is(err, lockmgr.ErrDeadlock) {
+						continue // aborted as a deadlock victim: retry
+					}
 					errs <- err
 					return
 				}

@@ -1,0 +1,144 @@
+package detector
+
+import (
+	"sync"
+
+	"repro/internal/event"
+)
+
+// This file implements the lock-free signal fast path: an immutable
+// admission index consulted by SignalMethod/SignalExplicit *before* taking
+// the graph mutex, so signals that no node could possibly consume return
+// without locking or allocating. The index is copy-on-write: every
+// operation that can change what a signal matches (defining events or
+// classes, attaching operator parents, subscribing or unsubscribing rules)
+// invalidates it under the graph lock, and the next signal that needs it
+// rebuilds it, also under the lock. Readers only ever see a complete,
+// immutable table through the atomic pointer, so the admission decision is
+// linearized at the pointer load: a signal that races with a Subscribe is
+// equivalent to the same signal arriving just before the subscription —
+// exactly the guarantee the locked path gave.
+//
+// Graph propagation itself stays single-threaded under the existing mutex:
+// the paper's detector processes occurrences one at a time in signal
+// order, and the operator state machines (and the rules layered on them)
+// depend on that ordering. The fast path only moves the *rejection* of
+// irrelevant signals out of the critical section; everything that can
+// reach a node still serializes.
+
+// methodKey identifies what a method signal must present to be admitted:
+// the signalled (dynamic) class, the method signature, and the modifier.
+type methodKey struct {
+	class  string
+	method string
+	mod    event.Modifier
+}
+
+// Explicit-event entry bits in matchIndex.explicit.
+const (
+	admitDefined uint8 = 1 << iota // name is a defined explicit event
+	admitLive                      // some rule, parent, or context consumes it
+)
+
+// matchIndex is the immutable admission table. methods holds one entry per
+// (signal-class, method, modifier) triple that at least one *live*
+// primitive node could match — the ancestor walk of SignalMethod is
+// pre-flattened here at build time, so the hot path is a single map probe
+// with no inheritance-chain traversal. explicit classifies explicit event
+// names so SignalExplicit can drop defined-but-unconsumed events without
+// the lock while still routing unknown names to the locked path for the
+// usual error.
+type matchIndex struct {
+	methods  map[methodKey]struct{}
+	explicit map[string]uint8
+}
+
+// live reports whether some consumer can observe this node's occurrences:
+// a subscribed rule, an operator parent, or an activated context. It is
+// the admission predicate of the per-class walk in signalMethodLocked and
+// must stay in sync with it.
+func (c *nodeCore) live() bool {
+	return c.anyActive() || len(c.rules) > 0 || len(c.parents) > 0
+}
+
+// invalidateAdmit drops the published admission index; callers hold d.mu.
+// The next signal rebuilds it lazily, so bursts of definitions or
+// subscriptions pay for one rebuild, not one per mutation.
+func (d *Detector) invalidateAdmit() {
+	d.admit.Store(nil)
+}
+
+// admitLocked returns the current admission index, rebuilding it if a
+// mutation invalidated it. Callers hold d.mu.
+func (d *Detector) admitLocked() *matchIndex {
+	if idx := d.admit.Load(); idx != nil {
+		return idx
+	}
+	idx := d.buildAdmitLocked()
+	d.admit.Store(idx)
+	return idx
+}
+
+// buildAdmitLocked flattens the class hierarchy and per-class primitive
+// lists into the admission table. Callers hold d.mu.
+func (d *Detector) buildAdmitLocked() *matchIndex {
+	idx := &matchIndex{
+		methods:  make(map[methodKey]struct{}),
+		explicit: make(map[string]uint8),
+	}
+	// Every class a signal can name and still match something: classes
+	// with primitive events defined on them plus every declared class
+	// (a subclass inherits its ancestors' class-level events).
+	known := make(map[string]struct{}, len(d.classes)+len(d.super))
+	for c := range d.classes {
+		known[c] = struct{}{}
+	}
+	for c := range d.super {
+		known[c] = struct{}{}
+	}
+	maxDepth := len(known) + 1 // guards against a cyclic super chain
+	for c := range known {
+		depth := 0
+		for anc := c; anc != "" && depth < maxDepth; anc, depth = d.super[anc], depth+1 {
+			for _, p := range d.classes[anc] {
+				if p.live() {
+					idx.methods[methodKey{class: c, method: p.method, mod: p.modifier}] = struct{}{}
+				}
+			}
+		}
+	}
+	for name, n := range d.nodes {
+		if p, ok := n.(*PrimitiveNode); ok && p.kind == event.KindExplicit {
+			v := admitDefined
+			if p.live() {
+				v |= admitLive
+			}
+			idx.explicit[name] = v
+		}
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Occurrence pool
+// ---------------------------------------------------------------------------
+
+// occPool recycles the template occurrences the signal entry points build.
+// Pooling discipline: a pooled occurrence never escapes the detector —
+// PrimitiveNode.fire copies the template before anything downstream sees
+// it, so the template can be returned as soon as the per-class walk
+// finishes. The one consumer that receives the template itself is an
+// installed Tracer (TraceRaw hands it the original, and the debugger
+// retains occurrences), so templates are only drawn from and returned to
+// the pool while no tracer is installed.
+var occPool = sync.Pool{New: func() any { return new(event.Occurrence) }}
+
+// getOcc returns a zeroed template occurrence.
+func getOcc() *event.Occurrence { return occPool.Get().(*event.Occurrence) }
+
+// putOcc clears and recycles a template so it does not pin parameter
+// lists until its next reuse.
+func putOcc(o *event.Occurrence) {
+	*o = event.Occurrence{}
+	occPool.Put(o)
+}

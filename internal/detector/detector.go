@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/event"
 )
@@ -49,6 +50,10 @@ func (k TraceKind) String() string {
 }
 
 // Tracer observes detector activity; the rule debugger implements it.
+// Installing a tracer routes every signal through the locked slow path
+// (the tracer must see raw occurrences the fast path never builds), so
+// detectors with a debugger or event-log recorder attached trade the
+// lock-free admission filter for complete traces.
 type Tracer interface {
 	Trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string)
 }
@@ -60,6 +65,15 @@ type Stats struct {
 	RuleFires  uint64 // rule subscriber notifications
 }
 
+// statCounters is the live, atomically updated form of Stats: counters
+// move out of the mutex so StatsSnapshot never blocks signalling and the
+// lock-free signal paths can still account their activity.
+type statCounters struct {
+	signals    atomic.Uint64
+	detections atomic.Uint64
+	ruleFires  atomic.Uint64
+}
+
 // Errors reported by the detector.
 var (
 	ErrDuplicateEvent = errors.New("detector: event name already defined differently")
@@ -68,10 +82,14 @@ var (
 )
 
 // Detector is the local composite event detector: one per application, as
-// in Figure 2 of the paper. All methods are safe for concurrent use; the
+// in Figure 2 of the paper. All methods are safe for concurrent use. The
 // graph itself is mutated and walked under a single mutex, which plays the
 // role of the paper's dedicated detector thread (occurrences are processed
-// one at a time, in signal order).
+// one at a time, in signal order) — but admission is decided before the
+// mutex: a copy-on-write match index (see admission.go) lets signals that
+// no rule, parent, or context consumes return without locking or
+// allocating, so the per-method Notify cost of an application that defines
+// few events stays near-free and scales with cores.
 type Detector struct {
 	mu       sync.Mutex
 	clock    event.Clock
@@ -83,9 +101,26 @@ type Detector struct {
 	timers   timerHeap
 	timerSeq uint64
 	timerTxn map[*timerEntry]timerOwner
-	maskCnt  int
+	maskCnt  atomic.Int64
 	tracer   Tracer
-	stats    Stats
+	traced   atomic.Bool // tracer != nil, readable without the lock
+	stats    statCounters
+	admit    atomic.Pointer[matchIndex] // lock-free admission filter
+
+	// dirty tracks, per transaction, the set of nodes that stored an
+	// occurrence (or scheduled a timer) on the transaction's behalf, so
+	// the commit/abort flush visits only nodes the transaction actually
+	// touched instead of sweeping the whole graph. If an unbounded number
+	// of transactions accumulate without ever being flushed, tracking
+	// stops (dirtyOverflow) and flushes fall back to full sweeps until
+	// FlushAll resets the graph.
+	dirty         map[uint64]map[Node]struct{}
+	dirtyOverflow bool
+	// lastDirtyNode/lastDirtyTxn cache the most recent mark: a burst of
+	// occurrences through one operator re-marks the same pair, and the
+	// cache turns those re-marks into a pointer compare.
+	lastDirtyNode Node
+	lastDirtyTxn  uint64
 
 	// App names this application for inter-application events.
 	App string
@@ -109,6 +144,7 @@ func New() *Detector {
 		classes:   make(map[string][]*PrimitiveNode),
 		super:     make(map[string]string),
 		timerTxn:  make(map[*timerEntry]timerOwner),
+		dirty:     make(map[uint64]map[Node]struct{}),
 		AutoFlush: true,
 	}
 }
@@ -116,11 +152,11 @@ func New() *Detector {
 func (d *Detector) trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string) {
 	switch kind {
 	case TraceSignal:
-		d.stats.Signals++
+		d.stats.signals.Add(1)
 	case TraceDetect:
-		d.stats.Detections++
+		d.stats.detections.Add(1)
 	case TraceNotifyRule:
-		d.stats.RuleFires++
+		d.stats.ruleFires.Add(1)
 	}
 	if d.tracer != nil {
 		d.tracer.Trace(kind, occ, ctx, node)
@@ -128,18 +164,27 @@ func (d *Detector) trace(kind TraceKind, occ *event.Occurrence, ctx Context, nod
 }
 
 // SetTracer installs a trace observer (the rule debugger). Pass nil to
-// remove it.
+// remove it. While a tracer is installed the lock-free signal fast path is
+// disabled, so the tracer sees every occurrence entering the detector.
 func (d *Detector) SetTracer(t Tracer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tracer = t
+	d.traced.Store(t != nil)
 }
 
-// StatsSnapshot returns a copy of the activity counters.
+// StatsSnapshot returns a copy of the activity counters. It reads the
+// atomic counters directly — never the graph mutex — so snapshotting is
+// wait-free and cannot stall signalling. The counters are monotonically
+// non-decreasing; a snapshot taken while signals are in flight on other
+// goroutines may trail those signals' effects, but is never torn below a
+// single counter.
 func (d *Detector) StatsSnapshot() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Signals:    d.stats.signals.Load(),
+		Detections: d.stats.detections.Load(),
+		RuleFires:  d.stats.ruleFires.Load(),
+	}
 }
 
 // DeclareClass registers a class and its superclass ("" for none) so
@@ -149,6 +194,7 @@ func (d *Detector) DeclareClass(name, super string) {
 	defer d.mu.Unlock()
 	if _, ok := d.super[name]; !ok {
 		d.super[name] = super
+		d.invalidateAdmit()
 	}
 }
 
@@ -186,6 +232,9 @@ func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
 	n := build()
 	d.nodes[name] = n
 	d.nodeSig[name] = sig
+	// Definitions change what signals can match (new primitives, new
+	// parent edges attached by operator builds).
+	d.invalidateAdmit()
 	return n, nil
 }
 
@@ -232,6 +281,7 @@ func (d *Detector) txnNode(name string) *PrimitiveNode {
 	}
 	d.nodes[name] = p
 	d.nodeSig[name] = "txn(" + name + ")"
+	d.invalidateAdmit()
 	return p
 }
 
@@ -266,6 +316,7 @@ func (d *Detector) Alias(alias, existing string) error {
 	}
 	d.nodes[alias] = n
 	d.nodeSig[alias] = d.nodeSig[existing]
+	d.invalidateAdmit()
 	return nil
 }
 
@@ -438,10 +489,12 @@ func (d *Detector) Subscribe(eventName string, ctx Context, sub Subscriber) (fun
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, eventName)
 	}
 	undo := n.subscribe(sub, ctx)
+	d.invalidateAdmit() // liveness changed
 	return func() {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		undo()
+		d.invalidateAdmit()
 	}, nil
 }
 
@@ -451,28 +504,64 @@ func (d *Detector) Subscribe(eventName string, ctx Context, sub Subscriber) (fun
 // (§3.2.1 of the paper — the "global variable" that disables signalling).
 // Masking nests: each SetMasked(true) must be balanced by SetMasked(false)
 // before signals are acknowledged again, so concurrently running rule
-// conditions compose.
+// conditions compose. The mask is an atomic counter so masked signals are
+// dropped on the lock-free fast path.
 func (d *Detector) SetMasked(masked bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if masked {
-		d.maskCnt++
-	} else if d.maskCnt > 0 {
-		d.maskCnt--
+		d.maskCnt.Add(1)
+		return
+	}
+	for {
+		cur := d.maskCnt.Load()
+		if cur == 0 {
+			return
+		}
+		if d.maskCnt.CompareAndSwap(cur, cur-1) {
+			return
+		}
 	}
 }
 
 // SignalMethod signals a method invocation event: every primitive event
 // node defined on the class (or an ancestor class) with a matching method
 // and modifier fires. It is the Notify call the Sentinel post-processor
-// plants in each wrapper method.
+// plants in each wrapper method — paid on every method invocation of
+// every reactive class, so the no-consumer case is decided lock-free: a
+// masked detector or a (class, method, modifier) triple absent from the
+// admission index returns without locking or allocating.
 func (d *Detector) SignalMethod(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.maskCnt > 0 {
+	if d.maskCnt.Load() > 0 {
 		return
 	}
-	tmpl := &event.Occurrence{
+	admitted := false
+	if !d.traced.Load() {
+		if idx := d.admit.Load(); idx != nil {
+			if _, ok := idx.methods[methodKey{class: class, method: method, mod: mod}]; !ok {
+				return // nothing could consume this signal
+			}
+			admitted = true // skip the re-probe under the lock
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.signalMethodLocked(class, method, mod, oid, params, txnID, admitted)
+}
+
+// signalMethodLocked is the graph-walk stage of SignalMethod; callers
+// hold d.mu. admitted means the caller already found the (class, method,
+// modifier) triple in the current admission index.
+func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64, admitted bool) {
+	if d.maskCnt.Load() > 0 {
+		return
+	}
+	if !admitted {
+		idx := d.admitLocked()
+		if _, ok := idx.methods[methodKey{class: class, method: method, mod: mod}]; !ok && d.tracer == nil {
+			return
+		}
+	}
+	tmpl := getOcc()
+	*tmpl = event.Occurrence{
 		Kind:     event.KindMethod,
 		Class:    class,
 		Method:   method,
@@ -490,20 +579,39 @@ func (d *Detector) SignalMethod(class, method string, mod event.Modifier, oid ev
 	// list based on the class on which it is defined").
 	for c := class; c != ""; c = d.super[c] {
 		for _, p := range d.classes[c] {
-			if p.anyActive() || len(p.rules) > 0 || len(p.parents) > 0 {
-				if p.matches(class, method, mod, oid) {
-					p.fire(tmpl)
-				}
+			if p.live() && p.matches(class, method, mod, oid) {
+				p.fire(tmpl)
 			}
 		}
 	}
+	if d.tracer == nil {
+		putOcc(tmpl) // fire copied it; a tracer is the only retainer
+	}
 }
 
-// SignalExplicit raises a named explicit event.
+// SignalExplicit raises a named explicit event. Like SignalMethod, a
+// defined event with no consumers is dropped lock-free (the Signals
+// counter still advances, matching the locked path's accounting).
 func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uint64) error {
+	if d.maskCnt.Load() > 0 {
+		return nil
+	}
+	if !d.traced.Load() {
+		if idx := d.admit.Load(); idx != nil {
+			if v, ok := idx.explicit[name]; ok && v&admitLive == 0 {
+				d.stats.signals.Add(1)
+				return nil
+			}
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.maskCnt > 0 {
+	return d.signalExplicitLocked(name, params, txnID)
+}
+
+// signalExplicitLocked fires an explicit event; callers hold d.mu.
+func (d *Detector) signalExplicitLocked(name string, params event.ParamList, txnID uint64) error {
+	if d.maskCnt.Load() > 0 {
 		return nil
 	}
 	n, ok := d.nodes[name]
@@ -514,7 +622,8 @@ func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uin
 	if !ok || p.kind != event.KindExplicit {
 		return fmt.Errorf("%w: %q is not an explicit event", ErrBadOperand, name)
 	}
-	occ := &event.Occurrence{
+	occ := getOcc()
+	*occ = event.Occurrence{
 		Name:   name,
 		Kind:   event.KindExplicit,
 		Params: params,
@@ -525,6 +634,9 @@ func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uin
 	}
 	d.trace(TraceRaw, occ, Recent, "input")
 	p.fire(occ)
+	if d.tracer == nil {
+		putOcc(occ)
+	}
 	return nil
 }
 
@@ -534,20 +646,34 @@ func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uin
 func (d *Detector) SignalTxn(name string, txnID uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.maskCnt == 0 {
-		occ := &event.Occurrence{
-			Name: name,
-			Kind: event.KindTransaction,
-			Seq:  d.clock.Next(),
-			Time: d.vtime,
-			Txn:  txnID,
-			App:  d.App,
-		}
-		d.trace(TraceRaw, occ, Recent, "input")
+	d.signalTxnLocked(name, txnID)
+}
+
+// signalTxnLocked fires a transaction event and auto-flushes on commit or
+// abort; callers hold d.mu.
+func (d *Detector) signalTxnLocked(name string, txnID uint64) {
+	if d.maskCnt.Load() == 0 {
 		if n, ok := d.nodes[name]; ok {
 			if p, ok := n.(*PrimitiveNode); ok && p.kind == event.KindTransaction {
+				occ := getOcc()
+				*occ = event.Occurrence{
+					Name: name,
+					Kind: event.KindTransaction,
+					Seq:  d.clock.Next(),
+					Time: d.vtime,
+					Txn:  txnID,
+					App:  d.App,
+				}
+				d.trace(TraceRaw, occ, Recent, "input")
 				p.fire(occ)
+				if d.tracer == nil {
+					putOcc(occ)
+				}
+			} else if d.tracer != nil {
+				d.traceTxnInput(name, txnID)
 			}
+		} else if d.tracer != nil {
+			d.traceTxnInput(name, txnID)
 		}
 	}
 	if d.AutoFlush && (name == event.CommitTransaction || name == event.AbortTransaction) {
@@ -555,23 +681,49 @@ func (d *Detector) SignalTxn(name string, txnID uint64) {
 	}
 }
 
+// traceTxnInput reports a transaction event to the tracer even when no
+// node consumes it, preserving the pre-fast-path property that the raw
+// trace (and therefore recorded event logs) contains the full stream.
+func (d *Detector) traceTxnInput(name string, txnID uint64) {
+	occ := &event.Occurrence{
+		Name: name,
+		Kind: event.KindTransaction,
+		Seq:  d.clock.Next(),
+		Time: d.vtime,
+		Txn:  txnID,
+		App:  d.App,
+	}
+	d.trace(TraceRaw, occ, Recent, "input")
+}
+
 // SignalOccurrence injects a pre-built occurrence (global events arriving
 // from another application, or batch replay of an event log). The
 // occurrence's Seq is remapped onto this detector's clock to preserve
 // arrival order.
 func (d *Detector) SignalOccurrence(occ *event.Occurrence) error {
+	if d.maskCnt.Load() > 0 {
+		return nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.maskCnt > 0 {
+	return d.signalOccurrenceLocked(occ)
+}
+
+// signalOccurrenceLocked routes a pre-built occurrence without ever
+// releasing the lock mid-decision: the name lookup, the method-signature
+// fallback, and the fire all happen in one critical section (the previous
+// implementation dropped and re-acquired the mutex around the fallback,
+// letting other signals interleave between the decision and the signal).
+// Callers hold d.mu.
+func (d *Detector) signalOccurrenceLocked(occ *event.Occurrence) error {
+	if d.maskCnt.Load() > 0 {
 		return nil
 	}
 	n, ok := d.nodes[occ.Name]
 	if !ok {
 		// Method events may be addressed by signature instead of name.
 		if occ.Kind == event.KindMethod {
-			d.mu.Unlock()
-			d.SignalMethod(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn)
-			d.mu.Lock()
+			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, false)
 			return nil
 		}
 		return fmt.Errorf("%w: %q", ErrUnknownEvent, occ.Name)
@@ -580,12 +732,52 @@ func (d *Detector) SignalOccurrence(occ *event.Occurrence) error {
 	if !ok {
 		return fmt.Errorf("%w: cannot signal composite event %q directly", ErrBadOperand, occ.Name)
 	}
-	cp := *occ
+	cp := getOcc()
+	*cp = *occ
 	cp.Seq = d.clock.Next()
 	cp.Time = d.vtime
-	d.trace(TraceRaw, &cp, Recent, "input")
-	p.fire(&cp)
+	d.trace(TraceRaw, cp, Recent, "input")
+	p.fire(cp)
+	if d.tracer == nil {
+		putOcc(cp)
+	}
 	return nil
+}
+
+// SignalBatch injects a slice of pre-built primitive occurrences under a
+// single acquisition of the graph lock — the bulk entry point for event
+// log replay and the global event detector's fan-in, where taking and
+// releasing the mutex per occurrence dominates. Occurrences are processed
+// in slice order with the same routing as the one-at-a-time entry points:
+// unnamed method occurrences go through the signature path, transaction
+// occurrences fire the system events (including the AutoFlush), and
+// everything else is routed by name. The virtual clock advances to each
+// occurrence's Time first, so temporal events interleave exactly as they
+// would online. It returns the number of occurrences processed and the
+// first routing error, if any.
+func (d *Detector) SignalBatch(occs []event.Occurrence) (int, error) {
+	if len(occs) == 0 {
+		return 0, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range occs {
+		occ := &occs[i]
+		if occ.Time > d.vtime {
+			d.advanceTimeLocked(occ.Time)
+		}
+		switch {
+		case occ.Kind == event.KindMethod && occ.Name == "":
+			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, false)
+		case occ.Kind == event.KindTransaction:
+			d.signalTxnLocked(occ.Name, occ.Txn)
+		default:
+			if err := d.signalOccurrenceLocked(occ); err != nil {
+				return i, err
+			}
+		}
+	}
+	return len(occs), nil
 }
 
 // FlushTxn removes every stored occurrence of the transaction from the
@@ -596,11 +788,69 @@ func (d *Detector) FlushTxn(txnID uint64) {
 	d.flushTxnLocked(txnID)
 }
 
+// flushTxnLocked flushes one transaction using the dirty set: only nodes
+// that stored an occurrence (or scheduled a timer) for the transaction
+// are visited, so a commit touches O(nodes the txn reached), not O(graph).
+// Callers hold d.mu.
 func (d *Detector) flushTxnLocked(txnID uint64) {
-	d.trace(TraceFlush, nil, Recent, fmt.Sprintf("txn:%d", txnID))
-	for _, n := range d.nodes {
+	if d.tracer != nil {
+		d.trace(TraceFlush, nil, Recent, fmt.Sprintf("txn:%d", txnID))
+	}
+	if d.dirtyOverflow {
+		for _, n := range d.nodes {
+			n.flushTxn(txnID)
+		}
+		return
+	}
+	if txnID == d.lastDirtyTxn {
+		d.lastDirtyNode = nil // the cached pair leaves the dirty set
+	}
+	set, ok := d.dirty[txnID]
+	if !ok {
+		return
+	}
+	delete(d.dirty, txnID)
+	for n := range set {
 		n.flushTxn(txnID)
 	}
+}
+
+// markDirty records that node n is about to receive (and may store) occ,
+// under every transaction occ carries — a composite is flushed when any
+// constituent's transaction finishes. Callers hold d.mu.
+func (d *Detector) markDirty(n Node, occ *event.Occurrence) {
+	if len(occ.Constituents) == 0 {
+		d.markDirtyTxn(n, occ.Txn)
+		return
+	}
+	for _, c := range occ.Constituents {
+		d.markDirty(n, c)
+	}
+}
+
+// maxTrackedTxns bounds the dirty map for workloads that never flush;
+// past it, per-txn tracking degrades to full-graph sweeps.
+const maxTrackedTxns = 1 << 16
+
+func (d *Detector) markDirtyTxn(n Node, txnID uint64) {
+	if d.dirtyOverflow {
+		return
+	}
+	if n == d.lastDirtyNode && txnID == d.lastDirtyTxn {
+		return
+	}
+	d.lastDirtyNode, d.lastDirtyTxn = n, txnID
+	set := d.dirty[txnID]
+	if set == nil {
+		if len(d.dirty) >= maxTrackedTxns {
+			d.dirtyOverflow = true
+			d.dirty = nil
+			return
+		}
+		set = make(map[Node]struct{}, 2)
+		d.dirty[txnID] = set
+	}
+	set[n] = struct{}{}
 }
 
 // FlushTxns flushes several transactions at once — typically a top-level
@@ -615,6 +865,8 @@ func (d *Detector) FlushTxns(ids []uint64) {
 }
 
 // FlushEvent selectively flushes the subtree of one event expression.
+// Dirty-set entries for the flushed nodes are left in place: a later
+// transaction flush finding an already-clean node is a no-op.
 func (d *Detector) FlushEvent(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -648,6 +900,9 @@ func (d *Detector) FlushAll() {
 	for _, n := range d.nodes {
 		n.flushAll()
 	}
+	d.dirty = make(map[uint64]map[Node]struct{})
+	d.dirtyOverflow = false
+	d.lastDirtyNode = nil
 	d.trace(TraceFlush, nil, Recent, "all")
 }
 
@@ -671,6 +926,12 @@ func (d *Detector) Now() uint64 {
 func (d *Detector) AdvanceTime(to uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advanceTimeLocked(to)
+}
+
+// advanceTimeLocked fires due timers up to the new reading; callers hold
+// d.mu.
+func (d *Detector) advanceTimeLocked(to uint64) {
 	for len(d.timers) > 0 && d.timers[0].due <= to {
 		e := heap.Pop(&d.timers).(*timerEntry)
 		delete(d.timerTxn, e)
@@ -688,12 +949,14 @@ func (d *Detector) AdvanceTime(to uint64) {
 }
 
 // schedule registers a timer callback; called with d.mu held (from node
-// receive paths).
+// receive paths). The owner is marked dirty for the transaction so the
+// commit/abort flush finds and cancels the timer without a graph sweep.
 func (d *Detector) schedule(owner Node, txnID uint64, due uint64, fire func(now uint64)) {
 	d.timerSeq++
 	e := &timerEntry{due: due, seq: d.timerSeq, fire: fire}
 	heap.Push(&d.timers, e)
 	d.timerTxn[e] = timerOwner{node: owner, txn: txnID}
+	d.markDirtyTxn(owner, txnID)
 }
 
 // cancelTimers kills pending timers of a node; txnID zero kills all of the

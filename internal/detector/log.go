@@ -115,23 +115,39 @@ func (f tracerFunc) Trace(kind TraceKind, occ *event.Occurrence, ctx Context, no
 	f(kind, occ, ctx, node)
 }
 
+// replayChunk bounds how many decoded occurrences are buffered before
+// being handed to SignalBatch: large enough to amortize the graph lock to
+// noise, small enough to keep replay memory flat on huge logs.
+const replayChunk = 256
+
 // Replay feeds every occurrence in r through the detector, in recorded
 // order, advancing the detector's virtual clock to each occurrence's
-// timestamp so temporal operators behave as they did online. It returns
+// timestamp so temporal operators behave as they did online. Occurrences
+// are decoded into chunks and injected with SignalBatch, so the graph
+// lock is taken once per chunk instead of once per occurrence. It returns
 // the number of occurrences replayed.
 func Replay(r io.Reader, d *Detector) (int, error) {
 	dec := gob.NewDecoder(r)
 	n := 0
+	batch := make([]event.Occurrence, 0, replayChunk)
+	flush := func() error {
+		done, err := d.SignalBatch(batch)
+		n += done
+		batch = batch[:0]
+		return err
+	}
 	for {
 		var rec loggedOcc
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
-				return n, nil
+				return n, flush()
+			}
+			if ferr := flush(); ferr != nil {
+				return n, ferr
 			}
 			return n, fmt.Errorf("detector: replay event log: %w", err)
 		}
-		d.AdvanceTime(rec.Time)
-		occ := &event.Occurrence{
+		occ := event.Occurrence{
 			Name:     rec.Name,
 			Kind:     rec.Kind,
 			Class:    rec.Class,
@@ -143,20 +159,21 @@ func Replay(r io.Reader, d *Detector) (int, error) {
 			Txn:      rec.Txn,
 			App:      rec.App,
 		}
+		if rec.Kind == event.KindMethod {
+			// Logged method events replay through the signature path, as
+			// they were signalled originally (SignalBatch routes unnamed
+			// method occurrences through signalMethodLocked).
+			occ.Name = ""
+		}
 		for _, p := range rec.Params {
 			occ.Params = append(occ.Params, event.Param{Name: p.Name, Value: p.Value})
 		}
-		switch rec.Kind {
-		case event.KindMethod:
-			d.SignalMethod(rec.Class, rec.Method, rec.Modifier, rec.Object, occ.Params, rec.Txn)
-		case event.KindTransaction:
-			d.SignalTxn(rec.Name, rec.Txn)
-		default:
-			if err := d.SignalOccurrence(occ); err != nil {
+		batch = append(batch, occ)
+		if len(batch) == replayChunk {
+			if err := flush(); err != nil {
 				return n, err
 			}
 		}
-		n++
 	}
 }
 

@@ -84,7 +84,7 @@ type nodeCore struct {
 	d        *Detector
 	name     string
 	parents  []parentEdge
-	rules    []ruleEdge
+	rules    []*ruleEdge
 	refCount [numContexts]int
 }
 
@@ -124,9 +124,11 @@ func (c *nodeCore) bumpContext(ctx Context, delta int) {
 	}
 }
 
-// addRule registers a rule subscriber; removal is positional.
+// addRule registers a rule subscriber; the undo closure removes the edge
+// by identity, so subscribers of any type (including func values, which
+// are not comparable) can unsubscribe.
 func (c *nodeCore) addRule(sub Subscriber, ctx Context) func() {
-	e := ruleEdge{sub, ctx}
+	e := &ruleEdge{sub, ctx}
 	c.rules = append(c.rules, e)
 	removed := false
 	return func() {
@@ -151,6 +153,9 @@ func (c *nodeCore) emit(occ *event.Occurrence, ctx Context) {
 	c.d.trace(TraceDetect, occ, ctx, c.name)
 	for _, e := range c.parents {
 		if e.parent.activeIn(ctx) {
+			// The parent may store occ; record it in the per-transaction
+			// dirty set so commit/abort flushes skip untouched nodes.
+			c.d.markDirty(e.parent, occ)
 			e.parent.receive(occ, e.side, ctx)
 		}
 	}
@@ -169,8 +174,13 @@ func (c *nodeCore) emit(occ *event.Occurrence, ctx Context) {
 func (c *nodeCore) emitPrimitive(occ *event.Occurrence) {
 	c.d.trace(TraceSignal, occ, Recent, c.name)
 	for _, e := range c.parents {
+		marked := false
 		for ctx := Context(0); ctx < numContexts; ctx++ {
 			if e.parent.activeIn(ctx) {
+				if !marked {
+					c.d.markDirty(e.parent, occ)
+					marked = true
+				}
 				e.parent.receive(occ, e.side, ctx)
 			}
 		}

@@ -41,6 +41,7 @@ const (
 	msgSubscribe
 	msgSubscribeAck
 	msgNotify
+	msgContributeBatch
 )
 
 // message is the wire format; a single struct keeps gob simple.
@@ -50,6 +51,7 @@ type message struct {
 	Event string
 	Ctx   int
 	Occ   *event.Occurrence
+	Occs  []event.Occurrence // msgContributeBatch payload
 }
 
 // Server is the global event detector daemon. Global composite events are
@@ -152,6 +154,8 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			m.Occ.App = c.app
 			s.contribute(m.Occ)
+		case msgContributeBatch:
+			s.contributeBatch(c.app, m.Occs)
 		case msgSubscribe:
 			s.subscribe(c, m.Event, detector.Context(m.Ctx))
 			// Acknowledge so the client knows the subscription is live
@@ -175,6 +179,32 @@ func (s *Server) contribute(occ *event.Occurrence) {
 	cp := *occ
 	cp.Kind = event.KindExplicit
 	_ = s.Det.SignalOccurrence(&cp)
+}
+
+// contributeBatch fans a batch of remote occurrences into the global
+// event graph under a single graph-lock acquisition (SignalBatch),
+// defining unknown explicit events first as contribute does. Occurrences
+// the detector rejects are dropped individually, matching the
+// one-at-a-time path's tolerance.
+func (s *Server) contributeBatch(app string, occs []event.Occurrence) {
+	if len(occs) == 0 {
+		return
+	}
+	for i := range occs {
+		occs[i].App = app
+		occs[i].Kind = event.KindExplicit
+		if _, err := s.Det.Lookup(occs[i].Name); err != nil {
+			_, _ = s.Det.DefineExplicit(occs[i].Name)
+		}
+	}
+	for len(occs) > 0 {
+		done, err := s.Det.SignalBatch(occs)
+		if err == nil {
+			return
+		}
+		// Skip the occurrence the detector rejected and continue.
+		occs = occs[done+1:]
+	}
 }
 
 // subscribe forwards detections of the named global event to the client.
@@ -293,6 +323,16 @@ func (c *Client) Contribute(occ *event.Occurrence) error {
 	return c.send(&message{Kind: msgContribute, Occ: occ})
 }
 
+// ContributeBatch forwards a slice of primitive occurrences in one wire
+// message; the server injects them into the global event graph under a
+// single graph-lock acquisition.
+func (c *Client) ContributeBatch(occs []event.Occurrence) error {
+	if len(occs) == 0 {
+		return nil
+	}
+	return c.send(&message{Kind: msgContributeBatch, Occs: occs})
+}
+
 // Subscribe registers a handler for a global event in the given context.
 // It returns once the server has activated the subscription, so events
 // contributed afterwards — by any application — are guaranteed to be seen.
@@ -320,6 +360,38 @@ func (c *Client) Forwarder() detector.Subscriber {
 	return detector.SubscriberFunc(func(occ *event.Occurrence, _ detector.Context) {
 		_ = c.Contribute(occ)
 	})
+}
+
+// BatchForwarder returns a Subscriber that buffers up to size occurrences
+// before sending them as one ContributeBatch message, plus a flush
+// function that sends whatever is pending (call it before Close, and
+// whenever bounded delivery latency matters more than throughput).
+// Buffering decouples the detector's signal path from the network: the
+// wire write happens at most once per size occurrences rather than on
+// every signal.
+func (c *Client) BatchForwarder(size int) (detector.Subscriber, func() error) {
+	if size < 1 {
+		size = 1
+	}
+	var mu sync.Mutex
+	buf := make([]event.Occurrence, 0, size)
+	flush := func() error {
+		mu.Lock()
+		pending := buf
+		buf = make([]event.Occurrence, 0, size)
+		mu.Unlock()
+		return c.ContributeBatch(pending)
+	}
+	sub := detector.SubscriberFunc(func(occ *event.Occurrence, _ detector.Context) {
+		mu.Lock()
+		buf = append(buf, *occ)
+		full := len(buf) >= size
+		mu.Unlock()
+		if full {
+			_ = flush()
+		}
+	})
+	return sub, flush
 }
 
 // Close disconnects from the GED and waits for the receive loop to stop.

@@ -437,6 +437,9 @@ func (db *Database) resolveName(name string) (event.OID, error) {
 // RecordEvents starts appending every primitive event occurrence to w (a
 // stored event log for batch detection). The returned stop function ends
 // recording. Only one recorder or debugger can be installed at a time.
+// While recording, the detector's lock-free signal fast path is disabled
+// so the log captures even occurrences nothing subscribes to; expect
+// per-signal cost to rise accordingly until stop is called.
 func (db *Database) RecordEvents(w io.Writer) (stop func(), err error) {
 	log := detector.NewEventLog(w)
 	db.det.SetTracer(log.Recorder())
@@ -497,6 +500,8 @@ func (db *Database) OnGlobalEvent(eventName string, ctx Context, action Action) 
 // ---------------------------------------------------------------------------
 
 // AttachDebugger installs a rule debugger recording event/rule traces.
+// Like RecordEvents, an attached debugger disables the detector's
+// lock-free signal fast path so the trace stream is complete.
 func (db *Database) AttachDebugger(limit int) *Debugger {
 	dbg := debug.New(limit)
 	db.det.SetTracer(dbg)
@@ -519,7 +524,9 @@ func (db *Database) RuleManager() *rules.Manager {
 // TxnManager exposes the transaction manager.
 func (db *Database) TxnManager() *txn.Manager { return db.txns }
 
-// Stats returns detector activity counters.
+// Stats returns detector activity counters. The counters are atomics, so
+// reading them never blocks (or is blocked by) event detection — safe to
+// poll from a monitoring goroutine at any rate.
 func (db *Database) Stats() detector.Stats { return db.det.StatsSnapshot() }
 
 // String identifies the database.
