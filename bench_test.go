@@ -9,6 +9,7 @@ package sentinel_test
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	sentinel "repro"
@@ -95,6 +96,73 @@ func BenchmarkE1_PrimitiveSignalNoSubscriberParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			d.SignalMethod("C", "m0", event.End, 1, nil, 1)
+		}
+	})
+}
+
+// benchDisjointExprs builds n independent SEQ expressions — each on its own
+// class with its own two primitive events, so no two expressions share a
+// node — and subscribes each in RECENT context. It returns the detector.
+func benchDisjointExprs(b *testing.B, n int) *detector.Detector {
+	b.Helper()
+	d := detector.New()
+	d.AutoFlush = false
+	for i := 0; i < n; i++ {
+		class := fmt.Sprintf("C%d", i)
+		d.DeclareClass(class, "")
+		a, err := d.DefinePrimitive(fmt.Sprintf("a%d", i), class, "m0", event.End, 0)
+		mustNoErr(b, err)
+		z, err := d.DefinePrimitive(fmt.Sprintf("b%d", i), class, "m1", event.End, 0)
+		mustNoErr(b, err)
+		name := fmt.Sprintf("s%d", i)
+		if _, err := d.Seq(name, a, z); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Subscribe(name, detector.Recent, drainSub()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// BenchmarkE1_ParallelDisjoint drives N goroutines, each signalling its own
+// independent SEQ expression (disjoint operator trees, disjoint classes).
+// Run with -cpu 1,4,8: with the component-sharded graph each expression
+// propagates under its own lock, so this is the case that scales with
+// cores — contrast with BenchmarkE1_ParallelShared, where every goroutine
+// hits the same expression and must serialize.
+func BenchmarkE1_ParallelDisjoint(b *testing.B) {
+	const nExpr = 8
+	d := benchDisjointExprs(b, nExpr)
+	methods := [2]string{"m0", "m1"}
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(atomic.AddInt64(&next, 1)-1) % nExpr
+		class := fmt.Sprintf("C%d", i)
+		j := 0
+		for pb.Next() {
+			d.SignalMethod(class, methods[j%2], event.End, 1, nil, uint64(i+1))
+			j++
+		}
+	})
+}
+
+// BenchmarkE1_ParallelShared is the contention counterpart: every
+// goroutine signals the same SEQ expression, so all propagation serializes
+// on that expression's component lock no matter how the graph is sharded —
+// the paper's ordering constraint binds nodes that share a tree.
+func BenchmarkE1_ParallelShared(b *testing.B) {
+	d := benchDisjointExprs(b, 1)
+	methods := [2]string{"m0", "m1"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			d.SignalMethod("C0", methods[j%2], event.End, 1, nil, 1)
+			j++
 		}
 	})
 }

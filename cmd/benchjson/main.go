@@ -18,13 +18,31 @@ import (
 	"strings"
 )
 
-// result is one benchmark line.
+// result is one benchmark line. The `-N` GOMAXPROCS suffix go test appends
+// under -cpu is split off into Parallelism, so the same benchmark at
+// different core counts shares a Name and rows are comparable across runs.
 type result struct {
 	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// splitGomaxprocs splits the trailing "-N" suffix go test appends to a
+// benchmark name when GOMAXPROCS differs from 1 ("BenchmarkX/sub-8" →
+// "BenchmarkX/sub", 8). A name without the suffix ran at GOMAXPROCS=1.
+func splitGomaxprocs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 || i < strings.LastIndexByte(name, '/') {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return name, 1
+	}
+	return name[:i], n
 }
 
 func main() {
@@ -89,7 +107,8 @@ func parse(f *os.File) ([]result, error) {
 		if err != nil {
 			continue // e.g. "Benchmark...: output" log lines
 		}
-		r := result{Name: fields[0], Iterations: iters}
+		name, procs := splitGomaxprocs(fields[0])
+		r := result{Name: name, Parallelism: procs, Iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

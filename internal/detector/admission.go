@@ -1,30 +1,36 @@
 package detector
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/event"
 )
 
-// This file implements the lock-free signal fast path: an immutable
-// admission index consulted by SignalMethod/SignalExplicit *before* taking
-// the graph mutex, so signals that no node could possibly consume return
-// without locking or allocating. The index is copy-on-write: every
-// operation that can change what a signal matches (defining events or
-// classes, attaching operator parents, subscribing or unsubscribing rules)
-// invalidates it under the graph lock, and the next signal that needs it
-// rebuilds it, also under the lock. Readers only ever see a complete,
-// immutable table through the atomic pointer, so the admission decision is
-// linearized at the pointer load: a signal that races with a Subscribe is
-// equivalent to the same signal arriving just before the subscription —
-// exactly the guarantee the locked path gave.
+// This file implements the lock-free admission and routing index consulted
+// by the signal fast paths *before* any lock is taken. The index is
+// copy-on-write: every operation that can change what a signal matches or
+// where it routes (defining events or classes, attaching operator parents
+// — which may merge components — subscribing or unsubscribing rules)
+// drops it under the structure lock *before* mutating, and the next signal
+// that needs it rebuilds it, also under the structure lock. Readers only
+// ever see a complete, immutable table through the atomic pointer.
 //
-// Graph propagation itself stays single-threaded under the existing mutex:
-// the paper's detector processes occurrences one at a time in signal
-// order, and the operator state machines (and the rules layered on them)
-// depend on that ordering. The fast path only moves the *rejection* of
-// irrelevant signals out of the critical section; everything that can
-// reach a node still serializes.
+// Two guarantees follow, one per phase of the fast path:
+//
+//   - Rejection is linearized at the pointer load: a signal dropped
+//     because its key is absent is equivalent to the same signal arriving
+//     just before whatever subscription raced with it — exactly the
+//     guarantee the fully locked path gave.
+//
+//   - Routing is validated after locking: the index stores the *root
+//     component* of every matching node, pre-resolved at build time. A
+//     fast-path signaller locks that component and then re-checks that
+//     the published index is still the one it routed through. Structure
+//     mutations drop the index before touching any node or component, so
+//     an unchanged pointer observed under the component lock proves the
+//     component is still the root and the node group is still exact; a
+//     changed pointer sends the signal to the serialized path.
 
 // methodKey identifies what a method signal must present to be admitted:
 // the signalled (dynamic) class, the method signature, and the modifier.
@@ -34,23 +40,35 @@ type methodKey struct {
 	mod    event.Modifier
 }
 
-// Explicit-event entry bits in matchIndex.explicit.
-const (
-	admitDefined uint8 = 1 << iota // name is a defined explicit event
-	admitLive                      // some rule, parent, or context consumes it
-)
+// methodGroup is the set of live primitive nodes matching a method key
+// within one component. The class-hierarchy walk and the liveness check of
+// the serialized path are pre-flattened at build time; only the
+// instance-level OID filter remains for signal time.
+type methodGroup struct {
+	comp  *component
+	nodes []*PrimitiveNode
+}
 
-// matchIndex is the immutable admission table. methods holds one entry per
-// (signal-class, method, modifier) triple that at least one *live*
-// primitive node could match — the ancestor walk of SignalMethod is
-// pre-flattened here at build time, so the hot path is a single map probe
-// with no inheritance-chain traversal. explicit classifies explicit event
-// names so SignalExplicit can drop defined-but-unconsumed events without
-// the lock while still routing unknown names to the locked path for the
-// usual error.
+// methodEntry routes one method key to its component groups — almost
+// always exactly one, but a method signal can match primitive events
+// defined in unrelated expressions.
+type methodEntry struct {
+	groups []methodGroup
+}
+
+// nameEntry routes a primitive event name (explicit events, named method
+// events, aliases, transaction events) to its node and root component.
+type nameEntry struct {
+	node *PrimitiveNode
+	comp *component
+	kind event.Kind
+	live bool
+}
+
+// matchIndex is the immutable admission and routing table.
 type matchIndex struct {
-	methods  map[methodKey]struct{}
-	explicit map[string]uint8
+	methods map[methodKey]*methodEntry
+	names   map[string]*nameEntry
 }
 
 // live reports whether some consumer can observe this node's occurrences:
@@ -61,15 +79,8 @@ func (c *nodeCore) live() bool {
 	return c.anyActive() || len(c.rules) > 0 || len(c.parents) > 0
 }
 
-// invalidateAdmit drops the published admission index; callers hold d.mu.
-// The next signal rebuilds it lazily, so bursts of definitions or
-// subscriptions pay for one rebuild, not one per mutation.
-func (d *Detector) invalidateAdmit() {
-	d.admit.Store(nil)
-}
-
 // admitLocked returns the current admission index, rebuilding it if a
-// mutation invalidated it. Callers hold d.mu.
+// mutation invalidated it. Callers hold structMu.
 func (d *Detector) admitLocked() *matchIndex {
 	if idx := d.admit.Load(); idx != nil {
 		return idx
@@ -79,12 +90,13 @@ func (d *Detector) admitLocked() *matchIndex {
 	return idx
 }
 
-// buildAdmitLocked flattens the class hierarchy and per-class primitive
-// lists into the admission table. Callers hold d.mu.
+// buildAdmitLocked flattens the class hierarchy, per-class primitive
+// lists, and component membership into the admission table. Callers hold
+// structMu, under which membership and liveness are stable.
 func (d *Detector) buildAdmitLocked() *matchIndex {
 	idx := &matchIndex{
-		methods:  make(map[methodKey]struct{}),
-		explicit: make(map[string]uint8),
+		methods: make(map[methodKey]*methodEntry),
+		names:   make(map[string]*nameEntry),
 	}
 	// Every class a signal can name and still match something: classes
 	// with primitive events defined on them plus every declared class
@@ -101,22 +113,47 @@ func (d *Detector) buildAdmitLocked() *matchIndex {
 		depth := 0
 		for anc := c; anc != "" && depth < maxDepth; anc, depth = d.super[anc], depth+1 {
 			for _, p := range d.classes[anc] {
-				if p.live() {
-					idx.methods[methodKey{class: c, method: p.method, mod: p.modifier}] = struct{}{}
+				if !p.live() {
+					continue
 				}
+				key := methodKey{class: c, method: p.method, mod: p.modifier}
+				entry := idx.methods[key]
+				if entry == nil {
+					entry = &methodEntry{}
+					idx.methods[key] = entry
+				}
+				root := p.comp.find()
+				gi := -1
+				for i := range entry.groups {
+					if entry.groups[i].comp == root {
+						gi = i
+						break
+					}
+				}
+				if gi == -1 {
+					entry.groups = append(entry.groups, methodGroup{comp: root})
+					gi = len(entry.groups) - 1
+				}
+				entry.groups[gi].nodes = append(entry.groups[gi].nodes, p)
 			}
 		}
 	}
 	for name, n := range d.nodes {
-		if p, ok := n.(*PrimitiveNode); ok && p.kind == event.KindExplicit {
-			v := admitDefined
-			if p.live() {
-				v |= admitLive
+		if p, ok := n.(*PrimitiveNode); ok {
+			idx.names[name] = &nameEntry{
+				node: p,
+				comp: p.comp.find(),
+				kind: p.kind,
+				live: p.live(),
 			}
-			idx.explicit[name] = v
 		}
 	}
 	return idx
+}
+
+// sortComps orders components ascending by id — the fixed lock order.
+func sortComps(comps []*component) {
+	sort.Slice(comps, func(i, j int) bool { return comps[i].id < comps[j].id })
 }
 
 // ---------------------------------------------------------------------------

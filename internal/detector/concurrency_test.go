@@ -219,6 +219,121 @@ func TestConcurrentMaskToggle(t *testing.T) {
 	}
 }
 
+// TestConcurrentMergesMatchSerialDetections races operator attachment —
+// which merges the operands' components — against signals flowing through
+// those same components. Phase 1 checks that signals arriving while the
+// union-find is merging under them are never lost or doubled (primitive
+// counts are exact regardless of interleaving). Phase 2 then checks the
+// per-component serialization guarantee: with exactly one signaller per
+// merged component, per-component arrival order is that goroutine's
+// program order, so the concurrent run's operator detection count must
+// equal a serial run of the same per-pair streams.
+func TestConcurrentMergesMatchSerialDetections(t *testing.T) {
+	const (
+		nPairs = 6
+		rounds = 200
+	)
+	type fixture struct {
+		d        *Detector
+		a, b     [nPairs]Node
+		primHits atomic.Uint64
+		andHits  atomic.Uint64
+	}
+	build := func(t *testing.T) *fixture {
+		t.Helper()
+		f := &fixture{d: New()}
+		f.d.AutoFlush = false
+		countPrim := SubscriberFunc(func(*event.Occurrence, Context) { f.primHits.Add(1) })
+		for i := 0; i < nPairs; i++ {
+			class := fmt.Sprintf("MRG%d", i)
+			f.d.DeclareClass(class, "")
+			f.a[i] = mustPrim(t, f.d, fmt.Sprintf("mrg_a%d", i), class, "ma", event.Begin, 0)
+			f.b[i] = mustPrim(t, f.d, fmt.Sprintf("mrg_b%d", i), class, "mb", event.Begin, 0)
+			for _, name := range []string{fmt.Sprintf("mrg_a%d", i), fmt.Sprintf("mrg_b%d", i)} {
+				if _, err := f.d.Subscribe(name, Recent, countPrim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return f
+	}
+	attach := func(t *testing.T, f *fixture) {
+		t.Helper()
+		countAnd := SubscriberFunc(func(*event.Occurrence, Context) { f.andHits.Add(1) })
+		for i := 0; i < nPairs; i++ {
+			name := fmt.Sprintf("mrg_and%d", i)
+			if _, err := f.d.And(name, f.a[i], f.b[i]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.d.Subscribe(name, Recent, countAnd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	signal := func(f *fixture, i int) {
+		class := fmt.Sprintf("MRG%d", i)
+		for r := 0; r < rounds; r++ {
+			f.d.SignalMethod(class, "ma", event.Begin, 1, nil, uint64(i+1))
+			f.d.SignalMethod(class, "mb", event.Begin, 1, nil, uint64(i+1))
+		}
+	}
+	run := func(f *fixture, concurrent bool) {
+		if !concurrent {
+			for i := 0; i < nPairs; i++ {
+				signal(f, i)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < nPairs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				signal(f, i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: attachments (and the component merges they imply) race the
+	// signal streams. Composite counts depend on attach timing, but every
+	// signal must reach its primitive subscriber exactly once.
+	f := build(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run(f, true)
+	}()
+	attach(t, f)
+	wg.Wait()
+	wantPrim := uint64(nPairs * rounds * 2)
+	if got := f.primHits.Load(); got != wantPrim {
+		t.Fatalf("phase 1 primitive notifications: got %d, want %d", got, wantPrim)
+	}
+	if got := f.andHits.Load(); got > wantPrim {
+		t.Fatalf("phase 1 AND detections exceed signal count: %d > %d", got, wantPrim)
+	}
+
+	// Phase 2: the merged components are stable and each has exactly one
+	// signaller, so the detection count is deterministic and must match a
+	// fully serial run of the same streams.
+	f.d.FlushAll()
+	f.primHits.Store(0)
+	f.andHits.Store(0)
+	run(f, true)
+
+	s := build(t)
+	attach(t, s)
+	run(s, false)
+	if got, want := f.primHits.Load(), s.primHits.Load(); got != want {
+		t.Fatalf("phase 2 primitive notifications: concurrent %d, serial %d", got, want)
+	}
+	if got, want := f.andHits.Load(), s.andHits.Load(); got != want {
+		t.Fatalf("phase 2 AND detections: concurrent %d, serial %d", got, want)
+	}
+}
+
 // TestConcurrentBatchAndSingleSignals mixes SignalBatch callers with
 // single-signal callers; totals must equal the sum of both streams.
 func TestConcurrentBatchAndSingleSignals(t *testing.T) {

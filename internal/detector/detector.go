@@ -1,7 +1,6 @@
 package detector
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"strings"
@@ -53,7 +52,7 @@ func (k TraceKind) String() string {
 // Installing a tracer routes every signal through the locked slow path
 // (the tracer must see raw occurrences the fast path never builds), so
 // detectors with a debugger or event-log recorder attached trade the
-// lock-free admission filter for complete traces.
+// parallel component fast path for complete, totally ordered traces.
 type Tracer interface {
 	Trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string)
 }
@@ -66,8 +65,10 @@ type Stats struct {
 }
 
 // statCounters is the live, atomically updated form of Stats: counters
-// move out of the mutex so StatsSnapshot never blocks signalling and the
-// lock-free signal paths can still account their activity.
+// move out of the mutexes so StatsSnapshot never blocks signalling and the
+// lock-free signal paths can still account their activity. Each component
+// carries its own shard; the detector keeps one more for activity that is
+// accounted before any component is chosen (fast-path drops).
 type statCounters struct {
 	signals    atomic.Uint64
 	detections atomic.Uint64
@@ -82,45 +83,53 @@ var (
 )
 
 // Detector is the local composite event detector: one per application, as
-// in Figure 2 of the paper. All methods are safe for concurrent use. The
-// graph itself is mutated and walked under a single mutex, which plays the
-// role of the paper's dedicated detector thread (occurrences are processed
-// one at a time, in signal order) — but admission is decided before the
-// mutex: a copy-on-write match index (see admission.go) lets signals that
-// no rule, parent, or context consumes return without locking or
-// allocating, so the per-method Notify cost of an application that defines
-// few events stays near-free and scales with cores.
+// in Figure 2 of the paper. All methods are safe for concurrent use.
+//
+// The event graph is sharded by connected component (see component.go):
+// each disjoint expression tree has its own mutex, stores, dirty set, and
+// stats shard, so signals into independent expressions propagate on
+// separate cores simultaneously. The paper's ordering requirement —
+// operator state machines consume occurrences in logical-clock order — is
+// preserved per component, which is exactly the scope within which any two
+// occurrences can ever meet at an operator. The structure lock (structMu)
+// plays the role the single graph mutex used to play for everything that
+// changes the graph's shape: definitions, subscriptions, merges, class
+// declarations, flushes and batch/transaction signalling serialize there,
+// while the per-signal hot path routes through the copy-on-write admission
+// index (admission.go) straight to the subscribing component(s) and takes
+// only that component's lock.
 type Detector struct {
-	mu       sync.Mutex
-	clock    event.Clock
-	vtime    uint64
-	nodes    map[string]Node   // every named event
-	nodeSig  map[string]string // structural signature for dedup
-	classes  map[string][]*PrimitiveNode
-	super    map[string]string // class -> superclass
-	timers   timerHeap
-	timerSeq uint64
-	timerTxn map[*timerEntry]timerOwner
-	maskCnt  atomic.Int64
-	tracer   Tracer
-	traced   atomic.Bool // tracer != nil, readable without the lock
-	stats    statCounters
-	admit    atomic.Pointer[matchIndex] // lock-free admission filter
+	// structMu is the structure lock: it serializes graph mutations
+	// (which may merge components) and every slow-path entry point. A
+	// thread holding structMu may additionally lock components (ascending
+	// id when several); the reverse order is forbidden.
+	structMu sync.Mutex
 
-	// dirty tracks, per transaction, the set of nodes that stored an
-	// occurrence (or scheduled a timer) on the transaction's behalf, so
-	// the commit/abort flush visits only nodes the transaction actually
-	// touched instead of sweeping the whole graph. If an unbounded number
-	// of transactions accumulate without ever being flushed, tracking
-	// stops (dirtyOverflow) and flushes fall back to full sweeps until
-	// FlushAll resets the graph.
-	dirty         map[uint64]map[Node]struct{}
-	dirtyOverflow bool
-	// lastDirtyNode/lastDirtyTxn cache the most recent mark: a burst of
-	// occurrences through one operator re-marks the same pair, and the
-	// cache turns those re-marks into a pointer compare.
-	lastDirtyNode Node
-	lastDirtyTxn  uint64
+	clock   event.Clock
+	vtime   atomic.Uint64
+	nodes   map[string]Node   // every named event; guarded by structMu
+	nodeSig map[string]string // structural signature for dedup
+	classes map[string][]*PrimitiveNode
+	super   map[string]string // class -> superclass
+
+	timerSeq atomic.Uint64 // global tie-break so merged heaps stay ordered
+	maskCnt  atomic.Int64
+	tracer   Tracer      // guarded by structMu + all component locks
+	traced   atomic.Bool // tracer != nil, readable without any lock
+	stats    statCounters
+	admit    atomic.Pointer[matchIndex] // lock-free admission + routing index
+
+	// Component registry and transaction fan-out map; compsMu is a leaf
+	// lock below the component mutexes.
+	compsMu  sync.Mutex
+	comps    []*component
+	compID   atomic.Uint64
+	txnComps map[uint64][]*component
+
+	// flushSweep degrades commit/abort flushes to full-graph sweeps once
+	// any component's dirty tracking overflowed (workloads that never
+	// flush); FlushAll resets it.
+	flushSweep atomic.Bool
 
 	// App names this application for inter-application events.
 	App string
@@ -143,12 +152,14 @@ func New() *Detector {
 		nodeSig:   make(map[string]string),
 		classes:   make(map[string][]*PrimitiveNode),
 		super:     make(map[string]string),
-		timerTxn:  make(map[*timerEntry]timerOwner),
-		dirty:     make(map[uint64]map[Node]struct{}),
+		txnComps:  make(map[uint64][]*component),
 		AutoFlush: true,
 	}
 }
 
+// trace reports detector-level activity (raw inputs, flushes) and bumps
+// the detector stats shard for the node-level kinds when called from the
+// serialized paths. Callers hold structMu, so reading d.tracer is safe.
 func (d *Detector) trace(kind TraceKind, occ *event.Occurrence, ctx Context, node string) {
 	switch kind {
 	case TraceSignal:
@@ -164,50 +175,70 @@ func (d *Detector) trace(kind TraceKind, occ *event.Occurrence, ctx Context, nod
 }
 
 // SetTracer installs a trace observer (the rule debugger). Pass nil to
-// remove it. While a tracer is installed the lock-free signal fast path is
-// disabled, so the tracer sees every occurrence entering the detector.
+// remove it. While a tracer is installed the parallel signal fast path is
+// disabled, so the tracer sees every occurrence entering the detector in
+// one total order. Installation quiesces the detector: it invalidates the
+// admission index and then passes through every component lock, so no
+// fast-path signal begun before the install is still in flight when
+// SetTracer returns.
 func (d *Detector) SetTracer(t Tracer) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
+	d.admit.Store(nil)
 	d.tracer = t
 	d.traced.Store(t != nil)
+	for _, c := range d.rootComps() {
+		c.mu.Lock()
+		_ = c // the empty critical section is the quiescence barrier
+		c.mu.Unlock()
+	}
 }
 
-// StatsSnapshot returns a copy of the activity counters. It reads the
-// atomic counters directly — never the graph mutex — so snapshotting is
-// wait-free and cannot stall signalling. The counters are monotonically
-// non-decreasing; a snapshot taken while signals are in flight on other
-// goroutines may trail those signals' effects, but is never torn below a
-// single counter.
+// StatsSnapshot returns a copy of the activity counters: the sum of the
+// detector shard and every component shard (including retired, merged-away
+// components, whose counters are frozen). It never takes the structure or
+// component locks, so snapshotting cannot stall signalling. The counters
+// are monotonically non-decreasing; a snapshot taken while signals are in
+// flight on other goroutines may trail those signals' effects, but is
+// never torn below a single counter.
 func (d *Detector) StatsSnapshot() Stats {
-	return Stats{
+	d.compsMu.Lock()
+	comps := d.comps
+	d.compsMu.Unlock()
+	s := Stats{
 		Signals:    d.stats.signals.Load(),
 		Detections: d.stats.detections.Load(),
 		RuleFires:  d.stats.ruleFires.Load(),
 	}
+	for _, c := range comps {
+		s.Signals += c.stats.signals.Load()
+		s.Detections += c.stats.detections.Load()
+		s.RuleFires += c.stats.ruleFires.Load()
+	}
+	return s
 }
 
 // DeclareClass registers a class and its superclass ("" for none) so
 // class-level events fire for subclass instances too.
 func (d *Detector) DeclareClass(name, super string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	if _, ok := d.super[name]; !ok {
+		d.admit.Store(nil)
 		d.super[name] = super
-		d.invalidateAdmit()
 	}
 }
 
 // IsSubclass reports whether class equals ancestor or descends from it in
 // the declared hierarchy.
 func (d *Detector) IsSubclass(class, ancestor string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.isSubclassOf(class, ancestor)
 }
 
 // isSubclassOf reports whether class is sub (equal) or a descendant of
-// ancestor. Callers hold d.mu.
+// ancestor. Callers hold structMu.
 func (d *Detector) isSubclassOf(class, ancestor string) bool {
 	for class != "" {
 		if class == ancestor {
@@ -221,7 +252,10 @@ func (d *Detector) isSubclassOf(class, ancestor string) bool {
 // register adds a node under its name, deduplicating structurally
 // identical definitions: defining the same expression under the same name
 // twice returns the existing node, which is how common subexpressions are
-// represented only once in the graph.
+// represented only once in the graph. Callers hold structMu. The admission
+// index is invalidated *before* build runs: fast-path signallers validate
+// the index pointer after locking a component, so dropping it first means
+// none of them can fire through routing that predates the mutation.
 func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
 	if existing, ok := d.nodes[name]; ok {
 		if d.nodeSig[name] == sig {
@@ -229,24 +263,22 @@ func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
 		}
 		return nil, fmt.Errorf("%w: %q (%s vs %s)", ErrDuplicateEvent, name, d.nodeSig[name], sig)
 	}
+	d.admit.Store(nil)
 	n := build()
 	d.nodes[name] = n
 	d.nodeSig[name] = sig
-	// Definitions change what signals can match (new primitives, new
-	// parent edges attached by operator builds).
-	d.invalidateAdmit()
 	return n, nil
 }
 
 // DefinePrimitive declares a named primitive method event: class-level
 // when instance is zero, instance-level otherwise.
 func (d *Detector) DefinePrimitive(name, class, method string, mod event.Modifier, instance event.OID) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	sig := fmt.Sprintf("prim(%s,%s,%s,%d)", class, method, mod, instance)
 	return d.register(name, sig, func() Node {
 		p := &PrimitiveNode{
-			nodeCore: nodeCore{d: d, name: name},
+			nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
 			kind:     event.KindMethod,
 			class:    class,
 			method:   method,
@@ -260,11 +292,11 @@ func (d *Detector) DefinePrimitive(name, class, method string, mod event.Modifie
 
 // DefineExplicit declares a named application-raised (abstract) event.
 func (d *Detector) DefineExplicit(name string) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.register(name, "explicit("+name+")", func() Node {
 		return &PrimitiveNode{
-			nodeCore: nodeCore{d: d, name: name},
+			nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
 			kind:     event.KindExplicit,
 		}
 	})
@@ -275,13 +307,13 @@ func (d *Detector) txnNode(name string) *PrimitiveNode {
 	if n, ok := d.nodes[name]; ok {
 		return n.(*PrimitiveNode)
 	}
+	d.admit.Store(nil)
 	p := &PrimitiveNode{
-		nodeCore: nodeCore{d: d, name: name},
+		nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
 		kind:     event.KindTransaction,
 	}
 	d.nodes[name] = p
 	d.nodeSig[name] = "txn(" + name + ")"
-	d.invalidateAdmit()
 	return p
 }
 
@@ -293,8 +325,8 @@ func (d *Detector) TransactionEvent(name string) (Node, error) {
 	default:
 		return nil, fmt.Errorf("%w: %q is not a transaction event", ErrBadOperand, name)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.txnNode(name), nil
 }
 
@@ -302,8 +334,8 @@ func (d *Detector) TransactionEvent(name string) (Node, error) {
 // user-chosen event name and the canonical expression text address the
 // same shared node.
 func (d *Detector) Alias(alias, existing string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	n, ok := d.nodes[existing]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownEvent, existing)
@@ -314,16 +346,16 @@ func (d *Detector) Alias(alias, existing string) error {
 		}
 		return fmt.Errorf("%w: %q", ErrDuplicateEvent, alias)
 	}
+	d.admit.Store(nil)
 	d.nodes[alias] = n
 	d.nodeSig[alias] = d.nodeSig[existing]
-	d.invalidateAdmit()
 	return nil
 }
 
 // Lookup returns the node with the given event name.
 func (d *Detector) Lookup(name string) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	if n, ok := d.nodes[name]; ok {
 		return n, nil
 	}
@@ -333,8 +365,8 @@ func (d *Detector) Lookup(name string) (Node, error) {
 // Events returns the names of all defined events (sorted order not
 // guaranteed).
 func (d *Detector) Events() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	out := make([]string, 0, len(d.nodes))
 	for n := range d.nodes {
 		out = append(out, n)
@@ -350,9 +382,16 @@ func childSig(kids []Node) string {
 	return strings.Join(names, ",")
 }
 
+// opNode registers an operator node: the operands' components are merged
+// first (an operator makes its operands reachable from one another, so
+// they must share a serialization domain), then the node is created inside
+// the merged component and the child edges attached under its lock.
 func (d *Detector) opNode(name, sig string, kids []Node, build func(core opCore) operatorNode) (Node, error) {
 	return d.register(name, sig, func() Node {
-		n := build(opCore{nodeCore: nodeCore{d: d, name: name}, kids: kids})
+		comp := d.mergeNodeComps(kids)
+		comp.mu.Lock()
+		defer comp.mu.Unlock()
+		n := build(opCore{nodeCore: nodeCore{d: d, name: name, comp: comp}, kids: kids})
 		for i, k := range kids {
 			k.attach(n, i)
 		}
@@ -362,8 +401,8 @@ func (d *Detector) opNode(name, sig string, kids []Node, build func(core opCore)
 
 // And defines name = a ∧ b.
 func (d *Detector) And(name string, a, b Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{a, b}
 	return d.opNode(name, "and("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &andNode{opCore: core}
@@ -372,8 +411,8 @@ func (d *Detector) And(name string, a, b Node) (Node, error) {
 
 // Or defines name = a ∨ b.
 func (d *Detector) Or(name string, a, b Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{a, b}
 	return d.opNode(name, "or("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &orNode{opCore: core}
@@ -382,8 +421,8 @@ func (d *Detector) Or(name string, a, b Node) (Node, error) {
 
 // Seq defines name = a ; b (a strictly before b).
 func (d *Detector) Seq(name string, a, b Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{a, b}
 	return d.opNode(name, "seq("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &seqNode{opCore: core}
@@ -393,8 +432,8 @@ func (d *Detector) Seq(name string, a, b Node) (Node, error) {
 // Not defines name = NOT(mid)[start, end]: end after start with no mid in
 // between.
 func (d *Detector) Not(name string, start, mid, end Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{start, mid, end}
 	return d.opNode(name, "not("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &notNode{opCore: core}
@@ -406,8 +445,8 @@ func (d *Detector) Any(name string, m int, events ...Node) (Node, error) {
 	if m < 1 || m > len(events) {
 		return nil, fmt.Errorf("%w: ANY(%d) of %d events", ErrBadOperand, m, len(events))
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.opNode(name, fmt.Sprintf("any(%d,%s)", m, childSig(events)), events, func(core opCore) operatorNode {
 		return &anyNode{opCore: core, m: m}
 	})
@@ -415,8 +454,8 @@ func (d *Detector) Any(name string, m int, events ...Node) (Node, error) {
 
 // A defines the aperiodic event name = A(start, mid, end).
 func (d *Detector) A(name string, start, mid, end Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{start, mid, end}
 	return d.opNode(name, "a("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &aNode{opCore: core}
@@ -425,8 +464,8 @@ func (d *Detector) A(name string, start, mid, end Node) (Node, error) {
 
 // AStar defines the cumulative aperiodic event name = A*(start, mid, end).
 func (d *Detector) AStar(name string, start, mid, end Node) (Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{start, mid, end}
 	return d.opNode(name, "astar("+childSig(kids)+")", kids, func(core opCore) operatorNode {
 		return &aStarNode{opCore: core}
@@ -439,8 +478,8 @@ func (d *Detector) Plus(name string, start Node, delta uint64) (Node, error) {
 	if delta == 0 {
 		return nil, fmt.Errorf("%w: PLUS with zero delta", ErrBadOperand)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	kids := []Node{start}
 	return d.opNode(name, fmt.Sprintf("plus(%s,%d)", childSig(kids), delta), kids, func(core opCore) operatorNode {
 		return &plusNode{opCore: core, delta: delta}
@@ -461,15 +500,18 @@ func (d *Detector) periodic(name string, start Node, period uint64, end Node, st
 	if period == 0 {
 		return nil, fmt.Errorf("%w: periodic event with zero period", ErrBadOperand)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	op := "p"
 	if star {
 		op = "pstar"
 	}
 	sig := fmt.Sprintf("%s(%s,%d,%s)", op, start.Name(), period, end.Name())
 	return d.register(name, sig, func() Node {
-		core := opCore{nodeCore: nodeCore{d: d, name: name}, kids: []Node{start, end}}
+		comp := d.mergeNodeComps([]Node{start, end})
+		comp.mu.Lock()
+		defer comp.mu.Unlock()
+		core := opCore{nodeCore: nodeCore{d: d, name: name, comp: comp}, kids: []Node{start, end}}
 		n := &pNode{opCore: core, period: period, star: star}
 		start.attach(n, 0)
 		end.attach(n, 2)
@@ -480,21 +522,29 @@ func (d *Detector) periodic(name string, start Node, period uint64, end Node, st
 // Subscribe attaches sub to the named event in the given parameter
 // context, activating detection of the whole expression subtree in that
 // context. The returned function unsubscribes (decrementing the counters,
-// so detection in the context stops when no rule needs it).
+// so detection in the context stops when no rule needs it). The whole
+// subtree lives in one component by construction, so the subscription
+// mutates node state under that single component's lock.
 func (d *Detector) Subscribe(eventName string, ctx Context, sub Subscriber) (func(), error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	n, ok := d.nodes[eventName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, eventName)
 	}
+	d.admit.Store(nil)
+	root := n.component()
+	root.mu.Lock()
 	undo := n.subscribe(sub, ctx)
-	d.invalidateAdmit() // liveness changed
+	root.mu.Unlock()
 	return func() {
-		d.mu.Lock()
-		defer d.mu.Unlock()
+		d.structMu.Lock()
+		defer d.structMu.Unlock()
+		d.admit.Store(nil)
+		r := n.component() // may have merged since the subscribe
+		r.mu.Lock()
 		undo()
-		d.invalidateAdmit()
+		r.mu.Unlock()
 	}, nil
 }
 
@@ -526,37 +576,98 @@ func (d *Detector) SetMasked(masked bool) {
 // node defined on the class (or an ancestor class) with a matching method
 // and modifier fires. It is the Notify call the Sentinel post-processor
 // plants in each wrapper method — paid on every method invocation of
-// every reactive class, so the no-consumer case is decided lock-free: a
-// masked detector or a (class, method, modifier) triple absent from the
-// admission index returns without locking or allocating.
+// every reactive class, so it is routed entirely through the admission
+// index when possible: a masked detector or an unknown (class, method,
+// modifier) triple returns without locking, and a match locks only the
+// component(s) the matching nodes belong to, so independent expressions
+// consume signals concurrently.
 func (d *Detector) SignalMethod(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64) {
 	if d.maskCnt.Load() > 0 {
 		return
 	}
-	admitted := false
 	if !d.traced.Load() {
 		if idx := d.admit.Load(); idx != nil {
-			if _, ok := idx.methods[methodKey{class: class, method: method, mod: mod}]; !ok {
+			entry := idx.methods[methodKey{class: class, method: method, mod: mod}]
+			if entry == nil {
 				return // nothing could consume this signal
 			}
-			admitted = true // skip the re-probe under the lock
+			if d.fireMethodFast(idx, entry, class, method, mod, oid, params, txnID) {
+				return
+			}
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.signalMethodLocked(class, method, mod, oid, params, txnID, admitted)
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
+	d.signalMethodLocked(class, method, mod, oid, params, txnID, nil)
 }
 
-// signalMethodLocked is the graph-walk stage of SignalMethod; callers
-// hold d.mu. admitted means the caller already found the (class, method,
-// modifier) triple in the current admission index.
-func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64, admitted bool) {
+// fireMethodFast fires a routed method signal under the target components'
+// locks only. After locking each component it validates that the admission
+// index is still current: node structure (parent edges, rules, context
+// counters, component membership) only changes under the structure lock
+// with the affected components locked AND the index dropped first, so an
+// unchanged index pointer proves the routing and pre-filtered liveness are
+// still exact. On a stale index it reports false and the caller retries on
+// the serialized path; groups already fired are skipped there via the skip
+// set (their components consumed the signal already).
+func (d *Detector) fireMethodFast(idx *matchIndex, entry *methodEntry, class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64) bool {
+	for gi := range entry.groups {
+		g := &entry.groups[gi]
+		g.comp.mu.Lock()
+		if d.admit.Load() != idx {
+			g.comp.mu.Unlock()
+			if gi == 0 {
+				return false
+			}
+			// Components of the earlier groups already consumed the
+			// signal; finish the rest on the serialized path.
+			skip := make(map[*PrimitiveNode]bool)
+			for _, done := range entry.groups[:gi] {
+				for _, p := range done.nodes {
+					skip[p] = true
+				}
+			}
+			d.structMu.Lock()
+			d.signalMethodLocked(class, method, mod, oid, params, txnID, skip)
+			d.structMu.Unlock()
+			return true
+		}
+		tmpl := getOcc()
+		*tmpl = event.Occurrence{
+			Kind:     event.KindMethod,
+			Class:    class,
+			Method:   method,
+			Modifier: mod,
+			Object:   oid,
+			Params:   params,
+			Seq:      d.clock.Next(), // stamped under the component lock
+			Time:     d.vtime.Load(),
+			Txn:      txnID,
+			App:      d.App,
+		}
+		for _, p := range g.nodes {
+			if p.matchesInstance(oid) {
+				p.fire(tmpl)
+			}
+		}
+		putOcc(tmpl)
+		g.comp.mu.Unlock()
+	}
+	return true
+}
+
+// signalMethodLocked is the serialized form of SignalMethod; callers hold
+// structMu. skip lists nodes a partially completed fast-path attempt
+// already fired. The template's Seq is (re)stamped under each target
+// component's lock so per-component arrival order equals Seq order even
+// while fast-path signals race into the same components.
+func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64, skip map[*PrimitiveNode]bool) {
 	if d.maskCnt.Load() > 0 {
 		return
 	}
-	if !admitted {
+	if skip == nil {
 		idx := d.admitLocked()
-		if _, ok := idx.methods[methodKey{class: class, method: method, mod: mod}]; !ok && d.tracer == nil {
+		if idx.methods[methodKey{class: class, method: method, mod: mod}] == nil && d.tracer == nil {
 			return
 		}
 	}
@@ -569,7 +680,7 @@ func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, 
 		Object:   oid,
 		Params:   params,
 		Seq:      d.clock.Next(),
-		Time:     d.vtime,
+		Time:     d.vtime.Load(),
 		Txn:      txnID,
 		App:      d.App,
 	}
@@ -577,39 +688,84 @@ func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, 
 	// Walk the inheritance chain: the per-class lists are the paper's
 	// primitive-event index ("each primitive event is maintained as a
 	// list based on the class on which it is defined").
+	var matchedArr [4]*PrimitiveNode
+	matched := matchedArr[:0]
 	for c := class; c != ""; c = d.super[c] {
 		for _, p := range d.classes[c] {
-			if p.live() && p.matches(class, method, mod, oid) {
-				p.fire(tmpl)
+			if p.live() && p.matches(class, method, mod, oid) && !skip[p] {
+				matched = append(matched, p)
 			}
 		}
 	}
+	// Fire component by component, each group under its component's lock
+	// with a Seq stamped inside the lock — fast-path signals racing into
+	// the same component stamp the same way, so per-component arrival
+	// order equals Seq order. In traced mode no fast path runs and the
+	// tracer retains tmpl, so the original stamp must stay untouched.
+	for len(matched) > 0 {
+		root := matched[0].comp.find()
+		root.mu.Lock()
+		if d.tracer == nil {
+			tmpl.Seq = d.clock.Next()
+		}
+		rest := matched[:0]
+		for _, p := range matched {
+			if p.comp.find() == root {
+				p.fire(tmpl)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		root.mu.Unlock()
+		matched = rest
+	}
 	if d.tracer == nil {
-		putOcc(tmpl) // fire copied it; a tracer is the only retainer
+		putOcc(tmpl)
 	}
 }
 
-// SignalExplicit raises a named explicit event. Like SignalMethod, a
-// defined event with no consumers is dropped lock-free (the Signals
-// counter still advances, matching the locked path's accounting).
+// SignalExplicit raises a named explicit event. A defined event with no
+// consumers is dropped lock-free; a live one is routed straight to its
+// component, so explicit events into independent expressions also
+// propagate concurrently.
 func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uint64) error {
 	if d.maskCnt.Load() > 0 {
 		return nil
 	}
 	if !d.traced.Load() {
 		if idx := d.admit.Load(); idx != nil {
-			if v, ok := idx.explicit[name]; ok && v&admitLive == 0 {
-				d.stats.signals.Add(1)
-				return nil
+			if e := idx.names[name]; e != nil && e.kind == event.KindExplicit {
+				if !e.live {
+					d.stats.signals.Add(1)
+					return nil
+				}
+				e.comp.mu.Lock()
+				if d.admit.Load() == idx {
+					occ := getOcc()
+					*occ = event.Occurrence{
+						Name:   name,
+						Kind:   event.KindExplicit,
+						Params: params,
+						Seq:    d.clock.Next(),
+						Time:   d.vtime.Load(),
+						Txn:    txnID,
+						App:    d.App,
+					}
+					e.node.fire(occ)
+					putOcc(occ)
+					e.comp.mu.Unlock()
+					return nil
+				}
+				e.comp.mu.Unlock()
 			}
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.signalExplicitLocked(name, params, txnID)
 }
 
-// signalExplicitLocked fires an explicit event; callers hold d.mu.
+// signalExplicitLocked fires an explicit event; callers hold structMu.
 func (d *Detector) signalExplicitLocked(name string, params event.ParamList, txnID uint64) error {
 	if d.maskCnt.Load() > 0 {
 		return nil
@@ -622,18 +778,21 @@ func (d *Detector) signalExplicitLocked(name string, params event.ParamList, txn
 	if !ok || p.kind != event.KindExplicit {
 		return fmt.Errorf("%w: %q is not an explicit event", ErrBadOperand, name)
 	}
+	root := p.comp.find()
+	root.mu.Lock()
 	occ := getOcc()
 	*occ = event.Occurrence{
 		Name:   name,
 		Kind:   event.KindExplicit,
 		Params: params,
 		Seq:    d.clock.Next(),
-		Time:   d.vtime,
+		Time:   d.vtime.Load(),
 		Txn:    txnID,
 		App:    d.App,
 	}
 	d.trace(TraceRaw, occ, Recent, "input")
 	p.fire(occ)
+	root.mu.Unlock()
 	if d.tracer == nil {
 		putOcc(occ)
 	}
@@ -644,28 +803,33 @@ func (d *Detector) signalExplicitLocked(name string, params event.ParamList, txn
 // abort additionally flush the transaction's occurrences from the graph
 // when AutoFlush is on, so that events never cross transaction boundaries.
 func (d *Detector) SignalTxn(name string, txnID uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	d.signalTxnLocked(name, txnID)
 }
 
 // signalTxnLocked fires a transaction event and auto-flushes on commit or
-// abort; callers hold d.mu.
+// abort; callers hold structMu. The transaction-event node's component is
+// locked only around the fire; the flush then fans out to just the
+// components the transaction's dirty sets touched.
 func (d *Detector) signalTxnLocked(name string, txnID uint64) {
 	if d.maskCnt.Load() == 0 {
 		if n, ok := d.nodes[name]; ok {
 			if p, ok := n.(*PrimitiveNode); ok && p.kind == event.KindTransaction {
+				root := p.comp.find()
+				root.mu.Lock()
 				occ := getOcc()
 				*occ = event.Occurrence{
 					Name: name,
 					Kind: event.KindTransaction,
 					Seq:  d.clock.Next(),
-					Time: d.vtime,
+					Time: d.vtime.Load(),
 					Txn:  txnID,
 					App:  d.App,
 				}
 				d.trace(TraceRaw, occ, Recent, "input")
 				p.fire(occ)
+				root.mu.Unlock()
 				if d.tracer == nil {
 					putOcc(occ)
 				}
@@ -689,7 +853,7 @@ func (d *Detector) traceTxnInput(name string, txnID uint64) {
 		Name: name,
 		Kind: event.KindTransaction,
 		Seq:  d.clock.Next(),
-		Time: d.vtime,
+		Time: d.vtime.Load(),
 		Txn:  txnID,
 		App:  d.App,
 	}
@@ -704,17 +868,15 @@ func (d *Detector) SignalOccurrence(occ *event.Occurrence) error {
 	if d.maskCnt.Load() > 0 {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	return d.signalOccurrenceLocked(occ)
 }
 
 // signalOccurrenceLocked routes a pre-built occurrence without ever
-// releasing the lock mid-decision: the name lookup, the method-signature
-// fallback, and the fire all happen in one critical section (the previous
-// implementation dropped and re-acquired the mutex around the fallback,
-// letting other signals interleave between the decision and the signal).
-// Callers hold d.mu.
+// releasing the structure lock mid-decision: the name lookup, the
+// method-signature fallback, and the fire all happen in one critical
+// section. Callers hold structMu.
 func (d *Detector) signalOccurrenceLocked(occ *event.Occurrence) error {
 	if d.maskCnt.Load() > 0 {
 		return nil
@@ -723,7 +885,7 @@ func (d *Detector) signalOccurrenceLocked(occ *event.Occurrence) error {
 	if !ok {
 		// Method events may be addressed by signature instead of name.
 		if occ.Kind == event.KindMethod {
-			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, false)
+			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, nil)
 			return nil
 		}
 		return fmt.Errorf("%w: %q", ErrUnknownEvent, occ.Name)
@@ -732,43 +894,57 @@ func (d *Detector) signalOccurrenceLocked(occ *event.Occurrence) error {
 	if !ok {
 		return fmt.Errorf("%w: cannot signal composite event %q directly", ErrBadOperand, occ.Name)
 	}
+	root := p.comp.find()
+	root.mu.Lock()
 	cp := getOcc()
 	*cp = *occ
 	cp.Seq = d.clock.Next()
-	cp.Time = d.vtime
+	cp.Time = d.vtime.Load()
 	d.trace(TraceRaw, cp, Recent, "input")
 	p.fire(cp)
+	root.mu.Unlock()
 	if d.tracer == nil {
 		putOcc(cp)
 	}
 	return nil
 }
 
-// SignalBatch injects a slice of pre-built primitive occurrences under a
-// single acquisition of the graph lock — the bulk entry point for event
-// log replay and the global event detector's fan-in, where taking and
-// releasing the mutex per occurrence dominates. Occurrences are processed
-// in slice order with the same routing as the one-at-a-time entry points:
-// unnamed method occurrences go through the signature path, transaction
-// occurrences fire the system events (including the AutoFlush), and
-// everything else is routed by name. The virtual clock advances to each
-// occurrence's Time first, so temporal events interleave exactly as they
-// would online. It returns the number of occurrences processed and the
-// first routing error, if any.
+// SignalBatch injects a slice of pre-built primitive occurrences — the
+// bulk entry point for event log replay and the global event detector's
+// fan-in. Occurrences are processed in slice order with the same routing
+// as the one-at-a-time entry points: unnamed method occurrences go through
+// the signature path, transaction occurrences fire the system events
+// (including the AutoFlush), and everything else is routed by name. The
+// virtual clock advances to each occurrence's Time first, so temporal
+// events interleave exactly as they would online. It returns the number of
+// occurrences processed and the first routing error, if any.
+//
+// A batch whose occurrences are all routable through the admission index
+// (no transaction events, no clock advancement, no unknown names) is split
+// per component: the target components are locked together and the batch
+// fires group by group in slice order, so each component consumes its
+// sub-batch in logical-clock order while other components stay available
+// to concurrent signallers. Any other batch falls back to the structure
+// lock.
 func (d *Detector) SignalBatch(occs []event.Occurrence) (int, error) {
 	if len(occs) == 0 {
 		return 0, nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if !d.traced.Load() && d.maskCnt.Load() == 0 {
+		if idx := d.admit.Load(); idx != nil && d.fireBatchFast(idx, occs) {
+			return len(occs), nil
+		}
+	}
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	for i := range occs {
 		occ := &occs[i]
-		if occ.Time > d.vtime {
+		if occ.Time > d.vtime.Load() {
 			d.advanceTimeLocked(occ.Time)
 		}
 		switch {
 		case occ.Kind == event.KindMethod && occ.Name == "":
-			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, false)
+			d.signalMethodLocked(occ.Class, occ.Method, occ.Modifier, occ.Object, occ.Params, occ.Txn, nil)
 		case occ.Kind == event.KindTransaction:
 			d.signalTxnLocked(occ.Name, occ.Txn)
 		default:
@@ -780,85 +956,192 @@ func (d *Detector) SignalBatch(occs []event.Occurrence) (int, error) {
 	return len(occs), nil
 }
 
+// fireBatchFast attempts the per-component batch split: it maps every
+// occurrence to its target component(s) through the admission index,
+// locks the distinct components in ascending id order, re-validates the
+// index (all-or-nothing — no occurrence fires on a stale index), and
+// fires in slice order. It reports false when any occurrence needs the
+// serialized path.
+func (d *Detector) fireBatchFast(idx *matchIndex, occs []event.Occurrence) bool {
+	vnow := d.vtime.Load()
+	type target struct {
+		entry *methodEntry // method occurrences
+		name  *nameEntry   // named occurrences
+	}
+	targets := make([]target, len(occs))
+	var comps []*component
+	addComp := func(c *component) {
+		for _, have := range comps {
+			if have == c {
+				return
+			}
+		}
+		comps = append(comps, c)
+	}
+	for i := range occs {
+		occ := &occs[i]
+		if occ.Time > vnow || occ.Kind == event.KindTransaction {
+			return false // timer interleaving / flush fan-out: serialize
+		}
+		if occ.Kind == event.KindMethod && occ.Name == "" {
+			entry := idx.methods[methodKey{class: occ.Class, method: occ.Method, mod: occ.Modifier}]
+			if entry == nil {
+				continue // nothing consumes it; matches the serial path
+			}
+			targets[i].entry = entry
+			for gi := range entry.groups {
+				addComp(entry.groups[gi].comp)
+			}
+			continue
+		}
+		e := idx.names[occ.Name]
+		if e == nil || e.kind == event.KindTransaction {
+			return false // unknown name (error path) or txn flush
+		}
+		if !e.live {
+			// Replayed occurrence nothing consumes: account the signal
+			// like the explicit fast drop and move on.
+			targets[i].name = e
+			continue
+		}
+		targets[i].name = e
+		addComp(e.comp)
+	}
+	sortComps(comps)
+	for _, c := range comps {
+		c.mu.Lock()
+	}
+	if d.admit.Load() != idx {
+		for i := len(comps) - 1; i >= 0; i-- {
+			comps[i].mu.Unlock()
+		}
+		return false
+	}
+	for i := range occs {
+		occ := &occs[i]
+		switch {
+		case targets[i].entry != nil:
+			entry := targets[i].entry
+			for gi := range entry.groups {
+				g := &entry.groups[gi]
+				tmpl := getOcc()
+				*tmpl = event.Occurrence{
+					Kind:     event.KindMethod,
+					Class:    occ.Class,
+					Method:   occ.Method,
+					Modifier: occ.Modifier,
+					Object:   occ.Object,
+					Params:   occ.Params,
+					Seq:      d.clock.Next(),
+					Time:     d.vtime.Load(),
+					Txn:      occ.Txn,
+					App:      d.App,
+				}
+				for _, p := range g.nodes {
+					if p.matchesInstance(occ.Object) {
+						p.fire(tmpl)
+					}
+				}
+				putOcc(tmpl)
+			}
+		case targets[i].name != nil:
+			e := targets[i].name
+			if !e.live {
+				d.stats.signals.Add(1)
+				continue
+			}
+			cp := getOcc()
+			*cp = *occ
+			cp.Seq = d.clock.Next()
+			cp.Time = d.vtime.Load()
+			e.node.fire(cp)
+			putOcc(cp)
+		}
+	}
+	for i := len(comps) - 1; i >= 0; i-- {
+		comps[i].mu.Unlock()
+	}
+	return true
+}
+
 // FlushTxn removes every stored occurrence of the transaction from the
 // whole graph (full flush, §3.2.2(3)).
 func (d *Detector) FlushTxn(txnID uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	d.flushTxnLocked(txnID)
 }
 
-// flushTxnLocked flushes one transaction using the dirty set: only nodes
-// that stored an occurrence (or scheduled a timer) for the transaction
-// are visited, so a commit touches O(nodes the txn reached), not O(graph).
-// Callers hold d.mu.
+// flushTxnLocked flushes one transaction, visiting only the components the
+// transaction's dirty tracking touched; each component is flushed under
+// its own lock. Callers hold structMu. Signals on other components (and,
+// between two component flushes, even on the flushed transaction's other
+// components) may interleave with the fan-out — commit flush is atomic per
+// component, not across components, which is the documented relaxation of
+// the sharded design (see DESIGN.md §7).
 func (d *Detector) flushTxnLocked(txnID uint64) {
 	if d.tracer != nil {
 		d.trace(TraceFlush, nil, Recent, fmt.Sprintf("txn:%d", txnID))
 	}
-	if d.dirtyOverflow {
-		for _, n := range d.nodes {
+	if d.flushSweep.Load() {
+		d.sweepFlushTxn(txnID)
+		return
+	}
+	for _, root := range d.takeTxnComps(txnID) {
+		root.mu.Lock()
+		root.flushTxnLocked(txnID)
+		root.mu.Unlock()
+	}
+}
+
+// sweepFlushTxn is the degraded full-graph flush used after dirty
+// tracking overflowed: every node is visited, grouped by component so
+// each component is locked once. Callers hold structMu.
+func (d *Detector) sweepFlushTxn(txnID uint64) {
+	for _, root := range d.rootComps() {
+		root.mu.Lock()
+		delete(root.dirty, txnID)
+		if txnID == root.lastDirtyTxn {
+			root.lastDirtyNode = nil
+		}
+		root.mu.Unlock()
+	}
+	d.forEachNodeByComp(func(root *component, ns []Node) {
+		root.mu.Lock()
+		for _, n := range ns {
 			n.flushTxn(txnID)
 		}
-		return
-	}
-	if txnID == d.lastDirtyTxn {
-		d.lastDirtyNode = nil // the cached pair leaves the dirty set
-	}
-	set, ok := d.dirty[txnID]
-	if !ok {
-		return
-	}
-	delete(d.dirty, txnID)
-	for n := range set {
-		n.flushTxn(txnID)
-	}
+		root.mu.Unlock()
+	})
+	d.compsMu.Lock()
+	delete(d.txnComps, txnID)
+	d.compsMu.Unlock()
 }
 
-// markDirty records that node n is about to receive (and may store) occ,
-// under every transaction occ carries — a composite is flushed when any
-// constituent's transaction finishes. Callers hold d.mu.
-func (d *Detector) markDirty(n Node, occ *event.Occurrence) {
-	if len(occ.Constituents) == 0 {
-		d.markDirtyTxn(n, occ.Txn)
-		return
-	}
-	for _, c := range occ.Constituents {
-		d.markDirty(n, c)
-	}
-}
-
-// maxTrackedTxns bounds the dirty map for workloads that never flush;
-// past it, per-txn tracking degrades to full-graph sweeps.
-const maxTrackedTxns = 1 << 16
-
-func (d *Detector) markDirtyTxn(n Node, txnID uint64) {
-	if d.dirtyOverflow {
-		return
-	}
-	if n == d.lastDirtyNode && txnID == d.lastDirtyTxn {
-		return
-	}
-	d.lastDirtyNode, d.lastDirtyTxn = n, txnID
-	set := d.dirty[txnID]
-	if set == nil {
-		if len(d.dirty) >= maxTrackedTxns {
-			d.dirtyOverflow = true
-			d.dirty = nil
-			return
+// forEachNodeByComp groups the named nodes by root component and calls fn
+// once per group. Callers hold structMu (so membership is stable).
+func (d *Detector) forEachNodeByComp(fn func(root *component, ns []Node)) {
+	groups := make(map[*component][]Node)
+	seen := make(map[Node]bool, len(d.nodes))
+	for _, n := range d.nodes {
+		if seen[n] {
+			continue // aliases map several names to one node
 		}
-		set = make(map[Node]struct{}, 2)
-		d.dirty[txnID] = set
+		seen[n] = true
+		root := n.component()
+		groups[root] = append(groups[root], n)
 	}
-	set[n] = struct{}{}
+	for root, ns := range groups {
+		fn(root, ns)
+	}
 }
 
 // FlushTxns flushes several transactions at once — typically a top-level
 // transaction together with every subtransaction of its family, so that
 // occurrences signalled from rule subtransactions are flushed too.
 func (d *Detector) FlushTxns(ids []uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	for _, id := range ids {
 		d.flushTxnLocked(id)
 	}
@@ -866,14 +1149,17 @@ func (d *Detector) FlushTxns(ids []uint64) {
 
 // FlushEvent selectively flushes the subtree of one event expression.
 // Dirty-set entries for the flushed nodes are left in place: a later
-// transaction flush finding an already-clean node is a no-op.
+// transaction flush finding an already-clean node is a no-op. The subtree
+// lies inside one component by construction.
 func (d *Detector) FlushEvent(name string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	n, ok := d.nodes[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownEvent, name)
 	}
+	root := n.component()
+	root.mu.Lock()
 	var clear func(Node)
 	seen := map[Node]bool{}
 	clear = func(n Node) {
@@ -889,20 +1175,29 @@ func (d *Detector) FlushEvent(name string) error {
 		}
 	}
 	clear(n)
+	root.mu.Unlock()
 	d.trace(TraceFlush, nil, Recent, "event:"+name)
 	return nil
 }
 
-// FlushAll clears every node's partial state.
+// FlushAll clears every node's partial state and resets dirty tracking.
 func (d *Detector) FlushAll() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, n := range d.nodes {
-		n.flushAll()
-	}
-	d.dirty = make(map[uint64]map[Node]struct{})
-	d.dirtyOverflow = false
-	d.lastDirtyNode = nil
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
+	d.forEachNodeByComp(func(root *component, ns []Node) {
+		root.mu.Lock()
+		for _, n := range ns {
+			n.flushAll()
+		}
+		root.dirty = make(map[uint64]map[Node]struct{})
+		root.dirtyOverflow = false
+		root.lastDirtyNode = nil
+		root.mu.Unlock()
+	})
+	d.compsMu.Lock()
+	d.txnComps = make(map[uint64][]*component)
+	d.compsMu.Unlock()
+	d.flushSweep.Store(false)
 	d.trace(TraceFlush, nil, Recent, "all")
 }
 
@@ -915,63 +1210,69 @@ func (d *Detector) FlushAll() {
 func (d *Detector) SeqNow() uint64 { return d.clock.Now() }
 
 // Now returns the detector's virtual clock reading.
-func (d *Detector) Now() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.vtime
+func (d *Detector) Now() uint64 { return d.vtime.Load() }
+
+// vtimeAdvance moves the virtual clock monotonically forward to at least
+// the given reading.
+func (d *Detector) vtimeAdvance(to uint64) {
+	for {
+		cur := d.vtime.Load()
+		if cur >= to || d.vtime.CompareAndSwap(cur, to) {
+			return
+		}
+	}
 }
 
 // AdvanceTime moves the virtual clock to the given reading, firing every
-// due temporal event in order. Moving backwards is a no-op.
+// due temporal event. Moving backwards is a no-op. Due timers fire in
+// (due, seq) order within each component; ordering across components is
+// not defined — another consequence of the per-component serialization
+// domain, acceptable because cross-component occurrences never meet at an
+// operator.
 func (d *Detector) AdvanceTime(to uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
 	d.advanceTimeLocked(to)
 }
 
 // advanceTimeLocked fires due timers up to the new reading; callers hold
-// d.mu.
+// structMu.
 func (d *Detector) advanceTimeLocked(to uint64) {
-	for len(d.timers) > 0 && d.timers[0].due <= to {
-		e := heap.Pop(&d.timers).(*timerEntry)
-		delete(d.timerTxn, e)
-		if e.dead {
-			continue
-		}
-		if e.due > d.vtime {
-			d.vtime = e.due
-		}
-		e.fire(e.due)
+	for _, root := range d.rootComps() {
+		root.mu.Lock()
+		root.advanceTimersLocked(d, to)
+		root.mu.Unlock()
 	}
-	if to > d.vtime {
-		d.vtime = to
-	}
+	d.vtimeAdvance(to)
 }
 
-// schedule registers a timer callback; called with d.mu held (from node
-// receive paths). The owner is marked dirty for the transaction so the
-// commit/abort flush finds and cancels the timer without a graph sweep.
+// schedule registers a timer callback on the owner's component; called
+// with the owner's component lock held (from node receive paths). The
+// owner is marked dirty for the transaction so the commit/abort flush
+// finds and cancels the timer without a graph sweep.
 func (d *Detector) schedule(owner Node, txnID uint64, due uint64, fire func(now uint64)) {
-	d.timerSeq++
-	e := &timerEntry{due: due, seq: d.timerSeq, fire: fire}
-	heap.Push(&d.timers, e)
-	d.timerTxn[e] = timerOwner{node: owner, txn: txnID}
-	d.markDirtyTxn(owner, txnID)
+	root := owner.component()
+	e := &timerEntry{due: due, seq: d.timerSeq.Add(1), fire: fire}
+	root.timers.push(e)
+	root.timerTxn[e] = timerOwner{node: owner, txn: txnID}
+	root.markDirtyTxn(d, owner, txnID)
 }
 
 // cancelTimers kills pending timers of a node; txnID zero kills all of the
-// node's timers, otherwise only the given transaction's.
+// node's timers, otherwise only the given transaction's. Called with the
+// owner's component lock held.
 func (d *Detector) cancelTimers(owner Node, txnID uint64) {
-	for e, o := range d.timerTxn {
+	root := owner.component()
+	for e, o := range root.timerTxn {
 		if o.node == owner && (txnID == 0 || o.txn == txnID) {
 			e.dead = true
-			delete(d.timerTxn, e)
+			delete(root.timerTxn, e)
 		}
 	}
 }
 
 // temporalOccurrence builds the clock-tick occurrence used by the temporal
-// operators; called with d.mu held.
+// operators; called with the owner's component lock held.
 func (d *Detector) temporalOccurrence(name string, now uint64, txnID uint64) *event.Occurrence {
 	return &event.Occurrence{
 		Name: name + "@tick",

@@ -50,6 +50,10 @@ type Node interface {
 	// returns an undo function. It adjusts context counters.
 	subscribe(sub Subscriber, ctx Context) func()
 
+	// component returns the root of the connected component the node
+	// belongs to — the node's serialization domain (see component.go).
+	component() *component
+
 	// flushTxn drops all stored (partial) occurrences belonging to the
 	// transaction; flushAll drops everything.
 	flushTxn(txnID uint64)
@@ -78,17 +82,25 @@ type ruleEdge struct {
 }
 
 // nodeCore holds the bookkeeping every node shares: the name, subscriber
-// lists, context reference counters, and the owning detector (for tracing
-// and emission).
+// lists, context reference counters, the owning detector (for tracing and
+// emission), and the connected component the node was created in. The
+// structural fields (parents, rules, refCount) are only mutated while
+// holding both the detector's structure lock and the component's lock, and
+// only read under one of the two — which is what lets the fast path
+// propagate under the component lock alone.
 type nodeCore struct {
 	d        *Detector
 	name     string
+	comp     *component // creation-time component; find() resolves merges
 	parents  []parentEdge
 	rules    []*ruleEdge
 	refCount [numContexts]int
 }
 
 func (c *nodeCore) Name() string { return c.name }
+
+// component resolves the node's current root component.
+func (c *nodeCore) component() *component { return c.comp.find() }
 
 func (c *nodeCore) attach(parent operatorNode, side int) {
 	c.parents = append(c.parents, parentEdge{parent, side})
@@ -145,23 +157,45 @@ func (c *nodeCore) addRule(sub Subscriber, ctx Context) func() {
 	}
 }
 
+// traceNode accounts a node-level event on the component's stats shard and
+// forwards to an installed tracer. Callers hold the component's lock;
+// traced is only true while every signal path serializes on the structure
+// lock, and the tracer field itself is only written with every component
+// lock held, so the unsynchronized read is safe.
+func (c *nodeCore) traceNode(root *component, kind TraceKind, occ *event.Occurrence, ctx Context) {
+	switch kind {
+	case TraceSignal:
+		root.stats.signals.Add(1)
+	case TraceDetect:
+		root.stats.detections.Add(1)
+	case TraceNotifyRule:
+		root.stats.ruleFires.Add(1)
+	}
+	if c.d.traced.Load() {
+		c.d.tracer.Trace(kind, occ, ctx, c.name)
+	}
+}
+
 // emit delivers occ, detected by this node in ctx, to every parent active
 // in ctx and every rule subscribed in ctx. It is the data-flow step of the
 // paper's demand-driven propagation: parameters flow only along edges whose
-// context is live, never to irrelevant nodes.
+// context is live, never to irrelevant nodes. Parents always live in the
+// same component (attaching them merged the components), so the whole
+// propagation happens under the single component lock the caller holds.
 func (c *nodeCore) emit(occ *event.Occurrence, ctx Context) {
-	c.d.trace(TraceDetect, occ, ctx, c.name)
+	root := c.comp.find()
+	c.traceNode(root, TraceDetect, occ, ctx)
 	for _, e := range c.parents {
 		if e.parent.activeIn(ctx) {
 			// The parent may store occ; record it in the per-transaction
 			// dirty set so commit/abort flushes skip untouched nodes.
-			c.d.markDirty(e.parent, occ)
+			root.markDirty(c.d, e.parent, occ)
 			e.parent.receive(occ, e.side, ctx)
 		}
 	}
 	for _, r := range c.rules {
 		if r.ctx == ctx {
-			c.d.trace(TraceNotifyRule, occ, ctx, c.name)
+			c.traceNode(root, TraceNotifyRule, occ, ctx)
 			r.sub.Notify(occ, ctx)
 		}
 	}
@@ -172,13 +206,14 @@ func (c *nodeCore) emit(occ *event.Occurrence, ctx Context) {
 // subscriber is notified regardless of its context (a primitive event has
 // no grouping ambiguity).
 func (c *nodeCore) emitPrimitive(occ *event.Occurrence) {
-	c.d.trace(TraceSignal, occ, Recent, c.name)
+	root := c.comp.find()
+	c.traceNode(root, TraceSignal, occ, Recent)
 	for _, e := range c.parents {
 		marked := false
 		for ctx := Context(0); ctx < numContexts; ctx++ {
 			if e.parent.activeIn(ctx) {
 				if !marked {
-					c.d.markDirty(e.parent, occ)
+					root.markDirty(c.d, e.parent, occ)
 					marked = true
 				}
 				e.parent.receive(occ, e.side, ctx)
@@ -186,7 +221,7 @@ func (c *nodeCore) emitPrimitive(occ *event.Occurrence) {
 		}
 	}
 	for _, r := range c.rules {
-		c.d.trace(TraceNotifyRule, occ, r.ctx, c.name)
+		c.traceNode(root, TraceNotifyRule, occ, r.ctx)
 		r.sub.Notify(occ, r.ctx)
 	}
 }

@@ -71,6 +71,14 @@ func (p *PrimitiveNode) matches(class, method string, mod event.Modifier, oid ev
 	return p.d.isSubclassOf(class, p.class)
 }
 
+// matchesInstance is the residual filter of the fast path: class, method,
+// modifier and liveness are pre-checked when the admission index is built
+// (see buildAdmitLocked), leaving only the instance-level OID restriction
+// to evaluate at signal time — it needs no lock beyond the component's.
+func (p *PrimitiveNode) matchesInstance(oid event.OID) bool {
+	return p.instance == 0 || p.instance == oid
+}
+
 // fire stamps and propagates one occurrence of this primitive event.
 // The occurrence's Name is the node's name, so the same method invocation
 // signalled to several primitive nodes (the paper's any_stk_price vs

@@ -1,6 +1,8 @@
 package detector
 
 import (
+	"container/heap"
+
 	"repro/internal/event"
 )
 
@@ -40,6 +42,9 @@ func (h *timerHeap) Pop() any {
 	*h = old[:n-1]
 	return e
 }
+
+// push inserts a timer entry maintaining the heap invariant.
+func (h *timerHeap) push(e *timerEntry) { heap.Push(h, e) }
 
 // ---------------------------------------------------------------------------
 // PLUS

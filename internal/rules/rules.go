@@ -417,38 +417,55 @@ func (m *Manager) WaitDetached() { m.detached.Wait() }
 
 // Enable (re)activates the rule. In NOW trigger mode only occurrences
 // from this instant onward are considered.
+//
+// r.mu is never held across the detector call: Notify runs under the
+// event graph's component locks and takes r.mu, so holding r.mu while
+// Subscribe acquires those same locks would invert the order and
+// deadlock. Instead the subscription happens unlocked and a concurrent
+// Enable is resolved afterwards — the loser unsubscribes its duplicate.
 func (r *Rule) Enable() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.enabled {
+		r.mu.Unlock()
 		return nil
 	}
+	r.mu.Unlock()
 	unsub, err := r.mgr.det.Subscribe(r.eventName, r.ctx, r)
 	if err != nil {
 		return err
 	}
+	var minSeq uint64
+	if r.trigger == Now {
+		minSeq = r.mgr.det.SeqNow() + 1
+	}
+	r.mu.Lock()
+	if r.enabled {
+		r.mu.Unlock()
+		unsub() // lost a race with another Enable; drop the duplicate
+		return nil
+	}
 	r.unsub = unsub
 	r.enabled = true
-	if r.trigger == Now {
-		r.minSeq = r.mgr.det.SeqNow() + 1
-	} else {
-		r.minSeq = 0
-	}
+	r.minSeq = minSeq
+	r.mu.Unlock()
 	return nil
 }
 
 // Disable deactivates the rule: it unsubscribes from the event graph, so
 // the per-node context counters drop and detection in this context stops
-// if no other rule needs it.
+// if no other rule needs it. The unsubscribe runs after r.mu is released,
+// for the same lock-order reason as Enable.
 func (r *Rule) Disable() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if !r.enabled {
+		r.mu.Unlock()
 		return
 	}
-	r.unsub()
+	unsub := r.unsub
 	r.unsub = nil
 	r.enabled = false
+	r.mu.Unlock()
+	unsub()
 }
 
 // inScope applies the rule's visibility: every method-event constituent
