@@ -1,12 +1,18 @@
 # Build, test, and benchmark entry points. `make check` is the tier-1
 # gate; `make bench` regenerates BENCH_detector.json (the committed
-# before/after numbers for the signal fast path).
+# before/after numbers for the signal fast path). CI calls the targets
+# below rather than inlining commands, so the benchmark pattern and tool
+# invocations live in exactly one place.
 
 GO ?= go
 BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_
 BENCH_OUT ?= BENCH_detector.json
+BENCH_TIME ?= 1s
+BENCH_COUNT ?= 1
+BENCH_CPUS ?= 1,4,8
+BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare clean
 
 all: build
 
@@ -22,15 +28,56 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# lint runs the static analyzers beyond vet. The tools are not vendored;
+# CI installs them (see .github/workflows/ci.yml) and locally the target
+# skips whichever is missing rather than failing the build.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+
+# cover runs the suite with a coverage profile (CI uploads it as an
+# artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# bench-text is the one place the benchmark invocation is defined; every
+# other bench target (and CI) parameterizes it instead of repeating the
+# pattern.
+bench-text:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -cpu $(BENCH_CPUS) .
+
+# bench-smoke proves the benchmarks still execute (CI); its numbers are
+# not measurements.
+bench-smoke:
+	$(MAKE) bench-text BENCH_TIME=100x BENCH_CPUS=1,4
+
 # bench reruns the detector signal-path benchmarks and records them under
 # the "after" label of $(BENCH_OUT), preserving the committed "before"
 # (seed) numbers. Run with BENCH_LABEL=before on a clean baseline to
 # regenerate both sides.
 BENCH_LABEL ?= after
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -cpu 1,4,8 . \
+	$(MAKE) bench-text \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT) -merge
 
+# bench-record captures one labelled run into BENCH_REC_OUT (the CI
+# before/after halves of the regression gate).
+BENCH_REC_OUT ?= bench-run.json
+bench-record:
+	$(MAKE) bench-text BENCH_CPUS=1,4 \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_REC_OUT)
+
+# bench-compare gates BASE vs HEAD benchjson documents: fails when the
+# ns/op geomean regresses more than BENCH_THRESHOLD percent.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -base $(BASE) -head $(HEAD) -threshold $(BENCH_THRESHOLD)
+
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

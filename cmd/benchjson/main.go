@@ -6,6 +6,13 @@
 //	go test -bench E1 . | benchjson -label before -out BENCH.json
 //	... optimize ...
 //	go test -bench E1 . | benchjson -label after -out BENCH.json -merge
+//
+// With -compare it instead diffs two benchjson documents (base vs head) on
+// ns/op, prints the per-benchmark deltas and the geometric-mean ratio, and
+// exits nonzero when the geomean regresses past -threshold percent — the
+// dependency-free CI perf gate:
+//
+//	benchjson -compare -base base.json -head head.json -threshold 15
 package main
 
 import (
@@ -13,7 +20,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,7 +58,17 @@ func main() {
 	label := flag.String("label", "run", "top-level key for this run")
 	out := flag.String("out", "", "output file (default stdout)")
 	merge := flag.Bool("merge", false, "merge into an existing -out document")
+	compare := flag.Bool("compare", false, "compare -base against -head instead of converting stdin")
+	baseFile := flag.String("base", "", "compare: baseline benchjson document")
+	headFile := flag.String("head", "", "compare: candidate benchjson document")
+	baseLabel := flag.String("baselabel", "", "compare: label inside -base (default: its only label)")
+	headLabel := flag.String("headlabel", "", "compare: label inside -head (default: its only label)")
+	threshold := flag.Float64("threshold", 15, "compare: fail when the ns/op geomean regresses more than this percent")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(*baseFile, *baseLabel, *headFile, *headLabel, *threshold))
+	}
 
 	results, err := parse(os.Stdin)
 	if err != nil {
@@ -86,6 +105,105 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadRun reads one labelled result set from a benchjson document. An
+// empty label is allowed when the document holds exactly one label.
+func loadRun(path, label string) ([]result, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	doc := map[string][]result{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if label == "" {
+		if len(doc) != 1 {
+			keys := make([]string, 0, len(doc))
+			for k := range doc {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return nil, "", fmt.Errorf("%s has labels %v; pick one with -baselabel/-headlabel", path, keys)
+		}
+		for k := range doc {
+			label = k
+		}
+	}
+	rs, ok := doc[label]
+	if !ok {
+		return nil, "", fmt.Errorf("%s has no label %q", path, label)
+	}
+	return rs, label, nil
+}
+
+// runCompare diffs head against base on ns/op for every benchmark present
+// in both (matched by name and parallelism), prints the per-benchmark
+// deltas plus the geometric-mean ratio, and returns the process exit code:
+// nonzero when the geomean regression exceeds threshold percent.
+func runCompare(baseFile, baseLabel, headFile, headLabel string, threshold float64) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if baseFile == "" || headFile == "" {
+		return fail(fmt.Errorf("-compare needs -base and -head"))
+	}
+	base, bl, err := loadRun(baseFile, baseLabel)
+	if err != nil {
+		return fail(err)
+	}
+	head, hl, err := loadRun(headFile, headLabel)
+	if err != nil {
+		return fail(err)
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	baseNs := map[key]float64{}
+	for _, r := range base {
+		if r.NsPerOp > 0 {
+			baseNs[key{r.Name, r.Parallelism}] = r.NsPerOp
+		}
+	}
+	var keys []key
+	ratios := map[key]float64{}
+	for _, r := range head {
+		k := key{r.Name, r.Parallelism}
+		if b, ok := baseNs[k]; ok && r.NsPerOp > 0 {
+			keys = append(keys, k)
+			ratios[k] = r.NsPerOp / b
+		}
+	}
+	if len(keys) == 0 {
+		return fail(fmt.Errorf("no common benchmarks between %s[%s] and %s[%s]", baseFile, bl, headFile, hl))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].procs < keys[j].procs
+	})
+	fmt.Printf("%-52s %10s\n", "benchmark", "ns/op Δ")
+	logSum := 0.0
+	for _, k := range keys {
+		name := k.name
+		if k.procs != 1 {
+			name = fmt.Sprintf("%s-%d", k.name, k.procs)
+		}
+		fmt.Printf("%-52s %+9.2f%%\n", name, (ratios[k]-1)*100)
+		logSum += math.Log(ratios[k])
+	}
+	geomean := math.Exp(logSum / float64(len(keys)))
+	delta := (geomean - 1) * 100
+	fmt.Printf("\ngeomean (%d benchmarks): %+.2f%% (threshold +%.0f%%)\n", len(keys), delta, threshold)
+	if delta > threshold {
+		fmt.Fprintf(os.Stderr, "benchjson: geomean regression %+.2f%% exceeds +%.0f%%\n", delta, threshold)
+		return 1
+	}
+	return 0
 }
 
 // parse extracts benchmark result lines ("BenchmarkX-8  N  T ns/op ...")

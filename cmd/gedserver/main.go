@@ -4,27 +4,36 @@
 //
 // Usage:
 //
-//	gedserver -listen 127.0.0.1:7070 [-spec global.snp]
+//	gedserver -listen 127.0.0.1:7070 [-spec global.snp] [-debug 127.0.0.1:7071]
 //
 // The spec file may declare composite events over the (explicit) event
 // names applications contribute, e.g.:
 //
 //	event e1 = e1_decl; ...
+//
+// With -debug set, an HTTP server on that address serves /metrics
+// (Prometheus text format) and /debugz (metrics snapshot plus the global
+// event graph in DOT form).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 
+	"repro/internal/debug"
 	"repro/internal/ged"
+	"repro/internal/obs"
 	"repro/internal/snoop"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
 	spec := flag.String("spec", "", "Sentinel spec file with global event definitions")
+	debugAddr := flag.String("debug", "", "address for the /metrics and /debugz HTTP endpoints (off when empty)")
 	flag.Parse()
 
 	server := ged.NewServer(nil)
@@ -39,6 +48,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gedserver:", err)
 			os.Exit(1)
 		}
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		server.Det.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.MetricsHandler())
+		mux.Handle("/debugz", reg.DebugzHandler(obs.DebugzSection{
+			Title:  "event graph (DOT)",
+			Render: func(w io.Writer) error { return debug.DOT(server.Det, w) },
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "gedserver: debug server:", err)
+			}
+		}()
+		fmt.Println("gedserver debug endpoints on", *debugAddr)
 	}
 	addr, err := server.Listen(*listen)
 	if err != nil {

@@ -117,6 +117,7 @@ type Detector struct {
 	tracer   Tracer      // guarded by structMu + all component locks
 	traced   atomic.Bool // tracer != nil, readable without any lock
 	stats    statCounters
+	obs      obsCounters                // signal-outcome and flush counters (obs.go)
 	admit    atomic.Pointer[matchIndex] // lock-free admission + routing index
 
 	// Component registry and transaction fan-out map; compsMu is a leaf
@@ -583,17 +584,20 @@ func (d *Detector) SetMasked(masked bool) {
 // consume signals concurrently.
 func (d *Detector) SignalMethod(class, method string, mod event.Modifier, oid event.OID, params event.ParamList, txnID uint64) {
 	if d.maskCnt.Load() > 0 {
+		d.obs.maskedDrops.Add(1)
 		return
 	}
 	if !d.traced.Load() {
 		if idx := d.admit.Load(); idx != nil {
 			entry := idx.methods[methodKey{class: class, method: method, mod: mod}]
 			if entry == nil {
+				d.obs.fastNoSub.Add(1)
 				return // nothing could consume this signal
 			}
 			if d.fireMethodFast(idx, entry, class, method, mod, oid, params, txnID) {
 				return
 			}
+			d.obs.fastStale.Add(1)
 		}
 	}
 	d.structMu.Lock()
@@ -621,6 +625,7 @@ func (d *Detector) fireMethodFast(idx *matchIndex, entry *methodEntry, class, me
 			}
 			// Components of the earlier groups already consumed the
 			// signal; finish the rest on the serialized path.
+			d.obs.fastStale.Add(1)
 			skip := make(map[*PrimitiveNode]bool)
 			for _, done := range entry.groups[:gi] {
 				for _, p := range done.nodes {
@@ -653,6 +658,7 @@ func (d *Detector) fireMethodFast(idx *matchIndex, entry *methodEntry, class, me
 		putOcc(tmpl)
 		g.comp.mu.Unlock()
 	}
+	d.obs.fastHits.Add(1)
 	return true
 }
 
@@ -730,6 +736,7 @@ func (d *Detector) signalMethodLocked(class, method string, mod event.Modifier, 
 // propagate concurrently.
 func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uint64) error {
 	if d.maskCnt.Load() > 0 {
+		d.obs.maskedDrops.Add(1)
 		return nil
 	}
 	if !d.traced.Load() {
@@ -737,6 +744,7 @@ func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uin
 			if e := idx.names[name]; e != nil && e.kind == event.KindExplicit {
 				if !e.live {
 					d.stats.signals.Add(1)
+					d.obs.fastNoSub.Add(1)
 					return nil
 				}
 				e.comp.mu.Lock()
@@ -754,9 +762,11 @@ func (d *Detector) SignalExplicit(name string, params event.ParamList, txnID uin
 					e.node.fire(occ)
 					putOcc(occ)
 					e.comp.mu.Unlock()
+					d.obs.fastHits.Add(1)
 					return nil
 				}
 				e.comp.mu.Unlock()
+				d.obs.fastStale.Add(1)
 			}
 		}
 	}
@@ -930,6 +940,8 @@ func (d *Detector) SignalBatch(occs []event.Occurrence) (int, error) {
 	if len(occs) == 0 {
 		return 0, nil
 	}
+	d.obs.batches.Add(1)
+	d.obs.batchOccs.Add(uint64(len(occs)))
 	if !d.traced.Load() && d.maskCnt.Load() == 0 {
 		if idx := d.admit.Load(); idx != nil && d.fireBatchFast(idx, occs) {
 			return len(occs), nil
@@ -1083,11 +1095,14 @@ func (d *Detector) flushTxnLocked(txnID uint64) {
 	if d.tracer != nil {
 		d.trace(TraceFlush, nil, Recent, fmt.Sprintf("txn:%d", txnID))
 	}
+	d.obs.txnFlushes.Add(1)
 	if d.flushSweep.Load() {
 		d.sweepFlushTxn(txnID)
 		return
 	}
-	for _, root := range d.takeTxnComps(txnID) {
+	comps := d.takeTxnComps(txnID)
+	d.obs.flushFanout.Add(uint64(len(comps)))
+	for _, root := range comps {
 		root.mu.Lock()
 		root.flushTxnLocked(txnID)
 		root.mu.Unlock()
@@ -1098,7 +1113,9 @@ func (d *Detector) flushTxnLocked(txnID uint64) {
 // tracking overflowed: every node is visited, grouped by component so
 // each component is locked once. Callers hold structMu.
 func (d *Detector) sweepFlushTxn(txnID uint64) {
-	for _, root := range d.rootComps() {
+	roots := d.rootComps()
+	d.obs.flushFanout.Add(uint64(len(roots)))
+	for _, root := range roots {
 		root.mu.Lock()
 		delete(root.dirty, txnID)
 		if txnID == root.lastDirtyTxn {

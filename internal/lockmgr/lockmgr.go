@@ -12,7 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -76,6 +79,38 @@ type Manager struct {
 	// DefaultTimeout bounds lock waits when the per-call timeout is zero.
 	// Zero means wait forever (deadlock detection still applies).
 	DefaultTimeout time.Duration
+
+	// Always-on outcome counters; waitHist is nil until RegisterMetrics
+	// wires it (at startup, before the manager is shared).
+	grants    atomic.Uint64 // granted without queueing
+	waits     atomic.Uint64 // requests that had to queue
+	deadlocks atomic.Uint64 // requests aborted to break a cycle
+	timeouts  atomic.Uint64 // requests abandoned after the wait bound
+	waitHist  *obs.Histogram
+}
+
+// RegisterMetrics wires the lock manager into a metrics registry: request
+// outcome counters, a gauge of resources with live lock state, and the
+// distribution of time blocked requests spent queued before being granted.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sentinel_lock_grants_total",
+		"Lock requests granted immediately (no queueing).", m.grants.Load)
+	r.CounterFunc("sentinel_lock_waits_total",
+		"Lock requests that blocked behind a conflicting holder.", m.waits.Load)
+	r.CounterFunc("sentinel_lock_deadlocks_total",
+		"Lock requests aborted to break a waits-for cycle.", m.deadlocks.Load)
+	r.CounterFunc("sentinel_lock_timeouts_total",
+		"Lock waits abandoned after the timeout bound.", m.timeouts.Load)
+	r.GaugeFunc("sentinel_lock_resources",
+		"Resources with live lock state (holders or waiters).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.resources))
+		})
+	m.waitHist = r.Histogram("sentinel_lock_wait_seconds",
+		"Time blocked lock requests spent queued before being granted.",
+		obs.DurationBuckets())
 }
 
 // New creates an empty lock manager.
@@ -135,6 +170,7 @@ func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout t
 	if m.grantableLocked(rl, owner, mode) {
 		m.grantLocked(rl, owner, mode)
 		m.mu.Unlock()
+		m.grants.Add(1)
 		return nil
 	}
 	w := &waiter{owner: owner, mode: mode, granted: make(chan struct{})}
@@ -143,9 +179,15 @@ func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout t
 	if m.cycleLocked(owner) {
 		m.removeWaiterLocked(rl, w)
 		m.mu.Unlock()
+		m.deadlocks.Add(1)
 		return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
 	}
 	m.mu.Unlock()
+	m.waits.Add(1)
+	var queuedAt time.Time
+	if m.waitHist != nil {
+		queuedAt = time.Now()
+	}
 
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
@@ -156,7 +198,11 @@ func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout t
 	select {
 	case <-w.granted:
 		if w.dead {
+			m.deadlocks.Add(1)
 			return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
+		}
+		if h := m.waitHist; h != nil {
+			h.ObserveDuration(time.Since(queuedAt))
 		}
 		return nil
 	case <-timeoutCh:
@@ -166,13 +212,18 @@ func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout t
 			// Granted while we were timing out; keep the lock.
 			m.mu.Unlock()
 			if w.dead {
+				m.deadlocks.Add(1)
 				return fmt.Errorf("%w (txn %d on %q)", ErrDeadlock, owner, resource)
+			}
+			if h := m.waitHist; h != nil {
+				h.ObserveDuration(time.Since(queuedAt))
 			}
 			return nil
 		default:
 		}
 		m.removeWaiterLocked(rl, w)
 		m.mu.Unlock()
+		m.timeouts.Add(1)
 		return fmt.Errorf("%w (txn %d on %q)", ErrTimeout, owner, resource)
 	}
 }

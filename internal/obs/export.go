@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counters and gauges as
+// single series, histograms as cumulative _bucket series plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		if s.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		cum := uint64(0)
+		for i, bound := range s.Hist.Bounds {
+			cum += s.Hist.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Hist.Counts[len(s.Hist.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatFloat(s.Hist.Sum), s.Name, s.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat prints integral values without an exponent or trailing
+// zeros, matching what scrapers and humans expect for counters.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Map returns the snapshot as a flat name→value map (histograms expand to
+// name_sum / name_count plus per-bound buckets) — the expvar payload.
+func (r *Registry) Map() map[string]any {
+	out := map[string]any{}
+	for _, s := range r.Snapshot() {
+		if s.Hist == nil {
+			out[s.Name] = s.Value
+			continue
+		}
+		out[s.Name+"_sum"] = s.Hist.Sum
+		out[s.Name+"_count"] = s.Hist.Count
+		buckets := map[string]uint64{}
+		cum := uint64(0)
+		for i, bound := range s.Hist.Bounds {
+			cum += s.Hist.Counts[i]
+			buckets[formatFloat(bound)] = cum
+		}
+		buckets["+Inf"] = cum + s.Hist.Counts[len(s.Hist.Bounds)]
+		out[s.Name+"_bucket"] = buckets
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry on the process-global expvar page
+// (/debug/vars) under the given name. Publishing an already-taken name is
+// reported as an error rather than the expvar panic, since several
+// databases may live in one process (tests, embedded use).
+func (r *Registry) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Map() }))
+	return nil
+}
+
+// MetricsHandler serves the Prometheus text format — mount it at
+// /metrics.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugzSection is one block of the /debugz page: a title plus a renderer
+// writing plain text (the DOT event-graph export, lock tables, …).
+type DebugzSection struct {
+	Title  string
+	Render func(w io.Writer) error
+}
+
+// DebugzHandler serves a plain-text debug page: the full metrics snapshot
+// followed by each extra section — the one-stop introspection surface the
+// paper's rule-debugger module sketches.
+func (r *Registry) DebugzHandler(sections ...DebugzSection) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "== metrics ==")
+		_ = r.WritePrometheus(w)
+		for _, s := range sections {
+			fmt.Fprintf(w, "\n== %s ==\n", s.Title)
+			if err := s.Render(w); err != nil {
+				fmt.Fprintf(w, "error: %v\n", err)
+			}
+		}
+	})
+}

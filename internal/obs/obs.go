@@ -1,0 +1,287 @@
+// Package obs is Sentinel's observability kernel: a dependency-free
+// metrics registry of atomic counters, gauges and fixed-bucket histograms
+// with a consistent snapshot API and expvar + Prometheus-text export.
+//
+// Every runtime layer (detector, rules, scheduler, transactions, locks,
+// storage) registers its metrics here, so there is one source of truth
+// for "what is the system doing" — the paper's rule-debugger module
+// generalized into a production introspection surface. The registry is
+// deliberately tiny: instruments are plain atomics (safe to hammer from
+// the signal fast path), and sampled metrics are read-through functions
+// evaluated only at snapshot/export time, so wiring a subsystem into the
+// registry adds zero cost to its hot paths.
+//
+// Naming scheme: sentinel_<layer>_<quantity>[_total] — counters end in
+// _total, gauges are bare nouns, histograms are bare quantities whose
+// Prometheus export expands into _bucket/_sum/_count series.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a registered metric.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind (also the Prometheus TYPE keyword).
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use and lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observation v lands in the first
+// bucket whose upper bound satisfies v <= bound, or the overflow bucket
+// when it exceeds every bound (the Prometheus +Inf bucket). Bounds are
+// fixed at construction; observation is lock-free (one atomic add for the
+// bucket, one CAS loop for the sum).
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds
+	counts  []atomic.Uint64 // len(bounds)+1; last is overflow
+	sumBits atomic.Uint64   // float64 bits of the observation sum
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// It panics on empty or unsorted bounds (a registration-time programming
+// error, like a malformed metric name).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DurationBuckets are the default latency bounds, in seconds: 1µs to ~16s
+// in powers of four — wide enough for lock waits and task latencies
+// without needing per-metric tuning.
+func DurationBuckets() []float64 {
+	return []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16}
+}
+
+// DepthBuckets are the default bounds for small integral depths (nesting,
+// cascades): 1, 2, 4, 8, 16, 32.
+func DepthBuckets() []float64 { return []float64{1, 2, 4, 8, 16, 32} }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bound
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] observations fell in
+	// (Bounds[i-1], Bounds[i]]. Counts has one extra overflow entry.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// snapshot copies the histogram state. Concurrent observations may be
+// partially visible (a bucket bumped but the sum not yet), which is the
+// usual monotone relaxation of lock-free metrics.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// metric is one registry entry. Exactly one of the instrument fields is
+// set; fn-based entries are sampled at snapshot time.
+type metric struct {
+	name, help string
+	kind       Kind
+	counter    *Counter
+	counterFn  func() uint64
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+// Sample is one metric in a snapshot.
+type Sample struct {
+	Name string
+	Help string
+	Kind Kind
+	// Value holds counter and gauge readings (counters as float64 for
+	// uniformity; they never exceed 2^53 in practice).
+	Value float64
+	// Hist is set for histograms.
+	Hist *HistogramSnapshot
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. Registration is expected at wiring time (startup); reads
+// and instrument updates are safe at any time.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// add registers m, panicking on a duplicate name — metric names are
+// compile-time constants, so a collision is a programming error best
+// caught at wiring time.
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.entries = append(r.entries, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, kind: KindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at snapshot
+// time — the bridge for subsystems that already keep their own atomic
+// counters (the detector's stats shards, the buffer pool's hit counts):
+// the registry becomes a view over the existing source of truth instead
+// of a second copy.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.add(&metric{name: name, help: help, kind: KindCounter, counterFn: fn})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, kind: KindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at snapshot time (queue
+// depths, heap sizes, ratios). fn may take subsystem locks; it is only
+// called from snapshot/export, never from instrumented hot paths.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, kind: KindGauge, gaugeFn: fn})
+}
+
+// Histogram registers and returns a new histogram over the given bucket
+// upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// Snapshot samples every registered metric, in registration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*metric, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(entries))
+	for _, m := range entries {
+		s := Sample{Name: m.name, Help: m.help, Kind: m.kind}
+		switch {
+		case m.counter != nil:
+			s.Value = float64(m.counter.Value())
+		case m.counterFn != nil:
+			s.Value = float64(m.counterFn())
+		case m.gauge != nil:
+			s.Value = float64(m.gauge.Value())
+		case m.gaugeFn != nil:
+			s.Value = m.gaugeFn()
+		case m.hist != nil:
+			hs := m.hist.snapshot()
+			s.Hist = &hs
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns the sample for one metric name, or false.
+func (r *Registry) Get(name string) (Sample, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

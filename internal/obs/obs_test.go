@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	s, ok := r.Get("test_ops_total")
+	if !ok || s.Value != 5 || s.Kind != KindCounter {
+		t.Fatalf("Get(test_ops_total) = %+v, %v", s, ok)
+	}
+}
+
+func TestRegistryFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.CounterFunc("test_fn_total", "fn", func() uint64 { return n })
+	r.GaugeFunc("test_ratio", "ratio", func() float64 { return 0.25 })
+	n = 42
+	if s, _ := r.Get("test_fn_total"); s.Value != 42 {
+		t.Fatalf("CounterFunc read %v, want 42", s.Value)
+	}
+	if s, _ := r.Get("test_ratio"); s.Value != 0.25 {
+		t.Fatalf("GaugeFunc read %v, want 0.25", s.Value)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: an observation
+// lands in the first bucket with v <= bound, and everything past the last
+// bound lands in the overflow (+Inf) bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1} { // both <= 1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // (1, 2]
+	h.Observe(2)   // boundary: still (1, 2]
+	h.Observe(4)   // boundary: (2, 4]
+	h.Observe(4.1) // overflow
+	h.Observe(100) // overflow
+	s := h.snapshot()
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("total count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+2+4+4.1+100 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	h.ObserveDuration(3 * time.Second)
+	if got := h.snapshot().Counts[2]; got != 2 {
+		t.Fatalf("ObserveDuration(3s) bucket = %d, want 2", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestConcurrentIncrementSnapshot hammers every instrument kind from many
+// goroutines while snapshotting concurrently; run under -race this is the
+// registry's data-race proof, and the final totals must be exact.
+func TestConcurrentIncrementSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_ops_total", "")
+	g := r.Gauge("race_depth", "")
+	h := r.Histogram("race_lat", "", []float64{1, 10, 100})
+	var n uint64
+	r.CounterFunc("race_fn_total", "", func() uint64 { return n })
+
+	const workers = 8
+	const perWorker = 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				var buf bytes.Buffer
+				_ = r.WritePrometheus(&buf)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 150))
+			}
+		}()
+	}
+	// Late registration must also be safe against concurrent snapshots.
+	r.Counter("race_late_total", "").Inc()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	hs, _ := r.Get("race_lat")
+	if hs.Hist.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hs.Hist.Count, workers*perWorker)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fmt_ops_total", "operations performed").Add(3)
+	r.Gauge("fmt_depth", "current depth").Set(2)
+	h := r.Histogram("fmt_lat_seconds", "latency", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP fmt_ops_total operations performed",
+		"# TYPE fmt_ops_total counter",
+		"fmt_ops_total 3",
+		"# TYPE fmt_depth gauge",
+		"fmt_depth 2",
+		"# TYPE fmt_lat_seconds histogram",
+		`fmt_lat_seconds_bucket{le="1"} 1`,
+		`fmt_lat_seconds_bucket{le="2"} 2`,
+		`fmt_lat_seconds_bucket{le="+Inf"} 3`,
+		"fmt_lat_seconds_sum 11",
+		"fmt_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMapAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("map_ops_total", "").Add(9)
+	h := r.Histogram("map_lat", "", []float64{1})
+	h.Observe(0.5)
+	m := r.Map()
+	if m["map_ops_total"] != float64(9) {
+		t.Fatalf("Map()[map_ops_total] = %v", m["map_ops_total"])
+	}
+	if m["map_lat_count"] != uint64(1) {
+		t.Fatalf("Map()[map_lat_count] = %v", m["map_lat_count"])
+	}
+	if err := r.PublishExpvar("obs_test_registry"); err != nil {
+		t.Fatalf("first PublishExpvar: %v", err)
+	}
+	if err := r.PublishExpvar("obs_test_registry"); err == nil {
+		t.Fatal("second PublishExpvar with same name should error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/txn"
 )
@@ -286,6 +287,51 @@ type Manager struct {
 	// OnError receives errors from rule executions (aborted actions,
 	// subtransaction failures). Default: discard.
 	OnError func(rule string, err error)
+
+	// met is nil until RegisterMetrics wires the manager into a registry;
+	// it is written once at startup, before rules execute concurrently.
+	met *ruleMetrics
+}
+
+// ruleMetrics holds the rule manager's registered instruments.
+type ruleMetrics struct {
+	fires    [3]*obs.Counter // indexed by CouplingMode
+	enables  *obs.Counter
+	disables *obs.Counter
+	errors   *obs.Counter
+	cascade  *obs.Histogram
+}
+
+// RegisterMetrics wires the rule manager into a metrics registry: rule
+// firings by coupling mode, enable/disable churn, execution errors, and
+// the cascade-depth distribution (length of the effective-priority path —
+// 1 for top-level triggerings, deeper for rules triggered by rules).
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	met := &ruleMetrics{
+		enables: r.Counter("sentinel_rules_enables_total",
+			"Rule activations (Define and explicit Enable)."),
+		disables: r.Counter("sentinel_rules_disables_total",
+			"Rule deactivations (Disable and Drop)."),
+		errors: r.Counter("sentinel_rules_errors_total",
+			"Rule executions that failed (aborted actions, subtransaction errors, panics)."),
+		cascade: r.Histogram("sentinel_rules_cascade_depth",
+			"Nesting depth of rule triggerings (1 = top-level, deeper = rules triggered by rules).",
+			obs.DepthBuckets()),
+	}
+	met.fires[Immediate] = r.Counter("sentinel_rules_fires_immediate_total",
+		"Completed executions of IMMEDIATE rules.")
+	met.fires[Deferred] = r.Counter("sentinel_rules_fires_deferred_total",
+		"Completed executions of DEFERRED rules.")
+	met.fires[Detached] = r.Counter("sentinel_rules_fires_detached_total",
+		"Completed executions of DETACHED rules.")
+	r.GaugeFunc("sentinel_rules_defined",
+		"Rules currently in the catalog.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.rules))
+		})
+	m.met = met
 }
 
 // NewManager wires a rule manager to its detector, transaction manager and
@@ -448,6 +494,9 @@ func (r *Rule) Enable() error {
 	r.enabled = true
 	r.minSeq = minSeq
 	r.mu.Unlock()
+	if met := r.mgr.met; met != nil {
+		met.enables.Inc()
+	}
 	return nil
 }
 
@@ -466,6 +515,9 @@ func (r *Rule) Disable() {
 	r.enabled = false
 	r.mu.Unlock()
 	unsub()
+	if met := r.mgr.met; met != nil {
+		met.disables.Inc()
+	}
 }
 
 // inScope applies the rule's visibility: every method-event constituent
@@ -549,6 +601,9 @@ func (m *Manager) execute(r *Rule, occ *event.Occurrence, ctx detector.Context, 
 	if !r.inScope(occ) {
 		return
 	}
+	if met := m.met; met != nil {
+		met.cascade.Observe(float64(len(t.Priority)))
+	}
 	parent := m.txns.Lookup(occ.Txn)
 	var sub *txn.Txn
 	var err error
@@ -578,6 +633,9 @@ func (m *Manager) execute(r *Rule, occ *event.Occurrence, ctx detector.Context, 
 func (m *Manager) runDetached(r *Rule, occ *event.Occurrence, ctx detector.Context) {
 	if !r.inScope(occ) {
 		return
+	}
+	if met := m.met; met != nil {
+		met.cascade.Observe(1)
 	}
 	top, err := m.txns.Begin()
 	if err != nil {
@@ -614,6 +672,9 @@ func (m *Manager) runBody(r *Rule, exec *Execution) {
 	r.mu.Lock()
 	r.fired++
 	r.mu.Unlock()
+	if met := m.met; met != nil {
+		met.fires[r.coupling].Inc()
+	}
 	if actErr != nil {
 		_ = exec.Txn.Abort()
 		committed = true // finished (aborted) — don't double-abort
@@ -628,6 +689,9 @@ func (m *Manager) runBody(r *Rule, exec *Execution) {
 }
 
 func (m *Manager) reportError(rule string, err error) {
+	if met := m.met; met != nil {
+		met.errors.Inc()
+	}
 	if m.OnError != nil {
 		m.OnError(rule, err)
 	}

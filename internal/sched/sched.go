@@ -15,6 +15,10 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Path is an effective priority: the chain of rule priorities from the
@@ -68,6 +72,10 @@ type Task struct {
 	// Run executes the rule (condition + action in a subtransaction). It
 	// receives the task so nested triggerings can derive child paths.
 	Run func(t *Task)
+
+	// enqueuedAt is stamped by Enqueue when latency histograms are wired,
+	// so task wait time (enqueue → start) can be observed.
+	enqueuedAt time.Time
 }
 
 // Scheduler executes tasks with a bounded worker pool per priority class.
@@ -82,6 +90,14 @@ type Scheduler struct {
 
 	// Ran counts executed tasks, for the benchmarks.
 	Ran uint64
+
+	// Observability: drain/class counters are always-on atomics; the
+	// latency histograms are nil until RegisterMetrics wires them (before
+	// any concurrent use), so unobserved schedulers never call the clock.
+	drains      atomic.Uint64
+	classDrains atomic.Uint64
+	waitHist    *obs.Histogram
+	runHist     *obs.Histogram
 }
 
 // New creates a scheduler whose classes run up to workers tasks
@@ -96,6 +112,9 @@ func New(workers int) *Scheduler {
 // Enqueue adds a triggered rule. Safe to call from anywhere, including
 // from inside a running task (nested triggering).
 func (s *Scheduler) Enqueue(t *Task) {
+	if s.waitHist != nil {
+		t.enqueuedAt = time.Now()
+	}
 	s.mu.Lock()
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
@@ -113,7 +132,10 @@ func (s *Scheduler) Pending() int {
 // most urgent priority class, runs all its tasks (concurrently up to the
 // worker bound, or serially in Serial mode), waits for them — including
 // any deeper tasks they spawned, which outrank them — and repeats.
-func (s *Scheduler) Drain() { s.drainAbove(nil) }
+func (s *Scheduler) Drain() {
+	s.drains.Add(1)
+	s.drainAbove(nil)
+}
 
 // drainAbove runs every queued task whose priority strictly outranks
 // floor; a nil floor means run everything. Nested tasks always outrank
@@ -150,10 +172,48 @@ func (s *Scheduler) drainAbove(floor Path) {
 }
 
 func (s *Scheduler) runOne(t *Task) {
-	t.Run(t)
+	if s.runHist != nil {
+		start := time.Now()
+		if !t.enqueuedAt.IsZero() {
+			s.waitHist.ObserveDuration(start.Sub(t.enqueuedAt))
+		}
+		t.Run(t)
+		s.runHist.ObserveDuration(time.Since(start))
+	} else {
+		t.Run(t)
+	}
 	s.mu.Lock()
 	s.Ran++
 	s.mu.Unlock()
+}
+
+// RegisterMetrics wires the scheduler into a metrics registry: queue
+// depth, executed tasks, drain rounds, drained priority classes, and task
+// wait/run latency histograms. Call it before the scheduler is shared
+// across goroutines (the histogram fields are written unsynchronized).
+func (s *Scheduler) RegisterMetrics(r *obs.Registry) {
+	s.waitHist = r.Histogram("sentinel_sched_task_wait_seconds",
+		"Time tasks spent queued between Enqueue and the start of execution.",
+		obs.DurationBuckets())
+	s.runHist = r.Histogram("sentinel_sched_task_run_seconds",
+		"Task execution time (rule condition + action + subtransaction).",
+		obs.DurationBuckets())
+	r.GaugeFunc("sentinel_sched_queue_depth",
+		"Tasks currently queued and not yet running.",
+		func() float64 { return float64(s.Pending()) })
+	r.CounterFunc("sentinel_sched_tasks_total",
+		"Tasks executed to completion.",
+		func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.Ran
+		})
+	r.CounterFunc("sentinel_sched_drains_total",
+		"Scheduling points (Drain calls) that ran the queue to empty.",
+		s.drains.Load)
+	r.CounterFunc("sentinel_sched_class_drains_total",
+		"Priority classes drained (batches of equal-priority tasks taken).",
+		s.classDrains.Load)
 }
 
 // takeTopClassAbove removes and returns every queued task belonging to the
@@ -176,6 +236,7 @@ func (s *Scheduler) takeTopClassAbove(floor Path) []*Task {
 	if !found {
 		return nil
 	}
+	s.classDrains.Add(1)
 	var batch []*Task
 	rest := s.queue[:0]
 	for _, t := range s.queue {

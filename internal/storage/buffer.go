@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrPoolFull is returned when every frame in the buffer pool is pinned.
@@ -33,8 +34,14 @@ type BufferPool struct {
 	lru      *list.List // of PageID, front = least recently used
 	flushLog flushLogFunc
 
-	// Hits and Misses count page lookups for the benchmark harness.
-	Hits, Misses uint64
+	// Page-lookup and write-back counters, readable without the mutex
+	// (benchmark harness and metrics registry).
+	hits, misses, writes atomic.Uint64
+}
+
+// Stats returns the pool's hit, miss, and page write-back counts.
+func (b *BufferPool) Stats() (hits, misses, writes uint64) {
+	return b.hits.Load(), b.misses.Load(), b.writes.Load()
 }
 
 // NewBufferPool creates a pool of the given capacity over disk. flushLog
@@ -58,11 +65,11 @@ func (b *BufferPool) Fetch(id PageID) (*Page, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if fr, ok := b.frames[id]; ok {
-		b.Hits++
+		b.hits.Add(1)
 		b.pinLocked(fr)
 		return &fr.page, nil
 	}
-	b.Misses++
+	b.misses.Add(1)
 	fr, err := b.newFrameLocked()
 	if err != nil {
 		return nil, err
@@ -156,6 +163,7 @@ func (b *BufferPool) writeBackLocked(fr *frame) error {
 		return err
 	}
 	fr.dirty = false
+	b.writes.Add(1)
 	return nil
 }
 

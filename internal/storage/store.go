@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Options configures a Store.
@@ -680,7 +682,58 @@ func (s *Store) ActiveTxns() []uint64 {
 
 // PoolStats exposes buffer pool hit/miss counters for the benchmarks.
 func (s *Store) PoolStats() (hits, misses uint64) {
-	return s.pool.Hits, s.pool.Misses
+	hits, misses, _ = s.pool.Stats()
+	return hits, misses
+}
+
+// RegisterMetrics wires the storage manager into a metrics registry: WAL
+// append/flush/fsync volume, buffer pool hit/miss/write-back counters with
+// a derived hit ratio, page residency, and in-flight storage transactions.
+// All counters are read-through views over the layer's own atomics.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sentinel_storage_wal_appends_total",
+		"Log records appended to the write-ahead log.",
+		func() uint64 { a, _, _, _ := s.wal.Stats(); return a })
+	r.CounterFunc("sentinel_storage_wal_append_bytes_total",
+		"Bytes appended to the write-ahead log (record framing included).",
+		func() uint64 { _, b, _, _ := s.wal.Stats(); return b })
+	r.CounterFunc("sentinel_storage_wal_flushes_total",
+		"WAL buffer flushes performed (log forced to the OS/file).",
+		func() uint64 { _, _, f, _ := s.wal.Stats(); return f })
+	r.CounterFunc("sentinel_storage_wal_fsyncs_total",
+		"WAL fsyncs issued (sync mode only).",
+		func() uint64 { _, _, _, fs := s.wal.Stats(); return fs })
+	r.CounterFunc("sentinel_storage_buffer_hits_total",
+		"Page lookups served from the buffer pool.",
+		func() uint64 { h, _, _ := s.pool.Stats(); return h })
+	r.CounterFunc("sentinel_storage_buffer_misses_total",
+		"Page lookups that had to read from disk.",
+		func() uint64 { _, m, _ := s.pool.Stats(); return m })
+	r.CounterFunc("sentinel_storage_page_reads_total",
+		"Pages read from disk (every buffer miss issues one read).",
+		func() uint64 { _, m, _ := s.pool.Stats(); return m })
+	r.CounterFunc("sentinel_storage_page_writes_total",
+		"Dirty pages written back to disk (eviction, checkpoint, shutdown).",
+		func() uint64 { _, _, w := s.pool.Stats(); return w })
+	r.GaugeFunc("sentinel_storage_buffer_resident",
+		"Pages currently cached in the buffer pool.",
+		func() float64 { return float64(s.pool.Resident()) })
+	r.GaugeFunc("sentinel_storage_buffer_hit_ratio",
+		"Fraction of page lookups served from the pool (0 when idle).",
+		func() float64 {
+			h, m, _ := s.pool.Stats()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+	r.GaugeFunc("sentinel_storage_active_txns",
+		"Storage transactions (all nesting levels) currently in flight.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.txns))
+		})
 }
 
 func cloneBytes(b []byte) []byte {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // RecType identifies the kind of a log record.
@@ -82,6 +83,18 @@ type WAL struct {
 	nextLSN  uint64 // offset where the next record will be written
 	flushed  uint64 // all records below this offset are in the OS/file
 	syncMode bool   // fsync on every Flush
+
+	// Always-on activity counters, readable without the mutex.
+	appends     atomic.Uint64 // records appended
+	appendBytes atomic.Uint64 // bytes appended (framing included)
+	flushes     atomic.Uint64 // Flush calls that did buffer work
+	fsyncs      atomic.Uint64 // fsyncs issued (sync mode only)
+}
+
+// Stats returns the WAL's activity counters: records appended, bytes
+// appended, buffer flushes performed, and fsyncs issued.
+func (w *WAL) Stats() (appends, appendBytes, flushes, fsyncs uint64) {
+	return w.appends.Load(), w.appendBytes.Load(), w.flushes.Load(), w.fsyncs.Load()
 }
 
 // OpenWAL opens (creating if necessary) the log file at path. When sync is
@@ -147,6 +160,8 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 		return 0, fmt.Errorf("storage: append log record: %w", err)
 	}
 	w.nextLSN += uint64(n)
+	w.appends.Add(1)
+	w.appendBytes.Add(uint64(n))
 	return lsn, nil
 }
 
@@ -163,10 +178,12 @@ func (w *WAL) Flush(upTo uint64) error {
 		return fmt.Errorf("storage: flush log: %w", err)
 	}
 	w.flushed = w.nextLSN
+	w.flushes.Add(1)
 	if w.syncMode {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("storage: sync log: %w", err)
 		}
+		w.fsyncs.Add(1)
 	}
 	return nil
 }

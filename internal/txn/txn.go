@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lockmgr"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -71,6 +72,41 @@ type Manager struct {
 	mu   sync.Mutex
 	live map[uint64]*Txn
 	next uint64 // ids for store-less mode
+
+	// Always-on lifecycle counters; RegisterMetrics exposes them plus the
+	// subtransaction-depth histogram (nil until wired, at startup).
+	begins     atomic.Uint64
+	subBegins  atomic.Uint64
+	commits    atomic.Uint64
+	subCommits atomic.Uint64
+	aborts     atomic.Uint64
+	subAborts  atomic.Uint64
+	depthHist  *obs.Histogram
+}
+
+// RegisterMetrics wires the transaction manager into a metrics registry:
+// begin/commit/abort counters split between top-level transactions and
+// rule subtransactions, the live-transaction gauge, and the nesting-depth
+// distribution of subtransactions.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sentinel_txn_begins_total",
+		"Top-level transactions begun.", m.begins.Load)
+	r.CounterFunc("sentinel_txn_sub_begins_total",
+		"Subtransactions begun (one per triggered non-detached rule).", m.subBegins.Load)
+	r.CounterFunc("sentinel_txn_commits_total",
+		"Top-level transactions committed.", m.commits.Load)
+	r.CounterFunc("sentinel_txn_sub_commits_total",
+		"Subtransactions committed into their parents.", m.subCommits.Load)
+	r.CounterFunc("sentinel_txn_aborts_total",
+		"Top-level transactions aborted.", m.aborts.Load)
+	r.CounterFunc("sentinel_txn_sub_aborts_total",
+		"Subtransactions rolled back.", m.subAborts.Load)
+	r.GaugeFunc("sentinel_txn_active",
+		"Transactions (all nesting levels) currently in flight.",
+		func() float64 { return float64(m.Live()) })
+	m.depthHist = r.Histogram("sentinel_txn_subtxn_depth",
+		"Nesting depth at subtransaction begin (1 = direct child of a top-level transaction).",
+		obs.DepthBuckets())
 }
 
 // NewManager builds a transaction manager over the given store and lock
@@ -181,6 +217,7 @@ func (m *Manager) Begin() (*Txn, error) {
 	m.mu.Lock()
 	m.live[id] = t
 	m.mu.Unlock()
+	m.begins.Add(1)
 	m.emit("beginTransaction", id)
 	return t, nil
 }
@@ -220,6 +257,10 @@ func (t *Txn) BeginSub() (*Txn, error) {
 	m.mu.Lock()
 	m.live[id] = sub
 	m.mu.Unlock()
+	m.subBegins.Add(1)
+	if h := m.depthHist; h != nil {
+		h.Observe(float64(sub.depth))
+	}
 	return sub, nil
 }
 
@@ -307,8 +348,10 @@ func (t *Txn) Commit() error {
 	if t.parent != nil {
 		m.locks.Inherit(lockmgr.TxnID(t.id), lockmgr.TxnID(t.parent.id))
 		t.parent.childDone()
+		m.subCommits.Add(1)
 	} else {
 		m.locks.ReleaseAll(lockmgr.TxnID(t.id))
+		m.commits.Add(1)
 		m.emit("commitTransaction", t.id)
 	}
 	m.forget(t.id)
@@ -342,7 +385,9 @@ func (t *Txn) Abort() error {
 	m.locks.ReleaseAll(lockmgr.TxnID(t.id))
 	if t.parent != nil {
 		t.parent.childDone()
+		m.subAborts.Add(1)
 	} else {
+		m.aborts.Add(1)
 		m.emit("abortTransaction", t.id)
 	}
 	m.forget(t.id)

@@ -30,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"repro/internal/ged"
 	"repro/internal/lockmgr"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sched"
 	"repro/internal/snoop"
@@ -124,6 +127,10 @@ type Options struct {
 	// LockTimeout bounds lock waits (0 = wait forever; deadlocks are
 	// still detected and broken).
 	LockTimeout int64 // milliseconds
+	// DebugAddr, when set, serves /metrics (Prometheus text format) and
+	// /debugz (metrics snapshot + event-graph DOT export) on that address
+	// (e.g. "localhost:6060"; ":0" picks a free port — see DebugAddr()).
+	DebugAddr string
 }
 
 // Database is an active object-oriented database instance — one Open OODB
@@ -140,6 +147,10 @@ type Database struct {
 	objects *object.Registry
 	comp    *snoop.Compiler
 	gedCli  *ged.Client
+	metrics *obs.Registry
+
+	debugLn  net.Listener
+	debugSrv *http.Server
 
 	mu     sync.Mutex
 	closed bool
@@ -193,6 +204,18 @@ func Open(opts Options) (*Database, error) {
 		Actions:    map[string]rules.Action{},
 		Resolve:    db.resolveName,
 	}
+	// One registry is the single source of truth across every layer; the
+	// registrations are read-through views over each layer's own atomics,
+	// so signalling and transaction paths pay nothing for being observed.
+	db.metrics = obs.NewRegistry()
+	det.RegisterMetrics(db.metrics)
+	s.RegisterMetrics(db.metrics)
+	rm.RegisterMetrics(db.metrics)
+	txns.RegisterMetrics(db.metrics)
+	locks.RegisterMetrics(db.metrics)
+	if store != nil {
+		store.RegisterMetrics(db.metrics)
+	}
 	// Transaction system events feed the detector; pre-commit is the
 	// scheduling point for deferred rules (they must finish before the
 	// commit proceeds).
@@ -226,10 +249,24 @@ func Open(opts Options) (*Database, error) {
 		}
 		db.gedCli = cli
 	}
+	if opts.DebugAddr != "" {
+		ln, err := net.Listen("tcp", opts.DebugAddr)
+		if err != nil {
+			db.closeInternals()
+			return nil, fmt.Errorf("sentinel: debug listener: %w", err)
+		}
+		db.debugLn = ln
+		db.debugSrv = &http.Server{Handler: db.DebugHandler()}
+		go func() { _ = db.debugSrv.Serve(ln) }()
+	}
 	return db, nil
 }
 
 func (db *Database) closeInternals() {
+	if db.debugSrv != nil {
+		_ = db.debugSrv.Close()
+		db.debugSrv = nil
+	}
 	if db.gedCli != nil {
 		_ = db.gedCli.Close()
 	}
@@ -528,6 +565,35 @@ func (db *Database) TxnManager() *txn.Manager { return db.txns }
 // reading them never blocks (or is blocked by) event detection — safe to
 // poll from a monitoring goroutine at any rate.
 func (db *Database) Stats() detector.Stats { return db.det.StatsSnapshot() }
+
+// Metrics returns the database's metrics registry, with every layer —
+// detector, scheduler, rules, transactions, locks and (for persistent
+// databases) storage — already registered. Snapshot it, publish it on
+// expvar, or mount its handlers on an existing HTTP mux.
+func (db *Database) Metrics() *obs.Registry { return db.metrics }
+
+// DebugHandler returns an http.Handler serving /metrics (Prometheus text
+// format) and /debugz (metrics snapshot plus the event-graph DOT export).
+// Open serves it automatically when Options.DebugAddr is set; use this to
+// mount the same endpoints on an application-owned server instead.
+func (db *Database) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.metrics.MetricsHandler())
+	mux.Handle("/debugz", db.metrics.DebugzHandler(
+		obs.DebugzSection{Title: "event graph (DOT)", Render: db.WriteDOT},
+	))
+	return mux
+}
+
+// DebugAddr returns the address the debug HTTP server is listening on, or
+// "" when Options.DebugAddr was not set. With DebugAddr ":0" this is how
+// the chosen port is discovered.
+func (db *Database) DebugAddr() string {
+	if db.debugLn == nil {
+		return ""
+	}
+	return db.debugLn.Addr().String()
+}
 
 // String identifies the database.
 func (db *Database) String() string {

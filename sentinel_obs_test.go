@@ -1,0 +1,152 @@
+package sentinel_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	sentinel "repro"
+)
+
+// metricValue extracts a single-series metric value from a Prometheus text
+// exposition body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics output", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestMetricsEndToEnd drives a persistent database through a signalled
+// event and a fired rule, then asserts the /metrics exposition reflects
+// activity in every instrumented layer — detector, scheduler, rules,
+// transactions, locks and storage — and that /debugz renders the metrics
+// snapshot plus the event-graph DOT export.
+func TestMetricsEndToEnd(t *testing.T) {
+	db := openStockDB(t, t.TempDir())
+	fired := 0
+	db.BindAction("obsact", func(x *sentinel.Execution) error {
+		fired++
+		return nil
+	})
+	if err := db.Exec(`rule RObs(e1, true, obsact);`); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.New(tx, "STOCK", map[string]any{"qty": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invoke(tx, obj, "sell_stock", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("rule RObs did not fire")
+	}
+
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+
+	fetch := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	body := fetch("/metrics")
+	// One counter per layer must be nonzero after the workload above.
+	for _, name := range []string{
+		"sentinel_detector_signals_total",
+		"sentinel_detector_rule_notifies_total",
+		"sentinel_sched_tasks_total",
+		"sentinel_rules_fires_immediate_total",
+		"sentinel_txn_begins_total",
+		"sentinel_txn_commits_total",
+		"sentinel_txn_sub_commits_total",
+		"sentinel_lock_grants_total",
+		"sentinel_storage_wal_appends_total",
+		"sentinel_storage_buffer_hits_total",
+	} {
+		if v := metricValue(t, body, name); v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// Histogram series must render in the Prometheus expansion.
+	if !strings.Contains(body, "sentinel_sched_task_run_seconds_count") {
+		t.Error("missing sched run-latency histogram series")
+	}
+	if !strings.Contains(body, `sentinel_txn_subtxn_depth_bucket{le="1"}`) {
+		t.Error("missing subtxn-depth histogram bucket series")
+	}
+	// The registry must agree with the existing StatsSnapshot source.
+	if got, want := metricValue(t, body, "sentinel_detector_signals_total"), float64(db.Stats().Signals); got != want {
+		t.Errorf("registry signals %v != StatsSnapshot %v", got, want)
+	}
+
+	dz := fetch("/debugz")
+	if !strings.Contains(dz, "== metrics ==") {
+		t.Error("/debugz missing metrics section")
+	}
+	if !strings.Contains(dz, "digraph") {
+		t.Error("/debugz missing DOT event-graph export")
+	}
+}
+
+// TestDebugAddrOption verifies Options.DebugAddr starts the debug HTTP
+// server, DebugAddr() reports the chosen port, and Close shuts it down.
+func TestDebugAddrOption(t *testing.T) {
+	db, err := sentinel.Open(sentinel.Options{AppName: "obs", DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := db.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr() empty with DebugAddr option set")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics on %s: %v", addr, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "sentinel_detector_signals_total") {
+		t.Error("served /metrics missing detector counters")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("debug server still serving after Close")
+	}
+}

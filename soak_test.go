@@ -2,12 +2,32 @@ package sentinel_test
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	sentinel "repro"
 )
+
+// soakSeed returns the workload RNG seed: SENTINEL_SOAK_SEED when set
+// (so a failing run can be replayed exactly), otherwise a fixed default.
+// The seed is always logged, making any failure reproducible.
+func soakSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(1)
+	if s := os.Getenv("SENTINEL_SOAK_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SENTINEL_SOAK_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("soak workload seed %d (set SENTINEL_SOAK_SEED=%d to reproduce)", seed, seed)
+	return seed
+}
 
 // TestSoakConcurrentWorkload runs the full stack — persistent store,
 // reactive dispatch, composite detection, immediate+deferred rules,
@@ -47,35 +67,42 @@ rule Nested(e2, true, nested);
 
 	const workers = 4
 	const txnsPerWorker = 25
-	const sellsPerTxn = 4
+	const maxSellsPerTxn = 8
+	seed := soakSeed(t)
 	var wg sync.WaitGroup
-	var committed atomic.Int64
+	var committed, committedSells atomic.Int64
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker RNG derived from the logged seed: deterministic
+			// within a worker, and *rand.Rand is not goroutine-safe.
+			rng := rand.New(rand.NewSource(seed + int64(w)))
 			for i := 0; i < txnsPerWorker; i++ {
+				sells := 1 + rng.Intn(maxSellsPerTxn)
+				qty := 50 + rng.Intn(101)
+				abandon := rng.Intn(10) == 0 // deliberate abort path
 				tx, err := db.Begin()
 				if err != nil {
 					errCh <- err
 					return
 				}
-				obj, err := db.New(tx, "STOCK", map[string]any{"qty": 100})
+				obj, err := db.New(tx, "STOCK", map[string]any{"qty": qty})
 				if err != nil {
 					errCh <- fmt.Errorf("worker %d: %w", w, err)
 					_ = tx.Abort()
 					return
 				}
 				ok := true
-				for j := 0; j < sellsPerTxn; j++ {
+				for j := 0; j < sells; j++ {
 					if _, err := db.Invoke(tx, obj, "sell_stock", 1); err != nil {
 						// Lock conflicts can abort a rule; skip the txn.
 						ok = false
 						break
 					}
 				}
-				if !ok {
+				if !ok || abandon {
 					_ = tx.Abort()
 					continue
 				}
@@ -84,6 +111,7 @@ rule Nested(e2, true, nested);
 					return
 				}
 				committed.Add(1)
+				committedSells.Add(int64(sells))
 			}
 			errCh <- nil
 		}(w)
@@ -110,8 +138,8 @@ rule Nested(e2, true, nested);
 	}
 	// Immediate runs at least once per sell of committed txns (aborted
 	// txns may also have contributed, so >=).
-	if immediateRuns.Load() < c*sellsPerTxn {
-		t.Fatalf("immediate runs=%d < %d", immediateRuns.Load(), c*sellsPerTxn)
+	if immediateRuns.Load() < committedSells.Load() {
+		t.Fatalf("immediate runs=%d < %d", immediateRuns.Load(), committedSells.Load())
 	}
 	if nestedRuns.Load() == 0 {
 		t.Fatal("nested rule never ran")
