@@ -12,7 +12,7 @@ BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare torture clean
 
 all: build
 
@@ -27,6 +27,17 @@ test: build
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# torture runs the crash-torture harness: TORTURE_ITERS seeded kill-point
+# iterations against the storage manager, each reopened and verified
+# (committed present, aborted absent, interrupted commits all-or-nothing).
+# The seed is always logged; reproduce a failure with
+# TORTURE_SEED=<seed from the log>.
+TORTURE_ITERS ?= 500
+TORTURE_SEED ?=
+torture:
+	SENTINEL_TORTURE_ITERS=$(TORTURE_ITERS) SENTINEL_TORTURE_SEED=$(TORTURE_SEED) \
+		$(GO) test -count=1 -run 'TestCrashTorture|TestTortureHarnessDetectsBrokenRecovery' -v ./internal/faulttest
 
 # lint runs the static analyzers beyond vet. The tools are not vendored;
 # CI installs them (see .github/workflows/ci.yml) and locally the target

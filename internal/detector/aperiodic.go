@@ -50,6 +50,14 @@ func (n *aNode) flushAll() {
 	}
 }
 
+func (n *aNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		total += len(n.st[c].open) + len(n.st[c].accum)
+	}
+	return total
+}
+
 func (n *aNode) receive(occ *event.Occurrence, side int, ctx Context) {
 	st := &n.st[ctx]
 	switch side {
@@ -125,6 +133,14 @@ func (n *aStarNode) flushAll() {
 	for c := range n.st {
 		n.st[c] = aperState{}
 	}
+}
+
+func (n *aStarNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		total += len(n.st[c].open) + len(n.st[c].accum)
+	}
+	return total
 }
 
 func (n *aStarNode) receive(occ *event.Occurrence, side int, ctx Context) {

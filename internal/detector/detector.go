@@ -1197,6 +1197,25 @@ func (d *Detector) FlushEvent(name string) error {
 	return nil
 }
 
+// PendingOccurrences returns the total number of partial occurrences
+// stored across the event graph — detections still waiting for a partner,
+// terminator, or flush. Leak tests assert it returns to zero once every
+// transaction has committed or aborted: a failed or retried rule must
+// never strand its occurrences in an operator's store.
+func (d *Detector) PendingOccurrences() int {
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
+	total := 0
+	d.forEachNodeByComp(func(root *component, ns []Node) {
+		root.mu.Lock()
+		for _, n := range ns {
+			total += n.occupancy()
+		}
+		root.mu.Unlock()
+	})
+	return total
+}
+
 // FlushAll clears every node's partial state and resets dirty tracking.
 func (d *Detector) FlushAll() {
 	d.structMu.Lock()

@@ -58,6 +58,13 @@ type Node interface {
 	// transaction; flushAll drops everything.
 	flushTxn(txnID uint64)
 	flushAll()
+
+	// occupancy returns the number of occurrences the node currently
+	// stores across all contexts — partial detections awaiting a partner
+	// or terminator. The torture and leak tests sum it over the graph to
+	// assert failed rules never strand occurrences. Callers hold the
+	// node's component lock.
+	occupancy() int
 }
 
 // operatorNode is a Node that consumes child occurrences.

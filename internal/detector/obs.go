@@ -105,4 +105,7 @@ func (d *Detector) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("sentinel_detector_timer_entries",
 		"Pending temporal-operator timers across all components (timer-heap depth).",
 		func() float64 { return float64(d.TimerEntries()) })
+	r.GaugeFunc("sentinel_detector_pending_occurrences",
+		"Partial occurrences stored in operator nodes awaiting completion or flush.",
+		func() float64 { return float64(d.PendingOccurrences()) })
 }

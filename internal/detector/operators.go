@@ -81,6 +81,7 @@ func (n *orNode) subscribe(sub Subscriber, ctx Context) func() {
 
 func (n *orNode) flushTxn(uint64) {}
 func (n *orNode) flushAll()       {}
+func (n *orNode) occupancy() int  { return 0 }
 
 func (n *orNode) receive(occ *event.Occurrence, side int, ctx Context) {
 	n.emit(compose(n.name, occ), ctx)
@@ -131,6 +132,14 @@ func (n *andNode) flushAll() {
 	for c := range n.st {
 		n.st[c] = andState{}
 	}
+}
+
+func (n *andNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		total += len(n.st[c].side[0]) + len(n.st[c].side[1])
+	}
+	return total
 }
 
 func (n *andNode) receive(occ *event.Occurrence, side int, ctx Context) {
@@ -218,6 +227,14 @@ func (n *seqNode) flushAll() {
 	for c := range n.st {
 		n.st[c] = seqState{}
 	}
+}
+
+func (n *seqNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		total += len(n.st[c].left)
+	}
+	return total
 }
 
 func (n *seqNode) receive(occ *event.Occurrence, side int, ctx Context) {
@@ -314,6 +331,14 @@ func (n *notNode) flushAll() {
 	for c := range n.st {
 		n.st[c] = seqState{}
 	}
+}
+
+func (n *notNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		total += len(n.st[c].left)
+	}
+	return total
 }
 
 func (n *notNode) receive(occ *event.Occurrence, side int, ctx Context) {
@@ -425,6 +450,16 @@ func (n *anyNode) flushAll() {
 	for c := range n.st {
 		n.st[c] = anyState{}
 	}
+}
+
+func (n *anyNode) occupancy() int {
+	total := 0
+	for c := range n.st {
+		for _, l := range n.st[c].byType {
+			total += len(l)
+		}
+	}
+	return total
 }
 
 func (n *anyNode) receive(occ *event.Occurrence, side int, ctx Context) {

@@ -53,6 +53,7 @@ func (p *PrimitiveNode) subscribe(sub Subscriber, ctx Context) func() {
 // flushTxn and flushAll are no-ops: primitive nodes hold no partial state.
 func (p *PrimitiveNode) flushTxn(uint64) {}
 func (p *PrimitiveNode) flushAll()       {}
+func (p *PrimitiveNode) occupancy() int  { return 0 }
 
 // matches reports whether a signalled method invocation matches this node.
 // The paper's detector "checks the method signature with the one that has

@@ -73,6 +73,10 @@ func (n *plusNode) subscribe(sub Subscriber, ctx Context) func() {
 func (n *plusNode) flushTxn(txnID uint64) { n.d.cancelTimers(n, txnID) }
 func (n *plusNode) flushAll()             { n.d.cancelTimers(n, 0) }
 
+// occupancy is zero: PLUS stores no occurrences, only timers (which the
+// timer heap owns and cancelTimers reaps).
+func (n *plusNode) occupancy() int { return 0 }
+
 func (n *plusNode) receive(occ *event.Occurrence, side int, ctx Context) {
 	init := occ
 	n.d.schedule(n, init.Txn, init.Time+n.delta, func(now uint64) {
@@ -144,6 +148,16 @@ func (n *pNode) flushAll() {
 	for ctx := range n.st {
 		n.closeWindow(Context(ctx))
 	}
+}
+
+func (n *pNode) occupancy() int {
+	total := 0
+	for ctx := range n.st {
+		if st := n.st[ctx]; st != nil {
+			total += 1 + len(st.ticks) // the open initiator plus P* ticks
+		}
+	}
+	return total
 }
 
 func (n *pNode) receive(occ *event.Occurrence, side int, ctx Context) {

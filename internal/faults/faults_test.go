@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDisarmedIsFree asserts the disarmed fast path injects nothing and
+// allocates nothing.
+func TestDisarmedIsFree(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with no injector")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Check(DiskWrite); err != nil {
+			t.Fatalf("disarmed Check: %v", err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = Check(WALAppend) }); n != 0 {
+		t.Fatalf("disarmed Check allocates %v per run", n)
+	}
+}
+
+// TestStepCountedTrigger asserts On/Every/Limit schedules fire on exactly
+// the planned hits.
+func TestStepCountedTrigger(t *testing.T) {
+	in := NewInjector(1, Trigger{Point: DiskRead, On: 3, Every: 2, Limit: 2})
+	Arm(in)
+	defer Disarm()
+	var fired []int
+	for hit := 1; hit <= 10; hit++ {
+		if err := Check(DiskRead); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", hit, err)
+			}
+			fired = append(fired, hit)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("fired on hits %v, want [3 5]", fired)
+	}
+	if got := in.Hits(DiskRead); got != 10 {
+		t.Fatalf("Hits = %d, want 10", got)
+	}
+	if got := in.Fires(DiskRead); got != 2 {
+		t.Fatalf("Fires = %d, want 2", got)
+	}
+}
+
+// TestSeededProbabilisticTrigger asserts the same seed reproduces the
+// exact same fire sequence, and a different seed differs.
+func TestSeededProbabilisticTrigger(t *testing.T) {
+	run := func(seed int64) []int {
+		in := NewInjector(seed, Trigger{Point: WALAppend, Prob: 0.3})
+		Arm(in)
+		defer Disarm()
+		var fired []int
+		for hit := 1; hit <= 200; hit++ {
+			if Check(WALAppend) != nil {
+				fired = append(fired, hit)
+			}
+		}
+		return fired
+	}
+	a, b, c := run(42), run(42), run(43)
+	if len(a) == 0 {
+		t.Fatal("Prob=0.3 over 200 hits never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// TestVerdicts exercises error, custom error, delay, panic, crash and
+// torn-write verdicts.
+func TestVerdicts(t *testing.T) {
+	myErr := errors.New("boom")
+	Arm(NewInjector(1,
+		Trigger{Point: DiskRead, On: 1, Fault: Fault{Err: myErr}},
+		Trigger{Point: DiskSync, On: 1, Fault: Fault{Delay: time.Millisecond}},
+		Trigger{Point: RuleAction, On: 1, Fault: Fault{Panic: true}},
+		Trigger{Point: StoreCommit, On: 1, Fault: Fault{Crash: true}},
+		Trigger{Point: DiskWrite, On: 1, Fault: Fault{Partial: 7, Err: myErr}},
+	))
+	defer Disarm()
+
+	if err := Check(DiskRead); !errors.Is(err, myErr) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("custom error verdict: %v", err)
+	}
+	start := time.Now()
+	if err := Check(DiskSync); err != nil {
+		t.Fatalf("pure delay verdict returned error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay verdict did not stall")
+	}
+
+	func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(*Panic); !ok {
+				t.Fatalf("panic verdict recovered %v, want *Panic", r)
+			}
+			if _, ok := AsCrash(r); ok {
+				t.Fatal("panic verdict mistaken for a crash")
+			}
+		}()
+		_ = Check(RuleAction)
+	}()
+
+	func() {
+		defer func() {
+			c, ok := AsCrash(recover())
+			if !ok || c.Point != StoreCommit {
+				t.Fatalf("crash verdict recovered %v", c)
+			}
+		}()
+		_ = Check(StoreCommit)
+	}()
+
+	var torn int
+	err := CheckIO(DiskWrite, func(n int) { torn = n })
+	if !errors.Is(err, myErr) || torn != 7 {
+		t.Fatalf("torn verdict: err=%v torn=%d", err, torn)
+	}
+}
+
+// TestInjectedCounter asserts the process-global fire counter advances.
+func TestInjectedCounter(t *testing.T) {
+	before := Injected()
+	Arm(NewInjector(1, Trigger{Point: LockAcquire, On: 1}))
+	defer Disarm()
+	_ = Check(LockAcquire)
+	if got := Injected(); got != before+1 {
+		t.Fatalf("Injected() = %d, want %d", got, before+1)
+	}
+}

@@ -1,0 +1,344 @@
+// Package faulttest is the crash-torture harness: it drives randomized but
+// fully seeded workloads against the storage manager while the fault layer
+// (internal/faults) injects kill-points, then reopens the store — running
+// recovery — and verifies the durability invariants the rest of the system
+// is built on:
+//
+//  1. every value committed before the crash is present after recovery,
+//  2. no value of an aborted or in-flight transaction survives,
+//  3. a transaction whose Commit was interrupted is all-or-nothing —
+//     either every one of its values recovered or none did.
+//
+// A "crash" is the faults.Crash panic: the workload recovers it, abandons
+// the store without closing it (the buffered WAL tail is lost, exactly as a
+// killed process loses it), and reopens from the on-disk files. Everything
+// is derived from one seed, so any failing iteration reproduces exactly
+// from the seed the test logs.
+package faulttest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/faults"
+	"repro/internal/storage"
+)
+
+// txStatus tracks how far one workload transaction got.
+type txStatus int
+
+const (
+	txInFlight txStatus = iota
+	txCommitting
+	txCommitted
+	txAborting
+	txAborted
+)
+
+// txRecord is the harness's bookkeeping for one transaction: the values it
+// finally owes the database (post-update, post-subtransaction) and where in
+// its lifecycle the crash (if any) caught it.
+type txRecord struct {
+	status txStatus
+	values []string // values that should exist iff the txn commits
+	dead   []string // values it superseded (updates) or rolled back (sub-aborts)
+}
+
+// Expectation is what an iteration's workload promises the database after
+// recovery.
+type Expectation struct {
+	Present       map[string]bool // must be in the post-recovery scan
+	Absent        map[string]bool // must NOT be in the scan
+	Indeterminate [][]string      // per interrupted commit: all or none
+}
+
+// Iteration is one seeded torture run.
+type Iteration struct {
+	Seed    int64
+	Dir     string
+	Crashed bool   // a kill-point fired
+	Killed  string // which point (for the log)
+}
+
+// killPoint is one schedulable crash site with the hit-count range the
+// workload plausibly reaches.
+type killPoint struct {
+	point    faults.Point
+	maxHit   int
+	syncOnly bool
+}
+
+var killPoints = []killPoint{
+	{point: faults.StoreCommit, maxHit: 8},
+	{point: faults.StoreAbortUndo, maxHit: 8},
+	{point: faults.WALAppend, maxHit: 48},
+	{point: faults.WALFlush, maxHit: 12},
+	{point: faults.WALFsync, maxHit: 12, syncOnly: true},
+	{point: faults.DiskWrite, maxHit: 6},
+	{point: faults.DiskTruncate, maxHit: 4},
+}
+
+// Run executes one seeded iteration in dir: run the workload under a
+// randomly scheduled kill-point, reopen, verify. It returns the iteration
+// record and the first invariant violation (nil when all held).
+func Run(seed int64, dir string) (*Iteration, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	it := &Iteration{Seed: seed, Dir: dir}
+
+	syncWAL := rng.Intn(3) == 0
+	kp := killPoints[rng.Intn(len(killPoints))]
+	for kp.syncOnly && !syncWAL {
+		kp = killPoints[rng.Intn(len(killPoints))]
+	}
+	on := uint64(1 + rng.Intn(kp.maxHit))
+	it.Killed = fmt.Sprintf("%s#%d", kp.point, on)
+
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 8, SyncWAL: syncWAL})
+	if err != nil {
+		return it, fmt.Errorf("open: %w", err)
+	}
+
+	faults.Arm(faults.NewInjector(seed, faults.Trigger{
+		Point: kp.point, On: on, Limit: 1, Fault: faults.Fault{Crash: true},
+	}))
+	exp, crashed := runWorkload(rng, seed, st)
+	faults.Disarm()
+	it.Crashed = crashed
+
+	if !crashed {
+		// The schedule never fired; close cleanly — verification then also
+		// covers the plain shutdown/reopen path.
+		if err := st.Close(); err != nil {
+			return it, fmt.Errorf("close: %w", err)
+		}
+	}
+	// Crashed stores are abandoned, not closed: their buffered WAL tail is
+	// lost with the "process".
+
+	re, err := storage.Open(storage.Options{Dir: dir, PoolSize: 8, SyncWAL: syncWAL})
+	if err != nil {
+		return it, fmt.Errorf("reopen/recovery: %w", err)
+	}
+	defer re.Close()
+	if err := Verify(re, exp); err != nil {
+		return it, err
+	}
+	// The recovered store must be fully usable, not just readable.
+	if err := smoke(re, seed); err != nil {
+		return it, fmt.Errorf("post-recovery smoke: %w", err)
+	}
+	return it, nil
+}
+
+// runWorkload drives a seeded mix of transactions — inserts, self-updates,
+// committed and aborted subtransactions, voluntary aborts, a checkpoint —
+// and records what each one owes the database. It returns the accumulated
+// expectation and whether an injected crash cut the run short.
+func runWorkload(rng *rand.Rand, seed int64, st *storage.Store) (exp *Expectation, crashed bool) {
+	exp = &Expectation{Present: map[string]bool{}, Absent: map[string]bool{}}
+	var txs []*txRecord
+
+	// On a crash panic, every transaction's fate is sealed by where it was:
+	// committed stays present, committing becomes indeterminate, everything
+	// else is a loser.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := faults.AsCrash(r); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+		for _, tx := range txs {
+			switch tx.status {
+			case txCommitted:
+				for _, v := range tx.values {
+					exp.Present[v] = true
+				}
+			case txCommitting:
+				exp.Indeterminate = append(exp.Indeterminate, tx.values)
+			default: // in-flight, aborting, aborted: all losers
+				for _, v := range tx.values {
+					exp.Absent[v] = true
+				}
+			}
+			for _, v := range tx.dead {
+				exp.Absent[v] = true
+			}
+		}
+	}()
+
+	nTxns := 6 + rng.Intn(7)
+	for i := 0; i < nTxns; i++ {
+		tx := &txRecord{}
+		txs = append(txs, tx)
+		id, err := st.Begin()
+		if err != nil {
+			return
+		}
+		nOps := 1 + rng.Intn(4)
+		var rids []storage.RID
+		for k := 0; k < nOps; k++ {
+			v := fmt.Sprintf("v%d-%d-%d", seed, i, k)
+			rid, err := st.Insert(id, []byte(v))
+			if err != nil {
+				return
+			}
+			tx.values = append(tx.values, v)
+			rids = append(rids, rid)
+		}
+		if len(rids) > 0 && rng.Intn(3) == 0 {
+			// Update one of our own records: the old value dies either way.
+			j := rng.Intn(len(rids))
+			old := tx.values[j]
+			v := old + "+u"
+			if _, err := st.Update(id, rids[j], []byte(v)); err != nil {
+				return
+			}
+			tx.values[j] = v
+			tx.dead = append(tx.dead, old)
+		}
+		if rng.Intn(3) == 0 {
+			// Subtransaction: its value follows the parent iff it commits,
+			// dies unconditionally if it aborts.
+			sub, err := st.BeginSub(id)
+			if err != nil {
+				return
+			}
+			v := fmt.Sprintf("v%d-%d-sub", seed, i)
+			if _, err := st.Insert(sub, []byte(v)); err != nil {
+				return
+			}
+			if rng.Intn(2) == 0 {
+				if err := st.Commit(sub); err != nil {
+					return
+				}
+				tx.values = append(tx.values, v)
+			} else {
+				if err := st.Abort(sub); err != nil {
+					return
+				}
+				tx.dead = append(tx.dead, v)
+			}
+		}
+		if rng.Intn(10) == 0 {
+			if err := st.Checkpoint(); err != nil {
+				return
+			}
+		}
+		if rng.Intn(10) < 7 {
+			tx.status = txCommitting
+			if err := st.Commit(id); err != nil {
+				return // indeterminate: the commit record's fate is unknown
+			}
+			tx.status = txCommitted
+		} else {
+			tx.status = txAborting
+			if err := st.Abort(id); err != nil {
+				return
+			}
+			tx.status = txAborted
+		}
+	}
+	return
+}
+
+// Verify full-scans the recovered store and checks the expectation: every
+// committed value present, every loser value absent, every interrupted
+// commit all-or-nothing.
+func Verify(st *storage.Store, exp *Expectation) error {
+	found := map[string]bool{}
+	err := st.ForEachRecord(func(_ storage.RID, data []byte) error {
+		found[string(data)] = true
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	for v := range exp.Present {
+		if !found[v] {
+			return fmt.Errorf("invariant: committed value %q missing after recovery", v)
+		}
+	}
+	for v := range exp.Absent {
+		if found[v] {
+			return fmt.Errorf("invariant: aborted/in-flight value %q present after recovery", v)
+		}
+	}
+	for _, group := range exp.Indeterminate {
+		n := 0
+		for _, v := range group {
+			if found[v] {
+				n++
+			}
+		}
+		if n != 0 && n != len(group) {
+			return fmt.Errorf("invariant: interrupted commit recovered partially (%d of %d values)", n, len(group))
+		}
+	}
+	if n := len(st.ActiveTxns()); n != 0 {
+		return fmt.Errorf("invariant: %d transactions still active after recovery", n)
+	}
+	return nil
+}
+
+// smoke proves the recovered store accepts new work: insert, commit, read
+// back.
+func smoke(st *storage.Store, seed int64) error {
+	id, err := st.Begin()
+	if err != nil {
+		return err
+	}
+	v := fmt.Sprintf("smoke-%d", seed)
+	rid, err := st.Insert(id, []byte(v))
+	if err != nil {
+		return err
+	}
+	if err := st.Commit(id); err != nil {
+		return err
+	}
+	got, err := st.Read(rid)
+	if err != nil {
+		return err
+	}
+	if string(got) != v {
+		return fmt.Errorf("smoke: read %q, want %q", got, v)
+	}
+	return nil
+}
+
+// SeedLoserDir builds a database directory containing a durable,
+// uncommitted transaction — forward records checkpointed to disk, no
+// commit — so that the next open MUST run an undo pass. The sabotage test
+// uses it to prove the harness catches a recovery that skips undo.
+func SeedLoserDir(dir string) (*Expectation, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := storage.Open(storage.Options{Dir: dir, PoolSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	exp := &Expectation{Present: map[string]bool{}, Absent: map[string]bool{}}
+	id, err := st.Begin()
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < 3; k++ {
+		v := fmt.Sprintf("loser-%d", k)
+		if _, err := st.Insert(id, []byte(v)); err != nil {
+			return nil, err
+		}
+		exp.Absent[v] = true
+	}
+	// Checkpoint forces the forward records (and dirty pages) to disk while
+	// the transaction is still open; abandoning the store now simulates a
+	// crash that left a durable loser.
+	if err := st.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}

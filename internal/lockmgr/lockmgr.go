@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -161,6 +162,13 @@ func (m *Manager) Lock(owner TxnID, resource string, mode Mode) error {
 
 // LockTimeout is Lock with an explicit wait bound (zero = no bound).
 func (m *Manager) LockTimeout(owner TxnID, resource string, mode Mode, timeout time.Duration) error {
+	// Fault hook: a Delay verdict stalls the requester before it touches the
+	// lock table (widening race windows); an Err verdict fails the request as
+	// if it had been chosen a deadlock victim (tests arm Fault.Err =
+	// ErrDeadlock or ErrTimeout so errors.Is classification holds).
+	if err := faults.Check(faults.LockAcquire); err != nil {
+		return fmt.Errorf("lockmgr: injected fault (txn %d on %q): %w", owner, resource, err)
+	}
 	m.mu.Lock()
 	rl := m.resources[resource]
 	if rl == nil {

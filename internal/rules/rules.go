@@ -10,9 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/detector"
 	"repro/internal/event"
+	"repro/internal/faults"
+	"repro/internal/lockmgr"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/txn"
@@ -217,6 +220,10 @@ var (
 	ErrDuplicateRule = errors.New("rules: rule already defined")
 	ErrUnknownRule   = errors.New("rules: unknown rule")
 	ErrNoAction      = errors.New("rules: rule needs an action")
+	// ErrCascadeShed reports a rule triggering dropped because its cascade
+	// depth (rules triggered by rules) exceeded the configured limit. The
+	// shed is reported through OnError and counted, never silent.
+	ErrCascadeShed = errors.New("rules: cascade depth limit exceeded, triggering shed")
 )
 
 // Rule is a defined ECA rule.
@@ -284,6 +291,20 @@ type Manager struct {
 	running  map[uint64]*sched.Task // rule subtxn id -> its task
 	detached sync.WaitGroup
 
+	// RetryMax is how many times a deadlock- or timeout-aborted rule body
+	// is retried, each attempt in a fresh subtransaction. Zero disables
+	// retry; the facade defaults it via sentinel.Options.RuleRetries.
+	RetryMax int
+	// RetryBackoff is the base delay of the bounded exponential backoff
+	// between retry attempts: base << attempt, with the shift capped at 6
+	// (64×). Zero means retry immediately.
+	RetryBackoff time.Duration
+	// MaxCascade caps the nesting depth of rule triggerings (1 =
+	// top-level). A triggering that would exceed it is shed — dropped,
+	// counted, and reported as ErrCascadeShed — instead of recursing
+	// without bound. Zero means unlimited.
+	MaxCascade int
+
 	// OnError receives errors from rule executions (aborted actions,
 	// subtransaction failures). Default: discard.
 	OnError func(rule string, err error)
@@ -295,11 +316,14 @@ type Manager struct {
 
 // ruleMetrics holds the rule manager's registered instruments.
 type ruleMetrics struct {
-	fires    [3]*obs.Counter // indexed by CouplingMode
-	enables  *obs.Counter
-	disables *obs.Counter
-	errors   *obs.Counter
-	cascade  *obs.Histogram
+	fires     [3]*obs.Counter // indexed by CouplingMode
+	enables   *obs.Counter
+	disables  *obs.Counter
+	errors    *obs.Counter
+	retries   *obs.Counter
+	exhausted *obs.Counter
+	sheds     *obs.Counter
+	cascade   *obs.Histogram
 }
 
 // RegisterMetrics wires the rule manager into a metrics registry: rule
@@ -314,6 +338,12 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 			"Rule deactivations (Disable and Drop)."),
 		errors: r.Counter("sentinel_rules_errors_total",
 			"Rule executions that failed (aborted actions, subtransaction errors, panics)."),
+		retries: r.Counter("sentinel_rules_retries_total",
+			"Rule attempts re-run after a deadlock or lock-timeout abort."),
+		exhausted: r.Counter("sentinel_rules_retries_exhausted_total",
+			"Rules that still failed with a retryable error after the retry budget."),
+		sheds: r.Counter("sentinel_rules_sheds_total",
+			"Rule triggerings dropped by the cascade depth limit."),
 		cascade: r.Histogram("sentinel_rules_cascade_depth",
 			"Nesting depth of rule triggerings (1 = top-level, deeper = rules triggered by rules).",
 			obs.DepthBuckets()),
@@ -588,6 +618,15 @@ func (r *Rule) Notify(occ *event.Occurrence, ctx detector.Context) {
 	} else {
 		prio = sched.Path{r.priority}
 	}
+	// Cascade limit: a rule storm (rules triggering rules) is shed here,
+	// before the task exists, so the scheduler never sees unbounded depth.
+	if max := m.MaxCascade; max > 0 && len(prio) > max {
+		if met := m.met; met != nil {
+			met.sheds.Inc()
+		}
+		m.reportError(r.name, fmt.Errorf("%w (depth %d, limit %d)", ErrCascadeShed, len(prio), max))
+		return
+	}
 	task := &sched.Task{Rule: r.name, Priority: prio}
 	task.Run = func(t *sched.Task) { m.execute(r, occ, ctx, t) }
 	m.sched.Enqueue(task)
@@ -604,29 +643,7 @@ func (m *Manager) execute(r *Rule, occ *event.Occurrence, ctx detector.Context, 
 	if met := m.met; met != nil {
 		met.cascade.Observe(float64(len(t.Priority)))
 	}
-	parent := m.txns.Lookup(occ.Txn)
-	var sub *txn.Txn
-	var err error
-	if parent != nil {
-		sub, err = parent.BeginSub()
-	} else {
-		// Occurrence outside any live transaction (e.g. explicit event
-		// with no txn): run the rule in its own top-level transaction.
-		sub, err = m.txns.Begin()
-	}
-	if err != nil {
-		m.reportError(r.name, fmt.Errorf("begin rule subtransaction: %w", err))
-		return
-	}
-	m.mu.Lock()
-	m.running[sub.ID()] = t
-	m.mu.Unlock()
-	defer func() {
-		m.mu.Lock()
-		delete(m.running, sub.ID())
-		m.mu.Unlock()
-	}()
-	m.runBody(r, &Execution{Rule: r, Occurrence: occ, Context: ctx, Txn: sub, task: t})
+	m.runWithRetry(r, occ, ctx, t)
 }
 
 // runDetached executes a detached rule in its own top-level transaction.
@@ -637,23 +654,101 @@ func (m *Manager) runDetached(r *Rule, occ *event.Occurrence, ctx detector.Conte
 	if met := m.met; met != nil {
 		met.cascade.Observe(1)
 	}
-	top, err := m.txns.Begin()
-	if err != nil {
-		m.reportError(r.name, fmt.Errorf("begin detached transaction: %w", err))
+	m.runWithRetry(r, occ, ctx, nil)
+}
+
+// retryable reports whether a rule failure is transient contention — a
+// deadlock-victim or lock-timeout abort — rather than a real action error.
+// Only these are worth re-running: the aborted subtransaction released its
+// locks, so a fresh attempt can succeed once the conflicting rule finishes.
+func retryable(err error) bool {
+	return errors.Is(err, lockmgr.ErrDeadlock) || errors.Is(err, lockmgr.ErrTimeout)
+}
+
+// runWithRetry executes the rule body, re-running deadlock- and
+// timeout-aborted attempts (each in a fresh subtransaction) with bounded
+// exponential backoff until the attempt succeeds, fails for a non-retryable
+// reason, or the retry budget is spent. The fired counter and fires metric
+// advance once per triggering — on the final attempt — never per retry.
+// t is nil for detached rules, which run in their own top-level transaction.
+func (m *Manager) runWithRetry(r *Rule, occ *event.Occurrence, ctx detector.Context, t *sched.Task) {
+	for attempt := 0; ; attempt++ {
+		ran, err := m.attempt(r, occ, ctx, t)
+		if err != nil && retryable(err) && attempt < m.RetryMax {
+			if met := m.met; met != nil {
+				met.retries.Inc()
+			}
+			if m.RetryBackoff > 0 {
+				shift := attempt
+				if shift > 6 {
+					shift = 6
+				}
+				time.Sleep(m.RetryBackoff << shift)
+			}
+			continue
+		}
+		if ran {
+			r.mu.Lock()
+			r.fired++
+			r.mu.Unlock()
+			if met := m.met; met != nil {
+				met.fires[r.coupling].Inc()
+			}
+		}
+		if err != nil {
+			if retryable(err) {
+				if met := m.met; met != nil {
+					met.exhausted.Inc()
+				}
+			}
+			m.reportError(r.name, err)
+		}
 		return
 	}
-	m.runBody(r, &Execution{Rule: r, Occurrence: occ, Context: ctx, Txn: top})
+}
+
+// attempt runs one execution attempt in a fresh subtransaction (or
+// top-level transaction for detached rules and occurrences outside any live
+// transaction). ran reports whether the body actually evaluated — false for
+// begin failures and panics, matching what the fired counter means.
+func (m *Manager) attempt(r *Rule, occ *event.Occurrence, ctx detector.Context, t *sched.Task) (ran bool, err error) {
+	parent := m.txns.Lookup(occ.Txn)
+	var sub *txn.Txn
+	if t != nil && parent != nil {
+		sub, err = parent.BeginSub()
+	} else {
+		// Detached rule, or occurrence outside any live transaction (e.g.
+		// explicit event with no txn): own top-level transaction.
+		sub, err = m.txns.Begin()
+	}
+	if err != nil {
+		return false, fmt.Errorf("begin rule subtransaction: %w", err)
+	}
+	if t != nil {
+		m.mu.Lock()
+		m.running[sub.ID()] = t
+		m.mu.Unlock()
+		defer func() {
+			m.mu.Lock()
+			delete(m.running, sub.ID())
+			m.mu.Unlock()
+		}()
+	}
+	return m.runBody(r, &Execution{Rule: r, Occurrence: occ, Context: ctx, Txn: sub, task: t})
 }
 
 // runBody evaluates the condition (with the detector masked, §3.2.1) and,
 // if true, the action; the subtransaction commits unless the action failed
-// or panicked.
-func (m *Manager) runBody(r *Rule, exec *Execution) {
+// or panicked. The attempt's subtransaction is always resolved — committed
+// on success, aborted on error or panic — before runBody returns, so a
+// retry can safely open a fresh one.
+func (m *Manager) runBody(r *Rule, exec *Execution) (ran bool, err error) {
 	committed := false
 	defer func() {
 		if p := recover(); p != nil {
 			_ = exec.Txn.Abort()
-			m.reportError(r.name, fmt.Errorf("rule panicked: %v", p))
+			ran = false
+			err = fmt.Errorf("rule panicked: %v", p)
 		} else if !committed {
 			_ = exec.Txn.Abort()
 		}
@@ -667,25 +762,24 @@ func (m *Manager) runBody(r *Rule, exec *Execution) {
 	}
 	var actErr error
 	if ok {
-		actErr = r.action(exec)
+		// Fault hook: an Err verdict stands in for the action failing, a
+		// Panic verdict for the action panicking — without needing a rule
+		// that misbehaves on cue.
+		if actErr = faults.Check(faults.RuleAction); actErr == nil {
+			actErr = r.action(exec)
+		}
 	}
-	r.mu.Lock()
-	r.fired++
-	r.mu.Unlock()
-	if met := m.met; met != nil {
-		met.fires[r.coupling].Inc()
-	}
+	ran = true
 	if actErr != nil {
 		_ = exec.Txn.Abort()
 		committed = true // finished (aborted) — don't double-abort
-		m.reportError(r.name, actErr)
-		return
+		return ran, actErr
 	}
-	if err := exec.Txn.Commit(); err != nil {
-		m.reportError(r.name, fmt.Errorf("commit rule subtransaction: %w", err))
-		return
+	if cerr := exec.Txn.Commit(); cerr != nil {
+		return ran, fmt.Errorf("commit rule subtransaction: %w", cerr)
 	}
 	committed = true
+	return ran, nil
 }
 
 func (m *Manager) reportError(rule string, err error) {

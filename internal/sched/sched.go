@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -172,6 +173,10 @@ func (s *Scheduler) drainAbove(floor Path) {
 }
 
 func (s *Scheduler) runOne(t *Task) {
+	// Fault hook: Delay verdicts stall this task before it starts, reordering
+	// rule interleavings deterministically; error verdicts are meaningless
+	// here and ignored.
+	_ = faults.Check(faults.SchedTask)
 	if s.runHist != nil {
 		start := time.Now()
 		if !t.enqueuedAt.IsZero() {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/faults"
 )
 
 // DiskManager reads and writes fixed-size pages in a single database file
@@ -39,13 +41,33 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := d.pages
-	d.pages++
 	// Extend the file eagerly so ReadPage of an allocated-but-unwritten
 	// page returns zeroes rather than an error.
-	if err := d.f.Truncate(int64(d.pages) * PageSize); err != nil {
-		d.pages--
+	err := d.f.Truncate(int64(id+1) * PageSize)
+	if err == nil {
+		// Injected failures land here, after the real truncate: they model
+		// a syscall that did the work but reported an error, which is the
+		// case the rollback below must reconcile.
+		err = faults.Check(faults.DiskTruncate)
+	}
+	if err != nil {
+		// Roll back: the file may or may not have been extended. Try to
+		// restore the old length; if that also fails, adopt whatever length
+		// the file actually has so d.pages never disagrees with disk (a
+		// disagreement would make later Allocates hand out IDs past EOF or
+		// clobber pages recovery believes exist).
+		restoreErr := d.f.Truncate(int64(id) * PageSize)
+		if restoreErr == nil {
+			restoreErr = faults.Check(faults.DiskTruncate)
+		}
+		if restoreErr != nil {
+			if st, statErr := d.f.Stat(); statErr == nil {
+				d.pages = PageID(st.Size() / PageSize)
+			}
+		}
 		return 0, fmt.Errorf("storage: extend database file: %w", err)
 	}
+	d.pages = id + 1
 	return id, nil
 }
 
@@ -64,10 +86,10 @@ func (d *DiskManager) EnsureAllocated(id PageID) error {
 	if id < d.pages {
 		return nil
 	}
-	d.pages = id + 1
-	if err := d.f.Truncate(int64(d.pages) * PageSize); err != nil {
+	if err := d.f.Truncate(int64(id+1) * PageSize); err != nil {
 		return fmt.Errorf("storage: extend database file: %w", err)
 	}
+	d.pages = id + 1
 	return nil
 }
 
@@ -77,6 +99,9 @@ func (d *DiskManager) ReadPage(id PageID, p *Page) error {
 	defer d.mu.Unlock()
 	if id >= d.pages {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, d.pages)
+	}
+	if err := faults.Check(faults.DiskRead); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
 	if _, err := d.f.ReadAt(p.Data[:], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
@@ -92,6 +117,16 @@ func (d *DiskManager) WritePage(p *Page) error {
 	if p.ID >= d.pages {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", p.ID, d.pages)
 	}
+	// Torn-write capable: a Partial verdict writes only the first n bytes of
+	// the page (clamped to PageSize) before the verdict's error or crash.
+	if err := faults.CheckIO(faults.DiskWrite, func(n int) {
+		if n > PageSize {
+			n = PageSize
+		}
+		_, _ = d.f.WriteAt(p.Data[:n], int64(p.ID)*PageSize)
+	}); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
+	}
 	if _, err := d.f.WriteAt(p.Data[:], int64(p.ID)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
 	}
@@ -102,6 +137,9 @@ func (d *DiskManager) WritePage(p *Page) error {
 func (d *DiskManager) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := faults.Check(faults.DiskSync); err != nil {
+		return fmt.Errorf("storage: sync database file: %w", err)
+	}
 	return d.f.Sync()
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -181,6 +182,16 @@ func (s *Store) Commit(id uint64) error {
 	if err != nil {
 		return err
 	}
+	if t.parent == 0 {
+		// Kill window: the commit record exists but has not been forced. A
+		// crash or error here leaves the transaction's outcome indeterminate
+		// — the record may or may not survive — exactly like a commit whose
+		// acknowledgement was lost. Callers (and the torture harness) must
+		// treat a Commit error as "unknown", not "aborted".
+		if err := faults.Check(faults.StoreCommit); err != nil {
+			return err
+		}
+	}
 	if t.parent != 0 {
 		if p := s.txns[t.parent]; p != nil {
 			p.ops = append(p.ops, t.ops...)
@@ -210,6 +221,11 @@ func (s *Store) Abort(id uint64) error {
 		return fmt.Errorf("storage: abort of txn %d with %d active subtransactions", id, t.children)
 	}
 	for i := len(t.ops) - 1; i >= 0; i-- {
+		// Kill window: crashes here land mid-rollback, leaving some
+		// operations compensated and some not; recovery must finish the job.
+		if err := faults.Check(faults.StoreAbortUndo); err != nil {
+			return err
+		}
 		clr := compensationFor(t.ops[i])
 		lsn, err := s.wal.Append(clr)
 		if err != nil {
@@ -586,6 +602,14 @@ func (s *Store) recover() error {
 		toUndo = append(toUndo, remaining...)
 	}
 	sort.Slice(toUndo, func(i, j int) bool { return toUndo[i].LSN > toUndo[j].LSN })
+	// Sabotage point for the torture harness's self-check: when armed,
+	// recovery silently skips its undo pass, leaving loser effects on the
+	// pages. The harness must detect this as an invariant violation — if it
+	// doesn't, the harness is vacuous. Never armed outside that test.
+	if faults.Check(faults.RecoverSkipUndo) != nil {
+		toUndo = nil
+		losers = nil
+	}
 	for _, rec := range toUndo {
 		clr := compensationFor(rec)
 		lsn, err := s.wal.Append(clr)
@@ -668,6 +692,42 @@ func (s *Store) rebuildFSM() error {
 }
 
 func (s *Store) noteFree(p *Page) { s.fsm[p.ID] = p.FreeSpace() }
+
+// ForEachRecord scans every live record in the store — all pages, all live
+// slots — calling fn with each record's RID and a copy of its contents.
+// It is the crash-torture harness's verification primitive: after recovery
+// the harness full-scans the store and checks committed values are present
+// and loser values absent.
+func (s *Store) ForEachRecord(fn func(RID, []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	n := s.disk.NumPages()
+	for pid := PageID(0); pid < n; pid++ {
+		page, err := s.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		for slot := uint16(0); slot < page.NumSlots(); slot++ {
+			if !page.Live(slot) {
+				continue
+			}
+			data, err := page.Read(slot)
+			if err != nil {
+				s.pool.Unpin(pid, false)
+				return err
+			}
+			if err := fn(RID{Page: pid, Slot: slot}, cloneBytes(data)); err != nil {
+				s.pool.Unpin(pid, false)
+				return err
+			}
+		}
+		s.pool.Unpin(pid, false)
+	}
+	return nil
+}
 
 // ActiveTxns returns the ids of transactions still in flight (tests).
 func (s *Store) ActiveTxns() []uint64 {

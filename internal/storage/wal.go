@@ -10,6 +10,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faults"
 )
 
 // RecType identifies the kind of a log record.
@@ -72,6 +74,14 @@ type LogRecord struct {
 // treats it (and everything after) as a torn tail and stops.
 var ErrLogCorrupted = errors.New("storage: log record failed checksum")
 
+// ErrWALSealed is returned by Append and Flush after any append, flush, or
+// fsync failure. A failed write leaves the log in an unknowable state — the
+// bufio buffer may be partially drained, and after a failed fsync the kernel
+// may have dropped dirty log pages while clearing the error (the
+// "fsyncgate" class of bugs) — so the WAL fails fast and stays failed
+// rather than silently retrying over possibly-lost bytes.
+var ErrWALSealed = errors.New("storage: WAL sealed after write failure")
+
 // WAL is the write-ahead log: an append-only file of checksummed records.
 // Appends are buffered; Flush forces the buffer (and optionally the OS
 // cache) so that every record up to a given LSN is durable before the
@@ -83,6 +93,7 @@ type WAL struct {
 	nextLSN  uint64 // offset where the next record will be written
 	flushed  uint64 // all records below this offset are in the OS/file
 	syncMode bool   // fsync on every Flush
+	sealErr  error  // first write failure; non-nil seals the WAL (fail-fast)
 
 	// Always-on activity counters, readable without the mutex.
 	appends     atomic.Uint64 // records appended
@@ -153,10 +164,20 @@ func scanEnd(f *os.File, size int64) (int64, error) {
 func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.sealErr != nil {
+		return 0, fmt.Errorf("%w: %w", ErrWALSealed, w.sealErr)
+	}
+	if err := faults.Check(faults.WALAppend); err != nil {
+		w.sealErr = err
+		return 0, fmt.Errorf("storage: append log record: %w", err)
+	}
 	lsn := w.nextLSN
 	rec.LSN = lsn
 	n, err := writeRecord(w.w, rec)
 	if err != nil {
+		// A partial frame may now sit in the buffer; seal so no later
+		// record can be appended after a torn one.
+		w.sealErr = err
 		return 0, fmt.Errorf("storage: append log record: %w", err)
 	}
 	w.nextLSN += uint64(n)
@@ -171,20 +192,39 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 func (w *WAL) Flush(upTo uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.sealErr != nil {
+		return fmt.Errorf("%w: %w", ErrWALSealed, w.sealErr)
+	}
 	if upTo != ^uint64(0) && upTo < w.flushed {
 		return nil
 	}
-	if err := w.w.Flush(); err != nil {
+	err := faults.Check(faults.WALFlush)
+	if err == nil {
+		err = w.w.Flush()
+	}
+	if err != nil {
+		w.sealErr = err
 		return fmt.Errorf("storage: flush log: %w", err)
 	}
-	w.flushed = w.nextLSN
 	w.flushes.Add(1)
 	if w.syncMode {
-		if err := w.f.Sync(); err != nil {
+		err := faults.Check(faults.WALFsync)
+		if err == nil {
+			err = w.f.Sync()
+		}
+		if err != nil {
+			// Sticky-fatal: after a failed fsync the kernel may have
+			// dropped the dirty pages and cleared the error, so a retry
+			// would "succeed" without the data ever reaching disk.
+			w.sealErr = err
 			return fmt.Errorf("storage: sync log: %w", err)
 		}
 		w.fsyncs.Add(1)
 	}
+	// Advance the durability watermark only after the flush — and, in sync
+	// mode, the fsync — actually succeeded. Advancing it earlier would let
+	// a failed fsync leave callers believing their records are durable.
+	w.flushed = w.nextLSN
 	return nil
 }
 
@@ -195,14 +235,23 @@ func (w *WAL) NextLSN() uint64 {
 	return w.nextLSN
 }
 
-// Close flushes and closes the log file.
+// Close flushes and closes the log file. The file is closed even when the
+// final flush fails (or the WAL is sealed); the first error wins.
 func (w *WAL) Close() error {
-	if err := w.Flush(^uint64(0)); err != nil {
-		return err
-	}
+	flushErr := w.Flush(^uint64(0))
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.f.Close()
+	if err := w.f.Close(); err != nil && flushErr == nil {
+		return err
+	}
+	return flushErr
+}
+
+// Sealed returns the error that sealed the WAL, or nil if it is healthy.
+func (w *WAL) Sealed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sealErr
 }
 
 // Scan replays the log from the given LSN, calling fn for every intact

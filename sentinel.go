@@ -38,6 +38,7 @@ import (
 	"repro/internal/debug"
 	"repro/internal/detector"
 	"repro/internal/event"
+	"repro/internal/faults"
 	"repro/internal/ged"
 	"repro/internal/lockmgr"
 	"repro/internal/object"
@@ -125,8 +126,25 @@ type Options struct {
 	// address.
 	GEDAddr string
 	// LockTimeout bounds lock waits (0 = wait forever; deadlocks are
-	// still detected and broken).
+	// still detected and broken). Negative values are rejected by Open.
+	// It becomes lockmgr.Manager.DefaultTimeout — the bound every Lock
+	// call without an explicit timeout inherits.
 	LockTimeout int64 // milliseconds
+	// RuleRetries is how many times a deadlock- or timeout-aborted rule
+	// execution is retried, each attempt in a fresh subtransaction.
+	// 0 means the default (3); -1 disables retry; other negatives are
+	// rejected by Open.
+	RuleRetries int
+	// RuleRetryBackoff is the base delay between rule retry attempts; the
+	// actual delay doubles each attempt (capped at 64× the base). 0 means
+	// the default (1ms); negative values are rejected by Open.
+	RuleRetryBackoff time.Duration
+	// MaxCascadeDepth caps rule-cascade nesting (rules triggered by
+	// rules; 1 = top-level only). Triggerings beyond the limit are shed:
+	// dropped, counted in sentinel_rules_sheds_total, and reported
+	// through the rule error hook. 0 means the default (32); -1 removes
+	// the limit; other negatives are rejected by Open.
+	MaxCascadeDepth int
 	// DebugAddr, when set, serves /metrics (Prometheus text format) and
 	// /debugz (metrics snapshot + event-graph DOT export) on that address
 	// (e.g. "localhost:6060"; ":0" picks a free port — see DebugAddr()).
@@ -156,10 +174,57 @@ type Database struct {
 	closed bool
 }
 
+// Defaults for the robustness knobs (see Options).
+const (
+	defaultRuleRetries  = 3
+	defaultRetryBackoff = time.Millisecond
+	defaultMaxCascade   = 32
+)
+
+// validateOptions rejects option values that would otherwise be silently
+// misread (negative timeouts, budgets, or depths).
+func validateOptions(opts Options) error {
+	if opts.LockTimeout < 0 {
+		return fmt.Errorf("sentinel: LockTimeout must be >= 0, got %d", opts.LockTimeout)
+	}
+	if opts.RuleRetries < -1 {
+		return fmt.Errorf("sentinel: RuleRetries must be >= -1, got %d", opts.RuleRetries)
+	}
+	if opts.RuleRetryBackoff < 0 {
+		return fmt.Errorf("sentinel: RuleRetryBackoff must be >= 0, got %v", opts.RuleRetryBackoff)
+	}
+	if opts.MaxCascadeDepth < -1 {
+		return fmt.Errorf("sentinel: MaxCascadeDepth must be >= -1, got %d", opts.MaxCascadeDepth)
+	}
+	if opts.PoolSize < 0 {
+		return fmt.Errorf("sentinel: PoolSize must be >= 0, got %d", opts.PoolSize)
+	}
+	if opts.Workers < 0 {
+		return fmt.Errorf("sentinel: Workers must be >= 0, got %d", opts.Workers)
+	}
+	return nil
+}
+
 // Open creates (or reopens, running recovery) a database.
 func Open(opts Options) (*Database, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
 	if opts.Workers == 0 {
 		opts.Workers = 4
+	}
+	if opts.RuleRetries == 0 {
+		opts.RuleRetries = defaultRuleRetries
+	} else if opts.RuleRetries == -1 {
+		opts.RuleRetries = 0
+	}
+	if opts.RuleRetryBackoff == 0 {
+		opts.RuleRetryBackoff = defaultRetryBackoff
+	}
+	if opts.MaxCascadeDepth == 0 {
+		opts.MaxCascadeDepth = defaultMaxCascade
+	} else if opts.MaxCascadeDepth == -1 {
+		opts.MaxCascadeDepth = 0
 	}
 	var store *storage.Store
 	if opts.Dir != "" {
@@ -184,6 +249,9 @@ func Open(opts Options) (*Database, error) {
 	s := sched.New(opts.Workers)
 	s.Serial = opts.SerialRules
 	rm := rules.NewManager(det, txns, s)
+	rm.RetryMax = opts.RuleRetries
+	rm.RetryBackoff = opts.RuleRetryBackoff
+	rm.MaxCascade = opts.MaxCascadeDepth
 	objects := object.NewRegistry(det, store)
 
 	db := &Database{
@@ -216,6 +284,9 @@ func Open(opts Options) (*Database, error) {
 	if store != nil {
 		store.RegisterMetrics(db.metrics)
 	}
+	db.metrics.CounterFunc("sentinel_faults_injected_total",
+		"Faults fired by the deterministic fault-injection layer since process start (0 unless a test armed an injector).",
+		faults.Injected)
 	// Transaction system events feed the detector; pre-commit is the
 	// scheduling point for deferred rules (they must finish before the
 	// commit proceeds).
