@@ -1,18 +1,21 @@
 # Build, test, and benchmark entry points. `make check` is the tier-1
 # gate; `make bench` regenerates BENCH_detector.json (the committed
-# before/after numbers for the signal fast path). CI calls the targets
-# below rather than inlining commands, so the benchmark pattern and tool
-# invocations live in exactly one place.
+# before/after numbers for the signal fast path) and `make bench-storage`
+# regenerates BENCH_storage.json (the commit-pipeline numbers). CI calls
+# the targets below rather than inlining commands, so the benchmark
+# pattern and tool invocations live in exactly one place.
 
 GO ?= go
-BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_
+BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_
+BENCH_PKG ?= . ./internal/storage
 BENCH_OUT ?= BENCH_detector.json
+BENCH_STORAGE_OUT ?= BENCH_storage.json
 BENCH_TIME ?= 1s
 BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare torture clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage torture clean
 
 all: build
 
@@ -59,7 +62,7 @@ cover:
 # other bench target (and CI) parameterizes it instead of repeating the
 # pattern.
 bench-text:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -cpu $(BENCH_CPUS) .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -cpu $(BENCH_CPUS) $(BENCH_PKG)
 
 # bench-smoke proves the benchmarks still execute (CI); its numbers are
 # not measurements.
@@ -72,9 +75,17 @@ bench-smoke:
 # regenerate both sides.
 BENCH_LABEL ?= after
 bench:
-	$(MAKE) bench-text \
+	$(MAKE) bench-text BENCH_PATTERN='BenchmarkE1_|BenchmarkE4_' BENCH_PKG=. \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT) -merge
+
+# bench-storage reruns the storage commit-pipeline benchmarks (group
+# commit, lock-striped pool, txn sharding; -cpu sweeps the writer count)
+# and records them under the "after" label of $(BENCH_STORAGE_OUT).
+bench-storage:
+	$(MAKE) bench-text BENCH_PATTERN='BenchmarkStorage_' BENCH_PKG=./internal/storage \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_STORAGE_OUT) -merge
 
 # bench-record captures one labelled run into BENCH_REC_OUT (the CI
 # before/after halves of the regression gate).

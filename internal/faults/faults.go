@@ -62,6 +62,13 @@ const (
 	// StoreAbortUndo fires in Store.Abort before each undo step, so
 	// crashes land mid-rollback.
 	StoreAbortUndo Point = "storage.store.abort.undo"
+	// StoreGroupFlush fires in the group-commit flusher goroutine between
+	// collecting a batch of committers and forcing the log for them. A
+	// crash here kills a whole commit batch whose fsync never completed;
+	// every transaction in it must recover all-or-nothing. The flusher
+	// recovers the crash panic, seals the WAL, and re-raises the crash on
+	// each waiting committer's goroutine.
+	StoreGroupFlush Point = "storage.store.groupcommit.flush"
 	// RecoverSkipUndo is a recovery-sabotage point: when armed, Store
 	// recovery SKIPS its undo pass entirely. It exists solely so the
 	// crash-torture harness can prove it detects broken recovery (the

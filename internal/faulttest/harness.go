@@ -71,6 +71,11 @@ type killPoint struct {
 
 var killPoints = []killPoint{
 	{point: faults.StoreCommit, maxHit: 8},
+	// The group-commit flusher: the crash fires on the flusher goroutine
+	// between batch collection and the force, is re-raised on each waiting
+	// committer, and the batch's commit records may or may not have hit
+	// disk — every transaction in it must recover all-or-nothing.
+	{point: faults.StoreGroupFlush, maxHit: 12},
 	{point: faults.StoreAbortUndo, maxHit: 8},
 	{point: faults.WALAppend, maxHit: 48},
 	{point: faults.WALFlush, maxHit: 12},

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The storage benchmarks measure the commit pipeline under concurrent
+// writers. They use RunParallel, so `-cpu 1,4,8` sweeps the writer count
+// the same way the detector benchmarks sweep signalling parallelism; the
+// committed before/after numbers live in BENCH_storage.json.
+
+// benchStore opens a store in a fresh temp dir sized so the working set
+// stays pool-resident (the benchmarks measure the commit path, not page
+// replacement).
+func benchStore(b *testing.B, sync bool) *Store {
+	b.Helper()
+	opts := Options{Dir: b.TempDir(), PoolSize: 1024, SyncWAL: sync}
+	if sync {
+		// A short group-commit window lets writers released by one force
+		// join the next batch instead of splitting into alternating
+		// half-size cohorts; it is cheap next to the fsync it amortizes.
+		opts.GroupCommitInterval = 100 * time.Microsecond
+	}
+	s, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// benchCommit runs begin + opsPerTxn inserts + commit per iteration on
+// every parallel writer.
+func benchCommit(b *testing.B, sync bool, opsPerTxn, recSize int) {
+	s := benchStore(b, sync)
+	payload := bytes.Repeat([]byte("p"), recSize)
+	batches0, _ := s.GroupCommitStats()
+	_, _, _, fsyncs0 := s.WALStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id, err := s.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < opsPerTxn; j++ {
+				if _, err := s.Insert(id, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Commit(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	// Group-commit effectiveness: how many WAL forces (and, in sync mode,
+	// fsyncs) the committed transactions actually cost.
+	if batches, _ := s.GroupCommitStats(); batches > batches0 {
+		b.ReportMetric(float64(b.N)/float64(batches-batches0), "commits/batch")
+	}
+	if sync {
+		_, _, _, fsyncs := s.WALStats()
+		b.ReportMetric(float64(fsyncs-fsyncs0)/float64(b.N), "fsyncs/commit")
+	}
+}
+
+// BenchmarkStorage_CommitSync is the headline number: durable top-level
+// commits (fsync on force) under concurrent writers.
+func BenchmarkStorage_CommitSync(b *testing.B) { benchCommit(b, true, 4, 64) }
+
+// BenchmarkStorage_CommitNoSync isolates the lock/batching costs from the
+// fsync itself.
+func BenchmarkStorage_CommitNoSync(b *testing.B) { benchCommit(b, false, 4, 64) }
+
+// BenchmarkStorage_ReadParallel measures concurrent point reads of a
+// pool-resident working set (no transactions on the hot path).
+func BenchmarkStorage_ReadParallel(b *testing.B) {
+	s := benchStore(b, false)
+	id, err := s.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 512
+	rids := make([]RID, n)
+	for i := range rids {
+		rids[i], err = s.Insert(id, []byte(fmt.Sprintf("record-%04d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Commit(id); err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rid := rids[ctr.Add(1)%n]
+			if _, err := s.Read(rid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStorage_MixedSubTxn exercises the full transaction shape rules
+// produce: insert, self-update, a committed subtransaction, then a
+// top-level commit (no fsync, so the nesting overhead dominates).
+func BenchmarkStorage_MixedSubTxn(b *testing.B) {
+	s := benchStore(b, false)
+	payload := bytes.Repeat([]byte("m"), 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id, err := s.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rid, err := s.Insert(id, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Update(id, rid, payload[:32]); err != nil {
+				b.Fatal(err)
+			}
+			sub, err := s.BeginSub(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Insert(sub, payload[:16]); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Commit(sub); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Commit(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -12,10 +12,22 @@ import (
 var ErrPoolFull = errors.New("storage: buffer pool full (all frames pinned)")
 
 // frame is one buffer-pool slot.
+//
+// The latch serializes access to the page contents: Fetch and NewPage
+// return with it held, Unpin releases it. The shard mutex covers only the
+// table/LRU bookkeeping (pins, dirty, residency), never page contents, so
+// page I/O and record edits on different pages proceed in parallel even
+// within one shard.
+//
+// Invariant: only a goroutine that has pinned a frame may latch it, so an
+// unpinned frame's latch is always free — eviction (which only considers
+// unpinned frames) never blocks on a latch while holding the shard mutex.
 type frame struct {
 	page    Page
+	latch   sync.Mutex
 	pins    int
 	dirty   bool
+	loading bool          // a miss is reading this page from disk
 	lruElem *list.Element // non-nil iff unpinned and resident
 }
 
@@ -23,137 +35,223 @@ type frame struct {
 // to enforce the WAL rule (log-before-data).
 type flushLogFunc func(upToLSN uint64) error
 
-// BufferPool caches pages in memory with LRU replacement and pin counting.
-// Dirty pages are written back on eviction and on FlushAll, always after
-// forcing the log up to the page LSN (WAL rule).
-type BufferPool struct {
+// poolShard is one lock stripe: its own mutex, frame table, LRU list, and
+// capacity slice. Pages hash to shards by PageID, so concurrent
+// transactions touching different pages rarely contend.
+type poolShard struct {
 	mu       sync.Mutex
-	disk     *DiskManager
+	loaded   *sync.Cond // signalled when a loading frame settles
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID, front = least recently used
-	flushLog flushLogFunc
+}
 
-	// Page-lookup and write-back counters, readable without the mutex
+// BufferPool caches pages in memory with LRU replacement and pin counting,
+// lock-striped across shards hashed by PageID. Dirty pages are written
+// back on eviction and on FlushAll, always after forcing the log up to the
+// page LSN (WAL rule).
+type BufferPool struct {
+	disk     *DiskManager
+	flushLog flushLogFunc
+	shards   []*poolShard
+
+	// Page-lookup and write-back counters, readable without any lock
 	// (benchmark harness and metrics registry).
 	hits, misses, writes atomic.Uint64
 }
+
+// defaultPoolShards is the stripe count when the caller doesn't choose one.
+const defaultPoolShards = 8
 
 // Stats returns the pool's hit, miss, and page write-back counts.
 func (b *BufferPool) Stats() (hits, misses, writes uint64) {
 	return b.hits.Load(), b.misses.Load(), b.writes.Load()
 }
 
-// NewBufferPool creates a pool of the given capacity over disk. flushLog
-// may be nil when no WAL is in use (tests, read-only tools).
+// NewBufferPool creates a pool of the given total capacity over disk with
+// the default shard count. flushLog may be nil when no WAL is in use
+// (tests, read-only tools).
 func NewBufferPool(disk *DiskManager, capacity int, flushLog flushLogFunc) *BufferPool {
+	return NewBufferPoolShards(disk, capacity, 0, flushLog)
+}
+
+// NewBufferPoolShards creates a pool with an explicit shard count
+// (0 = default). The shard count never exceeds the capacity, so tiny pools
+// (the eviction and all-pinned tests use capacities 1 and 2) keep their
+// exact total capacity and LRU behavior.
+func NewBufferPoolShards(disk *DiskManager, capacity, shards int, flushLog flushLogFunc) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		disk:     disk,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
-		lru:      list.New(),
-		flushLog: flushLog,
+	if shards < 1 {
+		shards = defaultPoolShards
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	b := &BufferPool{
+		disk:     disk,
+		flushLog: flushLog,
+		shards:   make([]*poolShard, shards),
+	}
+	base, extra := capacity/shards, capacity%shards
+	for i := range b.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		sh := &poolShard{
+			capacity: cap,
+			frames:   make(map[PageID]*frame, cap),
+			lru:      list.New(),
+		}
+		sh.loaded = sync.NewCond(&sh.mu)
+		b.shards[i] = sh
+	}
+	return b
+}
+
+func (b *BufferPool) shard(id PageID) *poolShard {
+	return b.shards[uint64(id)%uint64(len(b.shards))]
 }
 
 // Fetch pins page id into the pool, reading it from disk on a miss, and
-// returns the in-memory page. The caller must Unpin it when done.
+// returns the in-memory page latched for the caller's exclusive use. The
+// caller must Unpin it when done.
+//
+// On a miss the frame is registered as "loading" and the disk read happens
+// outside the shard mutex; concurrent fetchers of the same page wait on
+// the shard's condition variable instead of issuing duplicate reads. A
+// failed read deregisters the frame before anyone can see it — a dead
+// frame must never stay in the table, where it would serve garbage to
+// later fetchers and pin a capacity slot forever.
 func (b *BufferPool) Fetch(id PageID) (*Page, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if fr, ok := b.frames[id]; ok {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	for {
+		fr, ok := sh.frames[id]
+		if !ok {
+			break
+		}
+		if fr.loading {
+			sh.loaded.Wait()
+			continue // the load settled or failed; re-check the table
+		}
 		b.hits.Add(1)
-		b.pinLocked(fr)
+		sh.pinLocked(fr)
+		sh.mu.Unlock()
+		fr.latch.Lock()
 		return &fr.page, nil
 	}
 	b.misses.Add(1)
-	fr, err := b.newFrameLocked()
+	fr, err := sh.newFrameLocked(b)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	if err := b.disk.ReadPage(id, &fr.page); err != nil {
-		return nil, err
-	}
+	fr.loading = true
 	fr.pins = 1
-	b.frames[id] = fr
+	sh.frames[id] = fr
+	sh.mu.Unlock()
+
+	err = b.disk.ReadPage(id, &fr.page)
+
+	sh.mu.Lock()
+	fr.loading = false
+	if err != nil {
+		delete(sh.frames, id)
+		sh.loaded.Broadcast()
+		sh.mu.Unlock()
+		return nil, err
+	}
+	sh.loaded.Broadcast()
+	sh.mu.Unlock()
+	fr.latch.Lock()
 	return &fr.page, nil
 }
 
 // NewPage allocates a fresh page on disk, formats it as an empty slotted
-// page, and returns it pinned.
+// page, and returns it pinned and latched.
 func (b *BufferPool) NewPage() (*Page, error) {
 	id, err := b.disk.Allocate()
 	if err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fr, err := b.newFrameLocked()
+	sh := b.shard(id)
+	sh.mu.Lock()
+	fr, err := sh.newFrameLocked(b)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
 	fr.page.ID = id
 	fr.page.InitPage()
 	fr.pins = 1
 	fr.dirty = true
-	b.frames[id] = fr
+	sh.frames[id] = fr
+	sh.mu.Unlock()
+	fr.latch.Lock()
 	return &fr.page, nil
 }
 
-// Unpin releases one pin on page id, marking the page dirty if it was
-// modified while pinned.
+// Unpin releases the caller's latch and one pin on page id, marking the
+// page dirty if it was modified while pinned.
 func (b *BufferPool) Unpin(id PageID, dirty bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fr, ok := b.frames[id]
+	sh := b.shard(id)
+	sh.mu.Lock()
+	fr, ok := sh.frames[id]
 	if !ok || fr.pins == 0 {
+		sh.mu.Unlock()
 		panic(fmt.Sprintf("storage: Unpin of page %d that is not pinned", id))
 	}
+	fr.latch.Unlock()
 	fr.dirty = fr.dirty || dirty
 	fr.pins--
 	if fr.pins == 0 {
-		fr.lruElem = b.lru.PushBack(id)
+		fr.lruElem = sh.lru.PushBack(id)
 	}
+	sh.mu.Unlock()
 }
 
-func (b *BufferPool) pinLocked(fr *frame) {
+func (sh *poolShard) pinLocked(fr *frame) {
 	if fr.pins == 0 && fr.lruElem != nil {
-		b.lru.Remove(fr.lruElem)
+		sh.lru.Remove(fr.lruElem)
 		fr.lruElem = nil
 	}
 	fr.pins++
 }
 
-// newFrameLocked returns a fresh frame, evicting the LRU unpinned page if
-// the pool is at capacity.
-func (b *BufferPool) newFrameLocked() (*frame, error) {
-	if len(b.frames) < b.capacity {
+// newFrameLocked returns a fresh frame, evicting the shard's LRU unpinned
+// page if the shard is at capacity. An unpinned frame's latch is free by
+// the pin-before-latch invariant, so the write-back below never blocks
+// under the shard mutex.
+func (sh *poolShard) newFrameLocked(b *BufferPool) (*frame, error) {
+	if len(sh.frames) < sh.capacity {
 		return &frame{}, nil
 	}
-	elem := b.lru.Front()
+	elem := sh.lru.Front()
 	if elem == nil {
 		return nil, ErrPoolFull
 	}
 	victimID := elem.Value.(PageID)
-	victim := b.frames[victimID]
+	victim := sh.frames[victimID]
 	if victim.dirty {
-		if err := b.writeBackLocked(victim); err != nil {
+		if err := b.writeBack(victim); err != nil {
 			return nil, err
 		}
 	}
-	b.lru.Remove(elem)
-	delete(b.frames, victimID)
+	sh.lru.Remove(elem)
+	delete(sh.frames, victimID)
 	victim.lruElem = nil
 	victim.pins = 0
 	victim.dirty = false
 	return victim, nil
 }
 
-// writeBackLocked flushes one dirty frame, honouring the WAL rule.
-func (b *BufferPool) writeBackLocked(fr *frame) error {
+// writeBack flushes one dirty frame, honouring the WAL rule. The caller
+// must hold either the frame's shard mutex (eviction) or the frame's latch
+// plus a pin (FlushAll) — both exclude any concurrent content writer.
+func (b *BufferPool) writeBack(fr *frame) error {
 	if b.flushLog != nil {
 		if err := b.flushLog(fr.page.LSN()); err != nil {
 			return err
@@ -168,13 +266,19 @@ func (b *BufferPool) writeBackLocked(fr *frame) error {
 }
 
 // FlushAll writes every dirty page back to disk (used by checkpointing and
-// clean shutdown). Pinned pages are flushed too; they stay resident.
+// clean shutdown). Pinned pages are flushed too; they stay resident. Each
+// frame is pinned and latched for its write so no shard mutex is held
+// across I/O or latch waits.
 func (b *BufferPool) FlushAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, fr := range b.frames {
-		if fr.dirty {
-			if err := b.writeBackLocked(fr); err != nil {
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		ids := make([]PageID, 0, len(sh.frames))
+		for id := range sh.frames {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+		for _, id := range ids {
+			if err := b.flushOne(sh, id); err != nil {
 				return err
 			}
 		}
@@ -182,9 +286,41 @@ func (b *BufferPool) FlushAll() error {
 	return b.disk.Sync()
 }
 
+// flushOne pins, latches, and writes back one frame if it is still
+// resident and dirty.
+func (b *BufferPool) flushOne(sh *poolShard, id PageID) error {
+	sh.mu.Lock()
+	fr, ok := sh.frames[id]
+	if !ok || fr.loading || !fr.dirty {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.pinLocked(fr)
+	sh.mu.Unlock()
+
+	fr.latch.Lock()
+	var err error
+	if fr.dirty { // may have been written back while we waited
+		err = b.writeBack(fr)
+	}
+	fr.latch.Unlock()
+
+	sh.mu.Lock()
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lruElem = sh.lru.PushBack(id)
+	}
+	sh.mu.Unlock()
+	return err
+}
+
 // Resident reports how many pages are currently cached (for tests).
 func (b *BufferPool) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }

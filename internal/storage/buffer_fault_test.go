@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestFetchMissFailureLeavesNoDeadFrame is the regression test for the
+// Fetch miss path: when the disk read fails, the loading frame must be
+// deregistered — a dead frame left in the table would serve garbage to the
+// next fetcher and pin a capacity slot forever. After the fault clears,
+// the same page must fetch cleanly.
+func TestFetchMissFailureLeavesNoDeadFrame(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(filepath.Join(dir, "db.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if _, err := disk.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewBufferPool(disk, 2, nil)
+	faults.Arm(faults.NewInjector(1, faults.Trigger{
+		Point: faults.DiskRead, On: 1, Limit: 1, Fault: faults.Fault{},
+	}))
+	_, err = pool.Fetch(0)
+	faults.Disarm()
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("fetch under read fault: got %v, want ErrInjected", err)
+	}
+	if n := pool.Resident(); n != 0 {
+		t.Fatalf("failed read left %d frame(s) registered, want 0", n)
+	}
+
+	// The page must be fetchable once the fault clears, and the failed
+	// attempt must count as a miss both times (no phantom hit on a dead
+	// frame).
+	page, err := pool.Fetch(0)
+	if err != nil {
+		t.Fatalf("fetch after fault cleared: %v", err)
+	}
+	if page.ID != 0 {
+		t.Fatalf("fetched page %d, want 0", page.ID)
+	}
+	pool.Unpin(0, false)
+	hits, misses, _ := pool.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats after failed+retried miss: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+// TestFetchMissFailureWakesConcurrentWaiters covers the concurrent shape
+// of the same bug: fetchers waiting on a loading frame must be woken when
+// the load fails and then retry the read themselves rather than adopting
+// the dead frame.
+func TestFetchMissFailureWakesConcurrentWaiters(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(filepath.Join(dir, "db.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if _, err := disk.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewBufferPool(disk, 4, nil)
+	// Exactly one injected read failure: whichever fetcher loses the race
+	// and issues the first read fails; every other fetcher must still end
+	// up with the real page.
+	faults.Arm(faults.NewInjector(1, faults.Trigger{
+		Point: faults.DiskRead, On: 1, Limit: 1, Fault: faults.Fault{},
+	}))
+	defer faults.Disarm()
+
+	const fetchers = 8
+	var wg sync.WaitGroup
+	failures := make(chan error, fetchers)
+	for i := 0; i < fetchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			page, err := pool.Fetch(0)
+			if err != nil {
+				failures <- err
+				return
+			}
+			pool.Unpin(0, false)
+			_ = page
+		}()
+	}
+	wg.Wait()
+	close(failures)
+
+	nFail := 0
+	for err := range failures {
+		if !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("unexpected fetch error: %v", err)
+		}
+		nFail++
+	}
+	// The loading protocol serializes the disk read, so exactly one
+	// fetcher (the one holding the loading frame when the trigger fired)
+	// sees the failure.
+	if nFail != 1 {
+		t.Fatalf("%d fetchers failed, want exactly 1 (the injected read)", nFail)
+	}
+	if n := pool.Resident(); n != 1 {
+		t.Fatalf("%d frames resident after concurrent fetch, want 1", n)
+	}
+	// The frame that made it in must be usable.
+	if _, err := pool.Fetch(0); err != nil {
+		t.Fatalf("final fetch: %v", err)
+	}
+	pool.Unpin(0, false)
+}

@@ -127,6 +127,14 @@ func (p *Page) Live(i uint16) bool {
 // slot when one exists. It returns ErrNoSpace when the page cannot hold the
 // record even after compaction.
 func (p *Page) Insert(rec []byte) (uint16, error) {
+	return p.InsertSkipping(rec, nil)
+}
+
+// InsertSkipping is Insert with a slot filter: tombstoned slots for which
+// skip returns true are not reused. The store passes its undo-reservation
+// predicate so a slot freed by an uncommitted delete keeps its RID free
+// for that transaction's rollback.
+func (p *Page) InsertSkipping(rec []byte, skip func(uint16) bool) (uint16, error) {
 	if len(rec) > MaxRecordSize {
 		return 0, ErrRecordTooBig
 	}
@@ -134,6 +142,9 @@ func (p *Page) Insert(rec []byte) (uint16, error) {
 	reuse, haveReuse := uint16(0), false
 	for i := uint16(0); i < p.slotCount(); i++ {
 		if off, _ := p.slot(i); off == tombstone {
+			if skip != nil && skip(i) {
+				continue
+			}
 			reuse, haveReuse = i, true
 			break
 		}

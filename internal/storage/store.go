@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -17,9 +19,18 @@ type Options struct {
 	Dir string
 	// PoolSize is the buffer pool capacity in pages (default 64).
 	PoolSize int
+	// PoolShards is the buffer pool's lock-stripe count (default
+	// min(8, PoolSize)); the pool's total capacity is split across shards.
+	PoolShards int
 	// SyncWAL makes every log flush fsync. Durable but slow; benchmarks
 	// and tests leave it off.
 	SyncWAL bool
+	// GroupCommitInterval makes the WAL flusher wait this long after
+	// waking before it collects a commit batch, trading commit latency for
+	// larger batches. Zero (the default) flushes as soon as the flusher is
+	// free; concurrent committers still batch naturally while a force is
+	// in flight.
+	GroupCommitInterval time.Duration
 }
 
 // Errors reported by the store.
@@ -33,12 +44,81 @@ var (
 // transactions (subtransactions) are the paper's future-work extension we
 // implement: a subtransaction's operations merge into its parent on commit
 // and are undone (with CLRs) on abort.
+//
+// The per-txn mutex covers the mutable fields (ops, children, finishing).
+// Operations on one transaction are expected to come from its owning
+// goroutine — the store does not serialize racing writers within a txn,
+// exactly as the upper transaction manager uses it — but the state is
+// still internally consistent under concurrent sibling commits merging
+// into a shared parent.
 type txnState struct {
-	id       uint64
-	parent   uint64 // zero for top-level transactions
-	children int
-	ops      []*LogRecord // forward operations, for runtime undo on abort
-	done     bool
+	id     uint64
+	parent uint64 // zero for top-level transactions
+
+	mu        sync.Mutex
+	children  int
+	ops       []*LogRecord // forward operations, for runtime undo on abort
+	res       []resEntry   // undo reservations, dropped when the txn resolves
+	finishing bool         // a Commit/Abort owns the txn right now
+}
+
+func (t *txnState) addOp(rec *LogRecord) {
+	t.mu.Lock()
+	t.ops = append(t.ops, rec)
+	t.mu.Unlock()
+}
+
+// resEntry is one undo reservation a transaction holds: free bytes (and,
+// for deletes, the tombstoned slot) on a page that rollback may need to
+// restore a before-image in place.
+type resEntry struct {
+	page    PageID
+	bytes   int
+	slot    uint16
+	hasSlot bool
+}
+
+// pageReserve aggregates the undo reservations on one page: bytes no
+// insert may consume and tombstoned slots no insert may reuse.
+type pageReserve struct {
+	bytes int
+	slots map[uint16]int
+}
+
+// unfinish releases finisher ownership after a failed Commit/Abort so the
+// transaction stays active and retryable (the upper layer resets its own
+// status the same way).
+func (t *txnState) unfinish() {
+	t.mu.Lock()
+	t.finishing = false
+	t.mu.Unlock()
+}
+
+// txnShardCount stripes the active-transaction table. Power of two so the
+// modulo compiles to a mask.
+const txnShardCount = 16
+
+// txnShard is one stripe of the active-transaction table.
+type txnShard struct {
+	mu sync.Mutex
+	m  map[uint64]*txnState
+}
+
+// Free-space map classes: pages are bucketed by free bytes / 256 so an
+// insert probes one bucket (plus larger ones) instead of scanning every
+// page. The exact free count still lives in fsm; buckets only narrow the
+// candidate set.
+const (
+	fsShift   = 8
+	fsClasses = PageSize >> fsShift
+)
+
+func fsClass(free int) int {
+	c := free >> fsShift
+	if c >= fsClasses {
+		c = fsClasses - 1
+	}
+	return c
 }
 
 // Store is the storage manager: heap records addressed by RID, buffered
@@ -50,15 +130,34 @@ type txnState struct {
 // manager / transaction manager) must ensure conflicting record accesses
 // are serialized, as Sentinel's nested transaction manager does with its
 // own lock table on top of Exodus.
+//
+// Concurrency (see DESIGN.md §10): there is no store-wide mutex. The
+// active-transaction table is lock-striped, page contents are guarded by
+// per-frame latches in the lock-striped buffer pool, the free-space map
+// has its own leaf mutex, and top-level commit durability goes through the
+// group-commit flusher so no lock is ever held across an fsync.
 type Store struct {
-	mu     sync.Mutex
-	disk   *DiskManager
-	pool   *BufferPool
-	wal    *WAL
-	txns   map[uint64]*txnState
-	next   uint64
-	fsm    map[PageID]int // approximate free bytes per page
-	closed bool
+	disk *DiskManager
+	pool *BufferPool
+	wal  *WAL
+	gc   *groupCommitter
+
+	nextTxn atomic.Uint64
+	shards  [txnShardCount]txnShard
+
+	fsmMu sync.Mutex
+	fsm   map[PageID]int // exact free bytes per page
+	free  [fsClasses]map[PageID]struct{}
+
+	// Undo reservations: space freed by an uncommitted shrink or delete
+	// stays off-limits to other inserters until the freeing transaction
+	// resolves, so rollback can always restore the before-image at its
+	// original RID. Lock order: fsmMu may be held when taking resMu;
+	// resMu is otherwise a leaf.
+	resMu    sync.Mutex
+	reserves map[PageID]*pageReserve
+
+	closed atomic.Bool
 }
 
 // Open opens (creating or recovering as needed) the store in opts.Dir.
@@ -76,12 +175,18 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		disk: disk,
-		wal:  wal,
-		txns: make(map[uint64]*txnState),
-		fsm:  make(map[PageID]int),
+		disk:     disk,
+		wal:      wal,
+		fsm:      make(map[PageID]int),
+		reserves: make(map[PageID]*pageReserve),
 	}
-	s.pool = NewBufferPool(disk, opts.PoolSize, wal.Flush)
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]*txnState)
+	}
+	for i := range s.free {
+		s.free[i] = make(map[PageID]struct{})
+	}
+	s.pool = NewBufferPoolShards(disk, opts.PoolSize, opts.PoolShards, wal.Flush)
 	if err := s.recover(); err != nil {
 		wal.Close()
 		disk.Close()
@@ -92,18 +197,18 @@ func Open(opts Options) (*Store, error) {
 		disk.Close()
 		return nil, err
 	}
+	// The flusher starts only after recovery: recovery's own appends and
+	// flushes are single-threaded and direct.
+	s.gc = newGroupCommitter(wal, opts.GroupCommitInterval)
 	return s, nil
 }
 
 // Close checkpoints and closes the store.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		return ErrStoreClosed
 	}
-	s.closed = true
-	s.mu.Unlock()
+	s.gc.stop()
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -113,20 +218,77 @@ func (s *Store) Close() error {
 	return s.disk.Close()
 }
 
+func (s *Store) txShard(id uint64) *txnShard {
+	return &s.shards[id%txnShardCount]
+}
+
+// getTxn looks up a registered transaction, finished-or-not.
+func (s *Store) getTxn(id uint64) (*txnState, error) {
+	sh := s.txShard(id)
+	sh.mu.Lock()
+	t := sh.m[id]
+	sh.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, id)
+	}
+	return t, nil
+}
+
+// lookupActive returns the transaction if it is still accepting work.
+func (s *Store) lookupActive(id uint64) (*txnState, error) {
+	t, err := s.getTxn(id)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	fin := t.finishing
+	t.mu.Unlock()
+	if fin {
+		return nil, fmt.Errorf("%w: %d", ErrTxnDone, id)
+	}
+	return t, nil
+}
+
+// takeFinisher claims exclusive right to finish the transaction. On any
+// later failure the claim is released with unfinish; on success the state
+// is removed from its shard with forget.
+func (s *Store) takeFinisher(id uint64, op string) (*txnState, error) {
+	t, err := s.getTxn(id)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finishing {
+		return nil, fmt.Errorf("%w: %d", ErrTxnDone, id)
+	}
+	if t.children > 0 {
+		return nil, fmt.Errorf("storage: %s of txn %d with %d active subtransactions", op, id, t.children)
+	}
+	t.finishing = true
+	return t, nil
+}
+
+func (s *Store) forget(t *txnState) {
+	sh := s.txShard(t.id)
+	sh.mu.Lock()
+	delete(sh.m, t.id)
+	sh.mu.Unlock()
+}
+
 // Begin starts a top-level transaction and returns its id.
 func (s *Store) Begin() (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrStoreClosed
 	}
-	s.next++
-	id := s.next
-	s.txns[id] = &txnState{id: id}
+	id := s.nextTxn.Add(1)
 	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id}); err != nil {
-		delete(s.txns, id)
 		return 0, err
 	}
+	sh := s.txShard(id)
+	sh.mu.Lock()
+	sh.m[id] = &txnState{id: id}
+	sh.mu.Unlock()
 	return id, nil
 }
 
@@ -134,74 +296,77 @@ func (s *Store) Begin() (uint64, error) {
 // of the parent if it commits and are rolled back if it aborts; durability
 // is decided solely by the outcome of the top-level ancestor.
 func (s *Store) BeginSub(parent uint64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrStoreClosed
 	}
-	p, err := s.activeTxn(parent)
+	p, err := s.lookupActive(parent)
 	if err != nil {
 		return 0, err
 	}
-	s.next++
-	id := s.next
-	s.txns[id] = &txnState{id: id, parent: parent}
-	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id, Parent: parent}); err != nil {
-		delete(s.txns, id)
-		return 0, err
+	p.mu.Lock()
+	if p.finishing {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrTxnDone, parent)
 	}
 	p.children++
+	p.mu.Unlock()
+	id := s.nextTxn.Add(1)
+	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id, Parent: parent}); err != nil {
+		p.mu.Lock()
+		p.children--
+		p.mu.Unlock()
+		return 0, err
+	}
+	sh := s.txShard(id)
+	sh.mu.Lock()
+	sh.m[id] = &txnState{id: id, parent: parent}
+	sh.mu.Unlock()
 	return id, nil
 }
 
-func (s *Store) activeTxn(id uint64) (*txnState, error) {
-	t, ok := s.txns[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, id)
-	}
-	if t.done {
-		return nil, fmt.Errorf("%w: %d", ErrTxnDone, id)
-	}
-	return t, nil
-}
-
-// Commit finishes the transaction. A top-level commit forces the log and
-// makes the effects durable; a subtransaction commit merges its operations
-// into the parent, deferring durability to the top-level outcome.
+// Commit finishes the transaction. A top-level commit appends its commit
+// record and then waits on the group-commit flusher for durability — one
+// force covers every commit that queued while the previous force was in
+// flight. A subtransaction commit merges its operations into the parent,
+// deferring durability to the top-level outcome.
 func (s *Store) Commit(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, err := s.activeTxn(id)
+	t, err := s.takeFinisher(id, "commit")
 	if err != nil {
 		return err
-	}
-	if t.children > 0 {
-		return fmt.Errorf("storage: commit of txn %d with %d active subtransactions", id, t.children)
 	}
 	lsn, err := s.wal.Append(&LogRecord{Type: RecCommit, Txn: id})
 	if err != nil {
+		t.unfinish()
 		return err
-	}
-	if t.parent == 0 {
-		// Kill window: the commit record exists but has not been forced. A
-		// crash or error here leaves the transaction's outcome indeterminate
-		// — the record may or may not survive — exactly like a commit whose
-		// acknowledgement was lost. Callers (and the torture harness) must
-		// treat a Commit error as "unknown", not "aborted".
-		if err := faults.Check(faults.StoreCommit); err != nil {
-			return err
-		}
 	}
 	if t.parent != 0 {
-		if p := s.txns[t.parent]; p != nil {
+		if p, _ := s.getTxn(t.parent); p != nil {
+			p.mu.Lock()
 			p.ops = append(p.ops, t.ops...)
+			// Reservations move with the operations: the parent's abort
+			// would undo them, so it inherits the right to the space.
+			p.res = append(p.res, t.res...)
 			p.children--
+			p.mu.Unlock()
 		}
-	} else if err := s.wal.Flush(lsn + 1); err != nil {
+		s.forget(t)
+		return nil
+	}
+	// Kill window: the commit record exists but has not been forced. A
+	// crash or error here leaves the transaction's outcome indeterminate
+	// — the record may or may not survive — exactly like a commit whose
+	// acknowledgement was lost. Callers (and the torture harness) must
+	// treat a Commit error as "unknown", not "aborted".
+	if err := faults.Check(faults.StoreCommit); err != nil {
+		t.unfinish()
 		return err
 	}
-	t.done = true
-	delete(s.txns, id)
+	if err := s.gc.waitDurable(lsn + 1); err != nil {
+		t.unfinish()
+		return err
+	}
+	s.releaseUndo(t.res)
+	s.forget(t)
 	return nil
 }
 
@@ -211,43 +376,48 @@ func (s *Store) Commit(id uint64) error {
 // any point leaves recovery enough information to finish or redo the
 // rollback.
 func (s *Store) Abort(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, err := s.activeTxn(id)
+	t, err := s.takeFinisher(id, "abort")
 	if err != nil {
 		return err
 	}
-	if t.children > 0 {
-		return fmt.Errorf("storage: abort of txn %d with %d active subtransactions", id, t.children)
-	}
-	for i := len(t.ops) - 1; i >= 0; i-- {
+	t.mu.Lock()
+	ops := t.ops
+	t.mu.Unlock()
+	for i := len(ops) - 1; i >= 0; i-- {
 		// Kill window: crashes here land mid-rollback, leaving some
 		// operations compensated and some not; recovery must finish the job.
 		if err := faults.Check(faults.StoreAbortUndo); err != nil {
+			t.unfinish()
 			return err
 		}
-		clr := compensationFor(t.ops[i])
+		clr := compensationFor(ops[i])
 		lsn, err := s.wal.Append(clr)
 		if err != nil {
+			t.unfinish()
 			return err
 		}
-		if err := s.undoOp(t.ops[i], lsn); err != nil {
+		if err := s.undoOp(ops[i], lsn); err != nil {
+			t.unfinish()
 			return fmt.Errorf("storage: abort txn %d: %w", id, err)
 		}
 	}
 	abortLSN, err := s.wal.Append(&LogRecord{Type: RecAbort, Txn: id})
 	if err != nil {
+		t.unfinish()
 		return err
 	}
 	if t.parent != 0 {
-		if p := s.txns[t.parent]; p != nil {
+		if p, _ := s.getTxn(t.parent); p != nil {
+			p.mu.Lock()
 			p.children--
+			p.mu.Unlock()
 		}
-	} else if err := s.wal.Flush(abortLSN + 1); err != nil {
+	} else if err := s.gc.waitDurable(abortLSN + 1); err != nil {
+		t.unfinish()
 		return err
 	}
-	t.done = true
-	delete(s.txns, id)
+	s.releaseUndo(t.res)
+	s.forget(t)
 	return nil
 }
 
@@ -311,18 +481,16 @@ func (s *Store) Insert(id uint64, data []byte) (RID, error) {
 	if len(data) > MaxRecordSize {
 		return RID{}, ErrRecordTooBig
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, err := s.activeTxn(id)
+	t, err := s.lookupActive(id)
 	if err != nil {
 		return RID{}, err
 	}
-	page, fresh, err := s.pageWithSpace(id, len(data))
+	page, err := s.pageWithSpace(id, len(data))
 	if err != nil {
 		return RID{}, err
 	}
 	defer s.pool.Unpin(page.ID, true)
-	slot, err := page.Insert(data)
+	slot, err := page.InsertSkipping(data, s.slotFilter(page.ID))
 	if err != nil {
 		return RID{}, err
 	}
@@ -333,47 +501,156 @@ func (s *Store) Insert(id uint64, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	page.SetLSN(lsn)
-	t.ops = append(t.ops, rec)
+	t.addOp(rec)
 	s.noteFree(page)
-	_ = fresh
 	return rid, nil
 }
 
-// pageWithSpace returns a pinned page with at least need bytes free,
-// allocating (and logging) a new page when none qualifies.
-func (s *Store) pageWithSpace(txn uint64, need int) (*Page, bool, error) {
-	for pid, free := range s.fsm {
-		if free >= need+slotEntrySize {
-			page, err := s.pool.Fetch(pid)
-			if err != nil {
-				return nil, false, err
-			}
-			if page.FreeSpace() >= need {
-				return page, false, nil
-			}
-			s.fsm[pid] = page.FreeSpace()
-			s.pool.Unpin(pid, false)
+// pageWithSpace returns a pinned, latched page with at least need bytes
+// free, allocating (and logging) a new page when no candidate qualifies.
+// The free-space buckets give a handful of candidates without scanning
+// every page; the exact free count is re-checked under the page latch
+// since a concurrent insert may have consumed the space meanwhile.
+func (s *Store) pageWithSpace(txn uint64, need int) (*Page, error) {
+	for _, pid := range s.spaceCandidates(need+slotEntrySize, 4) {
+		page, err := s.pool.Fetch(pid)
+		if err != nil {
+			return nil, err
 		}
+		if page.FreeSpace()-s.reservedBytes(pid) >= need {
+			return page, nil
+		}
+		s.noteFree(page)
+		s.pool.Unpin(pid, false)
 	}
 	page, err := s.pool.NewPage()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	rec := &LogRecord{Type: RecAlloc, Txn: txn, RID: RID{Page: page.ID}}
 	lsn, err := s.wal.Append(rec)
 	if err != nil {
 		s.pool.Unpin(page.ID, true)
-		return nil, false, err
+		return nil, err
 	}
 	page.SetLSN(lsn)
-	s.fsm[page.ID] = page.FreeSpace()
-	return page, true, nil
+	s.noteFree(page)
+	return page, nil
+}
+
+// spaceCandidates returns up to max page ids whose recorded free space is
+// at least need, smallest-class first so existing pages fill before new
+// ones are allocated. In the boundary class (the one containing need)
+// membership doesn't imply a fit, so at most max entries are probed there
+// — pages whose leftover is smaller than the request are deliberately left
+// to fragment rather than rescanned on every insert (bounded at one
+// class width, <256 bytes per page). Every page in a higher class fits by
+// construction. Map iteration order spreads concurrent inserters across a
+// class's candidates instead of funnelling them onto one page.
+func (s *Store) spaceCandidates(need, max int) []PageID {
+	var out []PageID
+	s.fsmMu.Lock()
+	s.resMu.Lock()
+	for c := fsClass(need); c < fsClasses && len(out) < max; c++ {
+		probes := 0
+		boundary := c == fsClass(need)
+		for pid := range s.free[c] {
+			avail := s.fsm[pid]
+			if r := s.reserves[pid]; r != nil {
+				avail -= r.bytes
+			}
+			if avail >= need {
+				out = append(out, pid)
+				if len(out) >= max {
+					break
+				}
+			}
+			if probes++; boundary && probes >= max {
+				break
+			}
+		}
+	}
+	s.resMu.Unlock()
+	s.fsmMu.Unlock()
+	return out
+}
+
+// reserveUndo sets aside free bytes (and, for deletes, the tombstoned
+// slot) on a page until t resolves: no other inserter may consume them, so
+// t's rollback can always restore the before-image at its original RID.
+// The caller holds the page latch, so the reservation is in place before
+// any concurrent insert can see the freed space.
+func (s *Store) reserveUndo(t *txnState, e resEntry) {
+	s.resMu.Lock()
+	r := s.reserves[e.page]
+	if r == nil {
+		r = &pageReserve{}
+		s.reserves[e.page] = r
+	}
+	r.bytes += e.bytes
+	if e.hasSlot {
+		if r.slots == nil {
+			r.slots = make(map[uint16]int)
+		}
+		r.slots[e.slot]++
+	}
+	s.resMu.Unlock()
+	t.mu.Lock()
+	t.res = append(t.res, e)
+	t.mu.Unlock()
+}
+
+// releaseUndo drops reservations once their owner resolves: commit makes
+// rollback impossible, and a completed abort has consumed them.
+func (s *Store) releaseUndo(entries []resEntry) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	for _, e := range entries {
+		r := s.reserves[e.page]
+		if r == nil {
+			continue
+		}
+		r.bytes -= e.bytes
+		if e.hasSlot {
+			if r.slots[e.slot]--; r.slots[e.slot] <= 0 {
+				delete(r.slots, e.slot)
+			}
+		}
+		if r.bytes <= 0 && len(r.slots) == 0 {
+			delete(s.reserves, e.page)
+		}
+	}
+}
+
+// reservedBytes returns the undo-reserved byte count on a page.
+func (s *Store) reservedBytes(pid PageID) int {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if r := s.reserves[pid]; r != nil {
+		return r.bytes
+	}
+	return 0
+}
+
+// slotFilter returns the reserved-slot predicate inserts into pid must
+// respect, or nil when the page has no slot reservations.
+func (s *Store) slotFilter(pid PageID) func(uint16) bool {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	r := s.reserves[pid]
+	if r == nil || len(r.slots) == 0 {
+		return nil
+	}
+	return func(slot uint16) bool {
+		s.resMu.Lock()
+		defer s.resMu.Unlock()
+		rr := s.reserves[pid]
+		return rr != nil && rr.slots[slot] > 0
+	}
 }
 
 // Read returns a copy of the record at rid.
 func (s *Store) Read(rid RID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	page, err := s.pool.Fetch(rid.Page)
 	if err != nil {
 		return nil, err
@@ -392,9 +669,7 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 	if len(data) > MaxRecordSize {
 		return RID{}, ErrRecordTooBig
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, err := s.activeTxn(id)
+	t, err := s.lookupActive(id)
 	if err != nil {
 		return RID{}, err
 	}
@@ -408,7 +683,13 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	before := cloneBytes(old)
-	if err := page.Update(rid.Slot, data); err == nil {
+	// An in-place grow may not eat into space reserved for other
+	// transactions' rollbacks; force the move path instead.
+	uerr := ErrNoSpace
+	if grow := len(data) - len(before); grow <= 0 || page.FreeSpace()-s.reservedBytes(rid.Page) >= grow {
+		uerr = page.Update(rid.Slot, data)
+	}
+	if uerr == nil {
 		rec := &LogRecord{Type: RecUpdate, Txn: id, RID: rid, Before: before, After: cloneBytes(data)}
 		lsn, aerr := s.wal.Append(rec)
 		if aerr != nil {
@@ -416,13 +697,16 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 			return RID{}, aerr
 		}
 		page.SetLSN(lsn)
-		t.ops = append(t.ops, rec)
+		t.addOp(rec)
+		if shrink := len(before) - len(data); shrink > 0 {
+			s.reserveUndo(t, resEntry{page: rid.Page, bytes: shrink})
+		}
 		s.noteFree(page)
 		s.pool.Unpin(rid.Page, true)
 		return rid, nil
-	} else if !errors.Is(err, ErrNoSpace) {
+	} else if !errors.Is(uerr, ErrNoSpace) {
 		s.pool.Unpin(rid.Page, false)
-		return RID{}, err
+		return RID{}, uerr
 	}
 	// Record must move: log delete + insert so undo/redo compose.
 	if err := page.Delete(rid.Slot); err != nil {
@@ -436,16 +720,17 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	page.SetLSN(lsn)
-	t.ops = append(t.ops, delRec)
+	t.addOp(delRec)
+	s.reserveUndo(t, resEntry{page: rid.Page, bytes: len(before), slot: rid.Slot, hasSlot: true})
 	s.noteFree(page)
 	s.pool.Unpin(rid.Page, true)
 
-	newPage, _, err := s.pageWithSpace(id, len(data))
+	newPage, err := s.pageWithSpace(id, len(data))
 	if err != nil {
 		return RID{}, err
 	}
 	defer s.pool.Unpin(newPage.ID, true)
-	slot, err := newPage.Insert(data)
+	slot, err := newPage.InsertSkipping(data, s.slotFilter(newPage.ID))
 	if err != nil {
 		return RID{}, err
 	}
@@ -456,16 +741,14 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	newPage.SetLSN(lsn)
-	t.ops = append(t.ops, insRec)
+	t.addOp(insRec)
 	s.noteFree(newPage)
 	return newRID, nil
 }
 
 // Delete removes the record at rid.
 func (s *Store) Delete(id uint64, rid RID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, err := s.activeTxn(id)
+	t, err := s.lookupActive(id)
 	if err != nil {
 		return err
 	}
@@ -488,7 +771,8 @@ func (s *Store) Delete(id uint64, rid RID) error {
 		return err
 	}
 	page.SetLSN(lsn)
-	t.ops = append(t.ops, rec)
+	t.addOp(rec)
+	s.reserveUndo(t, resEntry{page: rid.Page, bytes: len(before), slot: rid.Slot, hasSlot: true})
 	s.noteFree(page)
 	return nil
 }
@@ -497,12 +781,7 @@ func (s *Store) Delete(id uint64, rid RID) error {
 // checkpoint, recovery redo still scans the full log but page LSN checks
 // make pre-checkpoint work a no-op.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	active := make([]uint64, 0, len(s.txns))
-	for id := range s.txns {
-		active = append(active, id)
-	}
-	s.mu.Unlock()
+	active := s.ActiveTxns()
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -510,7 +789,7 @@ func (s *Store) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	return s.wal.Flush(lsn + 1)
+	return s.gc.waitDurable(lsn + 1)
 }
 
 // recover replays the log in the ARIES style: redo every operation —
@@ -537,7 +816,11 @@ func (s *Store) recover() error {
 		return t
 	}
 	var allOps []*LogRecord
+	var maxTxn uint64
 	err := s.wal.Scan(0, func(rec *LogRecord) error {
+		if rec.Txn > maxTxn {
+			maxTxn = rec.Txn
+		}
 		switch rec.Type {
 		case RecBegin:
 			get(rec.Txn).parent = rec.Parent
@@ -562,6 +845,10 @@ func (s *Store) recover() error {
 	if err != nil {
 		return err
 	}
+	// Transaction ids restart above everything the log has seen; reusing a
+	// logged id would merge a new transaction's records into an old one's
+	// on the next recovery.
+	s.nextTxn.Store(maxTxn)
 	// Redo pass: repeat history, including compensations.
 	for _, rec := range allOps {
 		if err := s.redoOp(rec); err != nil {
@@ -685,13 +972,27 @@ func (s *Store) rebuildFSM() error {
 		if err != nil {
 			return err
 		}
-		s.fsm[pid] = page.FreeSpace()
+		s.noteFree(page)
 		s.pool.Unpin(pid, false)
 	}
 	return nil
 }
 
-func (s *Store) noteFree(p *Page) { s.fsm[p.ID] = p.FreeSpace() }
+// noteFree records a page's current free space, moving it between
+// free-space classes. Callers hold the page latch, so the recorded value
+// is exact at the time of the call; fsmMu is a leaf lock.
+func (s *Store) noteFree(p *Page) {
+	free := p.FreeSpace()
+	s.fsmMu.Lock()
+	if old, ok := s.fsm[p.ID]; ok {
+		if fsClass(old) != fsClass(free) {
+			delete(s.free[fsClass(old)], p.ID)
+		}
+	}
+	s.fsm[p.ID] = free
+	s.free[fsClass(free)][p.ID] = struct{}{}
+	s.fsmMu.Unlock()
+}
 
 // ForEachRecord scans every live record in the store — all pages, all live
 // slots — calling fn with each record's RID and a copy of its contents.
@@ -699,9 +1000,7 @@ func (s *Store) noteFree(p *Page) { s.fsm[p.ID] = p.FreeSpace() }
 // the harness full-scans the store and checks committed values are present
 // and loser values absent.
 func (s *Store) ForEachRecord(fn func(RID, []byte) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrStoreClosed
 	}
 	n := s.disk.NumPages()
@@ -729,13 +1028,17 @@ func (s *Store) ForEachRecord(fn func(RID, []byte) error) error {
 	return nil
 }
 
-// ActiveTxns returns the ids of transactions still in flight (tests).
+// ActiveTxns returns the ids of transactions still in flight (tests,
+// checkpointing).
 func (s *Store) ActiveTxns() []uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]uint64, 0, len(s.txns))
-	for id := range s.txns {
-		out = append(out, id)
+	var out []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -746,9 +1049,23 @@ func (s *Store) PoolStats() (hits, misses uint64) {
 	return hits, misses
 }
 
+// GroupCommitStats returns the flusher's force count and the number of
+// waiters those forces covered; waiters/batches is the mean batch size
+// (tests and EXPERIMENTS.md assertions).
+func (s *Store) GroupCommitStats() (batches, waiters uint64) {
+	return s.gc.batches.Load(), s.gc.served.Load()
+}
+
+// WALStats exposes the WAL activity counters (appends, append bytes,
+// flushes, fsyncs) without going through a metrics registry.
+func (s *Store) WALStats() (appends, appendBytes, flushes, fsyncs uint64) {
+	return s.wal.Stats()
+}
+
 // RegisterMetrics wires the storage manager into a metrics registry: WAL
 // append/flush/fsync volume, buffer pool hit/miss/write-back counters with
-// a derived hit ratio, page residency, and in-flight storage transactions.
+// a derived hit ratio, page residency, in-flight storage transactions, and
+// the group-commit batch-size and waiter-latency distributions.
 // All counters are read-through views over the layer's own atomics.
 func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sentinel_storage_wal_appends_total",
@@ -763,6 +1080,18 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sentinel_storage_wal_fsyncs_total",
 		"WAL fsyncs issued (sync mode only).",
 		func() uint64 { _, _, _, fs := s.wal.Stats(); return fs })
+	r.CounterFunc("sentinel_storage_group_commit_batches_total",
+		"Group-commit forces issued on behalf of at least one waiter.",
+		s.gc.batches.Load)
+	r.CounterFunc("sentinel_storage_group_commit_waiters_total",
+		"Committers whose durability wait was covered by a group-commit force.",
+		s.gc.served.Load)
+	s.gc.batchHist.Store(r.Histogram("sentinel_storage_group_commit_batch_size",
+		"Commits covered by one group-commit force.",
+		[]float64{1, 2, 4, 8, 16, 32, 64}))
+	s.gc.waitHist.Store(r.Histogram("sentinel_storage_group_commit_wait_seconds",
+		"Time a committer waited for its group-commit force.",
+		obs.DurationBuckets()))
 	r.CounterFunc("sentinel_storage_buffer_hits_total",
 		"Page lookups served from the buffer pool.",
 		func() uint64 { h, _, _ := s.pool.Stats(); return h })
@@ -790,9 +1119,14 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("sentinel_storage_active_txns",
 		"Storage transactions (all nesting levels) currently in flight.",
 		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(len(s.txns))
+			n := 0
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				n += len(sh.m)
+				sh.mu.Unlock()
+			}
+			return float64(n)
 		})
 }
 

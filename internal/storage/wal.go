@@ -76,24 +76,37 @@ var ErrLogCorrupted = errors.New("storage: log record failed checksum")
 
 // ErrWALSealed is returned by Append and Flush after any append, flush, or
 // fsync failure. A failed write leaves the log in an unknowable state — the
-// bufio buffer may be partially drained, and after a failed fsync the kernel
+// in-memory buffer may be partially drained, and after a failed fsync the kernel
 // may have dropped dirty log pages while clearing the error (the
 // "fsyncgate" class of bugs) — so the WAL fails fast and stays failed
 // rather than silently retrying over possibly-lost bytes.
 var ErrWALSealed = errors.New("storage: WAL sealed after write failure")
 
 // WAL is the write-ahead log: an append-only file of checksummed records.
-// Appends are buffered; Flush forces the buffer (and optionally the OS
-// cache) so that every record up to a given LSN is durable before the
-// corresponding data page is written (the WAL rule).
+// Appends are buffered in memory; Flush forces the buffer to the file (and
+// optionally the OS cache) so that every record up to a given LSN is
+// durable before the corresponding data page is written (the WAL rule).
+//
+// Two locks split the appender and flusher paths so group commit can
+// pipeline: mu guards the in-memory state (buffer, offsets, seal) and is
+// held only for memcpy-scale work; flushMu serializes the file write and
+// fsync and is held across the I/O. An append never waits on an fsync in
+// progress — it lands in the buffer and is covered by the next force —
+// which is what lets the group-commit flusher build real batches while a
+// force is in flight.
 type WAL struct {
 	mu       sync.Mutex
-	f        *os.File
-	w        *bufio.Writer
+	buf      []byte // appended records not yet handed to the OS
+	spare    []byte // recycled flush buffer
 	nextLSN  uint64 // offset where the next record will be written
-	flushed  uint64 // all records below this offset are in the OS/file
+	flushed  uint64 // all records below this offset are durable (per syncMode)
 	syncMode bool   // fsync on every Flush
 	sealErr  error  // first write failure; non-nil seals the WAL (fail-fast)
+
+	flushMu    sync.Mutex // serializes file write + fsync; never held under mu
+	f          *os.File
+	allocated  int64 // file bytes reserved ahead of the append point (flushMu)
+	noPrealloc bool  // preallocation failed once; don't retry (flushMu)
 
 	// Always-on activity counters, readable without the mutex.
 	appends     atomic.Uint64 // records appended
@@ -136,12 +149,36 @@ func OpenWAL(path string, sync bool) (*WAL, error) {
 		return nil, fmt.Errorf("storage: truncate torn log tail: %w", err)
 	}
 	return &WAL{
-		f:        f,
-		w:        bufio.NewWriterSize(f, 1<<16),
-		nextLSN:  uint64(end),
-		flushed:  uint64(end),
-		syncMode: sync,
+		f:         f,
+		allocated: end,
+		nextLSN:   uint64(end),
+		flushed:   uint64(end),
+		syncMode:  sync,
 	}, nil
+}
+
+// preallocChunk is how far ahead of the append point the WAL reserves file
+// space. Within a reserved region an append changes neither the file size
+// nor the extent tree, so the per-batch fdatasync commits data only — no
+// journal transaction — which is a large fraction of the force cost on a
+// journaling filesystem.
+const preallocChunk = 1 << 22 // 4 MiB
+
+// preallocate ensures the file has reserved space through upTo, growing in
+// preallocChunk steps. Reservation is purely an optimization: recovery
+// treats the zero-filled tail beyond the last intact record as torn (a zero
+// length/CRC header fails record parsing), so a failure here just disables
+// preallocation rather than failing the flush. Caller holds flushMu.
+func (w *WAL) preallocate(upTo int64) {
+	if w.noPrealloc || upTo <= w.allocated {
+		return
+	}
+	n := ((upTo-w.allocated)/preallocChunk + 1) * preallocChunk
+	if err := allocateFile(w.f, w.allocated, n); err != nil {
+		w.noPrealloc = true // e.g. filesystem without fallocate support
+		return
+	}
+	w.allocated += n
 }
 
 // scanEnd walks the log validating checksums and returns the offset just
@@ -160,8 +197,11 @@ func scanEnd(f *os.File, size int64) (int64, error) {
 }
 
 // Append adds rec to the log and returns its LSN. The record is buffered;
-// call Flush to make it durable.
+// call Flush to make it durable. The frame is marshalled before the mutex
+// is taken, so concurrent appenders only serialize on the buffer write
+// itself.
 func (w *WAL) Append(rec *LogRecord) (uint64, error) {
+	frame := marshalRecord(rec)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.sealErr != nil {
@@ -173,59 +213,101 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	}
 	lsn := w.nextLSN
 	rec.LSN = lsn
-	n, err := writeRecord(w.w, rec)
-	if err != nil {
-		// A partial frame may now sit in the buffer; seal so no later
-		// record can be appended after a torn one.
-		w.sealErr = err
-		return 0, fmt.Errorf("storage: append log record: %w", err)
-	}
-	w.nextLSN += uint64(n)
+	w.buf = append(w.buf, frame...)
+	w.nextLSN += uint64(len(frame))
 	w.appends.Add(1)
-	w.appendBytes.Add(uint64(n))
+	w.appendBytes.Add(uint64(len(frame)))
 	return lsn, nil
 }
 
 // Flush forces every appended record with LSN < upTo (use ^uint64(0) for
 // "everything") out of the buffer, fsyncing when the WAL was opened in sync
-// mode.
+// mode. The buffer is detached under mu and written under flushMu only, so
+// concurrent appenders keep appending while the force — fsync included —
+// is in flight.
 func (w *WAL) Flush(upTo uint64) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.sealErr != nil {
-		return fmt.Errorf("%w: %w", ErrWALSealed, w.sealErr)
+		err := w.sealErr
+		w.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrWALSealed, err)
 	}
-	if upTo != ^uint64(0) && upTo < w.flushed {
+	// Re-checked after taking flushMu: a force we queued behind may have
+	// already covered us.
+	if upTo != ^uint64(0) && upTo <= w.flushed {
+		w.mu.Unlock()
 		return nil
 	}
+	buf := w.buf
+	w.buf = w.spare[:0]
+	w.spare = nil
+	target := w.nextLSN
+	w.mu.Unlock()
+
 	err := faults.Check(faults.WALFlush)
-	if err == nil {
-		err = w.w.Flush()
+	if err == nil && len(buf) > 0 {
+		w.preallocate(int64(target))
+		_, err = w.f.Write(buf)
 	}
 	if err != nil {
-		w.sealErr = err
+		// The file may hold a torn frame now; seal so no later record can
+		// be appended after it. The detached buffer is dropped — its bytes
+		// are exactly the tail recovery will treat as lost.
+		w.seal(err)
 		return fmt.Errorf("storage: flush log: %w", err)
 	}
 	w.flushes.Add(1)
 	if w.syncMode {
 		err := faults.Check(faults.WALFsync)
 		if err == nil {
-			err = w.f.Sync()
+			err = syncFile(w.f)
 		}
 		if err != nil {
 			// Sticky-fatal: after a failed fsync the kernel may have
 			// dropped the dirty pages and cleared the error, so a retry
 			// would "succeed" without the data ever reaching disk.
-			w.sealErr = err
+			w.seal(err)
 			return fmt.Errorf("storage: sync log: %w", err)
 		}
 		w.fsyncs.Add(1)
 	}
+	w.mu.Lock()
 	// Advance the durability watermark only after the flush — and, in sync
 	// mode, the fsync — actually succeeded. Advancing it earlier would let
 	// a failed fsync leave callers believing their records are durable.
-	w.flushed = w.nextLSN
+	w.flushed = target
+	if w.spare == nil {
+		w.spare = buf[:0] // recycle the drained buffer for the next force
+	}
+	w.mu.Unlock()
 	return nil
+}
+
+// Durable reports whether every record below upTo is already flushed (and
+// fsynced when the WAL is in sync mode). A sealed WAL reports its sealing
+// error. The group committer uses this as its fast path: a waiter whose
+// records were covered by a previous batch never queues at all.
+func (w *WAL) Durable(upTo uint64) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sealErr != nil {
+		return false, fmt.Errorf("%w: %w", ErrWALSealed, w.sealErr)
+	}
+	return upTo <= w.flushed, nil
+}
+
+// seal records err as the WAL's sealing failure if it is not already
+// sealed. The group-commit flusher uses it when an injected crash kills a
+// flush mid-batch: the "process" died with the buffer state unknowable, so
+// nothing may append or flush afterwards.
+func (w *WAL) seal(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sealErr == nil {
+		w.sealErr = err
+	}
 }
 
 // NextLSN returns the LSN the next record will receive.
@@ -239,8 +321,16 @@ func (w *WAL) NextLSN() uint64 {
 // final flush fails (or the WAL is sealed); the first error wins.
 func (w *WAL) Close() error {
 	flushErr := w.Flush(^uint64(0))
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if flushErr == nil && w.allocated > int64(w.flushed) {
+		// Drop the preallocated tail so a cleanly closed log ends at its
+		// last record. Best-effort: recovery treats a zero tail as torn.
+		_ = w.f.Truncate(int64(w.flushed))
+		w.allocated = int64(w.flushed)
+	}
 	if err := w.f.Close(); err != nil && flushErr == nil {
 		return err
 	}
@@ -293,8 +383,12 @@ func (w *WAL) Scan(from uint64, fn func(*LogRecord) error) error {
 //	u8 type | u8 clr | u64 txn | u64 parent | u32 page | u16 slot |
 //	u32 len(before) | before | u32 len(after) | after |
 //	u32 len(active) | active u64s
-func writeRecord(w io.Writer, rec *LogRecord) (int, error) {
-	payload := make([]byte, 0, 32+len(rec.Before)+len(rec.After)+8*len(rec.Active))
+//
+// marshalRecord builds the full frame (header + payload) in memory; the
+// LSN is an offset assigned at append time and is not part of the frame,
+// so marshalling can happen outside the WAL mutex.
+func marshalRecord(rec *LogRecord) []byte {
+	payload := make([]byte, 8, 8+32+len(rec.Before)+len(rec.After)+8*len(rec.Active))
 	payload = append(payload, byte(rec.Type))
 	if rec.CLR {
 		payload = append(payload, 1)
@@ -314,16 +408,10 @@ func writeRecord(w io.Writer, rec *LogRecord) (int, error) {
 		payload = binary.LittleEndian.AppendUint64(payload, t)
 	}
 
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
-	}
-	return len(hdr) + len(payload), nil
+	body := payload[8:]
+	binary.LittleEndian.PutUint32(payload[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(payload[4:], crc32.ChecksumIEEE(body))
+	return payload
 }
 
 func readRecord(r io.Reader, lsn uint64) (*LogRecord, int64, error) {

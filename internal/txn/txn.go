@@ -377,10 +377,15 @@ func (t *Txn) Abort() error {
 	t.mu.Unlock()
 
 	m := t.mgr
+	var storeErr error
 	if m.store != nil {
-		if err := m.store.Abort(t.id); err != nil {
-			return err
-		}
+		// A failed storage rollback must not leak locks: the transaction
+		// is finished for every caller (status is already Aborted), so
+		// keeping its locks would wedge every waiter forever. The log has
+		// no abort record yet, so recovery completes the rollback on the
+		// next open; here the error is reported after the lock state and
+		// manager bookkeeping are cleaned up.
+		storeErr = m.store.Abort(t.id)
 	}
 	m.locks.ReleaseAll(lockmgr.TxnID(t.id))
 	if t.parent != nil {
@@ -392,7 +397,7 @@ func (t *Txn) Abort() error {
 	}
 	m.forget(t.id)
 	runFinishers(finishers, Aborted)
-	return nil
+	return storeErr
 }
 
 func (t *Txn) takeFinishersLocked() []func(Status) {

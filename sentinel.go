@@ -113,8 +113,18 @@ type Options struct {
 	Dir string
 	// PoolSize is the buffer pool size in pages (default 64).
 	PoolSize int
+	// PoolShards is the buffer pool's lock-stripe count (0 = default,
+	// min(8, PoolSize)). Negative values are rejected by Open.
+	PoolShards int
 	// SyncWAL fsyncs the log on every flush (durable, slower).
 	SyncWAL bool
+	// GroupCommitInterval widens the group-commit batching window: the WAL
+	// flusher waits this long after waking before forcing a commit batch,
+	// trading single-commit latency for fewer fsyncs under load. 0 (the
+	// default) forces as soon as the flusher is free — concurrent
+	// committers still batch naturally. Negative values are rejected by
+	// Open.
+	GroupCommitInterval time.Duration
 	// Workers bounds concurrent rule execution within a priority class
 	// (default 4).
 	Workers int
@@ -199,6 +209,12 @@ func validateOptions(opts Options) error {
 	if opts.PoolSize < 0 {
 		return fmt.Errorf("sentinel: PoolSize must be >= 0, got %d", opts.PoolSize)
 	}
+	if opts.PoolShards < 0 {
+		return fmt.Errorf("sentinel: PoolShards must be >= 0, got %d", opts.PoolShards)
+	}
+	if opts.GroupCommitInterval < 0 {
+		return fmt.Errorf("sentinel: GroupCommitInterval must be >= 0, got %v", opts.GroupCommitInterval)
+	}
 	if opts.Workers < 0 {
 		return fmt.Errorf("sentinel: Workers must be >= 0, got %d", opts.Workers)
 	}
@@ -230,9 +246,11 @@ func Open(opts Options) (*Database, error) {
 	if opts.Dir != "" {
 		var err error
 		store, err = storage.Open(storage.Options{
-			Dir:      opts.Dir,
-			PoolSize: opts.PoolSize,
-			SyncWAL:  opts.SyncWAL,
+			Dir:                 opts.Dir,
+			PoolSize:            opts.PoolSize,
+			PoolShards:          opts.PoolShards,
+			SyncWAL:             opts.SyncWAL,
+			GroupCommitInterval: opts.GroupCommitInterval,
 		})
 		if err != nil {
 			return nil, err

@@ -65,7 +65,17 @@ rule Nested(e2, true, nested);
 		t.Fatal(err)
 	}
 
-	const workers = 4
+	// SENTINEL_SOAK_WRITERS widens the concurrent-writer fan-out (default
+	// 4) to stress the parallel storage commit pipeline; the accounting
+	// below scales with it.
+	workers := 4
+	if s := os.Getenv("SENTINEL_SOAK_WRITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("SENTINEL_SOAK_WRITERS=%q: want a positive integer", s)
+		}
+		workers = n
+	}
 	const txnsPerWorker = 25
 	const maxSellsPerTxn = 8
 	seed := soakSeed(t)
