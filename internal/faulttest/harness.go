@@ -253,15 +253,36 @@ func runWorkload(rng *rand.Rand, seed int64, st *storage.Store) (exp *Expectatio
 
 // Verify full-scans the recovered store and checks the expectation: every
 // committed value present, every loser value absent, every interrupted
-// commit all-or-nothing.
+// commit all-or-nothing. The scan runs twice — once through the snapshot
+// path (ForEachRecord) and once unfiltered (ForEachRecordLatest) — and the
+// two must agree exactly: right after recovery every surviving record is
+// frozen, so no version chain may make the MVCC view diverge from the raw
+// page state.
 func Verify(st *storage.Store, exp *Expectation) error {
 	found := map[string]bool{}
-	err := st.ForEachRecord(func(_ storage.RID, data []byte) error {
+	snap := map[storage.RID]string{}
+	err := st.ForEachRecord(func(rid storage.RID, data []byte) error {
 		found[string(data)] = true
+		snap[rid] = string(data)
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("scan: %w", err)
+	}
+	latest := map[storage.RID]string{}
+	if err := st.ForEachRecordLatest(func(rid storage.RID, data []byte) error {
+		latest[rid] = string(data)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("latest scan: %w", err)
+	}
+	if len(snap) != len(latest) {
+		return fmt.Errorf("invariant: snapshot scan sees %d records, latest scan %d", len(snap), len(latest))
+	}
+	for rid, v := range latest {
+		if sv, ok := snap[rid]; !ok || sv != v {
+			return fmt.Errorf("invariant: scan divergence at %v after recovery: snapshot %q latest %q", rid, sv, v)
+		}
 	}
 	for v := range exp.Present {
 		if !found[v] {

@@ -87,7 +87,19 @@ type Manager struct {
 	waits     atomic.Uint64 // requests that had to queue
 	deadlocks atomic.Uint64 // requests aborted to break a cycle
 	timeouts  atomic.Uint64 // requests abandoned after the wait bound
+	bypasses  atomic.Uint64 // requests skipped by the MVCC snapshot read path
 	waitHist  *obs.Histogram
+}
+
+// NoteBypass counts a lock request that the snapshot read path satisfied
+// without touching the lock table at all.
+func (m *Manager) NoteBypass() { m.bypasses.Add(1) }
+
+// Stats returns the request-outcome counters: immediate grants, queued
+// waits, deadlock aborts, timeout abandons, and snapshot-path bypasses.
+func (m *Manager) Stats() (grants, waits, deadlocks, timeouts, bypasses uint64) {
+	return m.grants.Load(), m.waits.Load(), m.deadlocks.Load(),
+		m.timeouts.Load(), m.bypasses.Load()
 }
 
 // RegisterMetrics wires the lock manager into a metrics registry: request
@@ -102,6 +114,8 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 		"Lock requests aborted to break a waits-for cycle.", m.deadlocks.Load)
 	r.CounterFunc("sentinel_lock_timeouts_total",
 		"Lock waits abandoned after the timeout bound.", m.timeouts.Load)
+	r.CounterFunc("sentinel_lock_bypasses_total",
+		"Lock requests skipped entirely by the MVCC snapshot read path.", m.bypasses.Load)
 	r.GaugeFunc("sentinel_lock_resources",
 		"Resources with live lock state (holders or waiters).",
 		func() float64 {
@@ -320,6 +334,24 @@ func (m *Manager) cycleLocked(start TxnID) bool {
 	return dfs(start)
 }
 
+// pruneWaitEdgesLocked drops stale wait-for edges to departed from every
+// request still queued on rl. A transaction blocks on one resource at a
+// time, so all of a queued waiter's edges refer to rl's holders and its
+// earlier queue entries; once departed neither holds rl nor sits in the
+// queue ahead, an edge to it is dead — left in place it surfaces as a
+// phantom deadlock when departed later queues behind that same waiter.
+func (m *Manager) pruneWaitEdgesLocked(rl *resourceLock, departed TxnID) {
+	if _, stillHolds := rl.holders[departed]; stillHolds {
+		return
+	}
+	for _, q := range rl.queue {
+		if q.owner == departed {
+			return // still queued: later entries' edges remain live
+		}
+		delete(m.waitsFor[q.owner], departed)
+	}
+}
+
 func (m *Manager) removeWaiterLocked(rl *resourceLock, w *waiter) {
 	for i, q := range rl.queue {
 		if q == w {
@@ -329,6 +361,7 @@ func (m *Manager) removeWaiterLocked(rl *resourceLock, w *waiter) {
 	}
 	delete(m.waitsFor, w.owner)
 	m.promoteLocked(rl)
+	m.pruneWaitEdgesLocked(rl, w.owner)
 }
 
 // promoteLocked grants as many queued requests as compatibility allows,
@@ -366,6 +399,7 @@ func (m *Manager) Unlock(owner TxnID, resource string) error {
 	}
 	delete(rl.holders, owner)
 	m.promoteLocked(rl)
+	m.pruneWaitEdgesLocked(rl, owner)
 	m.gcLocked(resource, rl)
 	return nil
 }
@@ -378,6 +412,7 @@ func (m *Manager) ReleaseAll(owner TxnID) {
 		if _, ok := rl.holders[owner]; ok {
 			delete(rl.holders, owner)
 			m.promoteLocked(rl)
+			m.pruneWaitEdgesLocked(rl, owner)
 			m.gcLocked(name, rl)
 		}
 	}
@@ -396,6 +431,18 @@ func (m *Manager) Inherit(child, parent TxnID) {
 				rl.holders[parent] = mode
 			}
 			m.promoteLocked(rl)
+			// Whoever still queues behind the transferred hold now waits
+			// for the parent, not the departed child.
+			for _, q := range rl.queue {
+				edges := m.waitsFor[q.owner]
+				if edges == nil || !edges[child] {
+					continue
+				}
+				delete(edges, child)
+				if hm, held := rl.holders[parent]; held && !compatible(hm, q.mode) && !m.isAncestor(parent, q.owner) {
+					edges[parent] = true
+				}
+			}
 			m.gcLocked(name, rl)
 		}
 	}

@@ -304,6 +304,13 @@ type Manager struct {
 	// counted, and reported as ErrCascadeShed — instead of recursing
 	// without bound. Zero means unlimited.
 	MaxCascade int
+	// SnapshotConditions evaluates rule conditions against an MVCC
+	// snapshot of the triggering transaction's state (committed state plus
+	// the family's own writes) instead of taking Shared locks per read.
+	// Conditions become read-only under it: a condition that writes gets
+	// txn.ErrReadOnly. The facade defaults it on via
+	// sentinel.Options.SnapshotConditions.
+	SnapshotConditions bool
 
 	// OnError receives errors from rule executions (aborted actions,
 	// subtransaction failures). Default: discard.
@@ -757,7 +764,21 @@ func (m *Manager) runBody(r *Rule, exec *Execution) (ran bool, err error) {
 	ok := true
 	if r.cond != nil {
 		m.det.SetMasked(true)
-		ok = r.cond(exec)
+		if m.SnapshotConditions {
+			// Lock-free condition evaluation: reads see a snapshot of
+			// committed state plus the triggering family's own writes, so
+			// the condition neither blocks on nor blocks the commit
+			// pipeline. The snapshot lives exactly as long as the
+			// evaluation; the deferred release keeps a panicking condition
+			// from pinning the GC horizon forever.
+			func() {
+				release, _ := exec.Txn.UseSnapshot()
+				defer release()
+				ok = r.cond(exec)
+			}()
+		} else {
+			ok = r.cond(exec)
+		}
 		m.det.SetMasked(false)
 	}
 	var actErr error

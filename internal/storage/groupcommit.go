@@ -186,7 +186,12 @@ func (g *groupCommitter) gather() {
 	// really is everyone) two consecutive quiet yields force the batch —
 	// one yield alone can land in the gap between a committer's release
 	// and its next append, and losing that straggler to the next batch
-	// costs a whole fsync.
+	// costs a whole fsync. A queue quiet for many consecutive yields
+	// forces even below target: the committer population shrank (some
+	// writers left, or are blocked on locks), and snapshot readers or
+	// other non-committing goroutines can keep the run queue busy
+	// indefinitely — without this cut every batch would burn the full
+	// yield budget against them.
 	target := g.lastBatch
 	g.mu.Lock()
 	prev := len(g.waiters)
@@ -198,7 +203,7 @@ func (g *groupCommitter) gather() {
 		cur := len(g.waiters)
 		g.mu.Unlock()
 		if cur == prev {
-			if quiet++; quiet >= 2 && cur >= target {
+			if quiet++; quiet >= 2 && cur >= target || quiet >= 8 {
 				return
 			}
 		} else {

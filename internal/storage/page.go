@@ -43,17 +43,23 @@ var (
 //	[0:8)   pageLSN  — LSN of the last log record applied to this page
 //	[8:10)  slotCount
 //	[10:12) freeUpper — offset where record space begins (records grow down)
-//	[12:...) slot array: 4 bytes per slot = offset uint16, length uint16
+//	[12:...) slot array: 12 bytes per slot = offset uint16, length uint16,
+//	         xmin uint64 (creator transaction of the current record)
 //	[freeUpper:PageSize) record bytes
 //
 // A slot with offset == tombstone marks a deleted record whose slot number
-// may be reused.
+// may be reused. The xmin stamp is raw: it holds the transaction id that
+// wrote the current record, not a commit timestamp — readers resolve it
+// through the store's commit-timestamp table, and an id the table no
+// longer knows is "frozen" (committed before every live snapshot). An
+// xmin of zero is always frozen; Insert fills it with zero and the store
+// stamps the real writer while still holding the page latch.
 const (
 	pageLSNOff    = 0
 	slotCountOff  = 8
 	freeUpperOff  = 10
 	slotArrayOff  = 12
-	slotEntrySize = 4
+	slotEntrySize = 12
 	tombstone     = 0xFFFF
 )
 
@@ -95,10 +101,26 @@ func (p *Page) slot(i uint16) (off, length uint16) {
 	return binary.LittleEndian.Uint16(p.Data[base:]), binary.LittleEndian.Uint16(p.Data[base+2:])
 }
 
+// setSlot writes the offset and length of slot i, leaving the xmin stamp
+// untouched — relocation and compaction move record bytes without changing
+// who created the record.
 func (p *Page) setSlot(i, off, length uint16) {
 	base := slotArrayOff + int(i)*slotEntrySize
 	binary.LittleEndian.PutUint16(p.Data[base:], off)
 	binary.LittleEndian.PutUint16(p.Data[base+2:], length)
+}
+
+// Xmin returns the creator-transaction stamp of slot i (zero = frozen,
+// i.e. visible to every snapshot).
+func (p *Page) Xmin(i uint16) uint64 {
+	base := slotArrayOff + int(i)*slotEntrySize
+	return binary.LittleEndian.Uint64(p.Data[base+4:])
+}
+
+// SetXmin stamps slot i with its creator transaction.
+func (p *Page) SetXmin(i uint16, xmin uint64) {
+	base := slotArrayOff + int(i)*slotEntrySize
+	binary.LittleEndian.PutUint64(p.Data[base+4:], xmin)
 }
 
 // freeSpace returns the bytes available for a new record, accounting for a
@@ -161,6 +183,7 @@ func (p *Page) InsertSkipping(rec []byte, skip func(uint16) bool) (uint16, error
 		p.setSlotCount(slot + 1)
 	}
 	p.place(slot, rec)
+	p.SetXmin(slot, 0)
 	return slot, nil
 }
 
@@ -190,9 +213,11 @@ func (p *Page) InsertAt(slot uint16, rec []byte) error {
 		p.setSlotCount(old + grow)
 		for i := old; i < old+grow; i++ {
 			p.setSlot(i, tombstone, 0)
+			p.SetXmin(i, 0)
 		}
 	}
 	p.place(slot, rec)
+	p.SetXmin(slot, 0)
 	return nil
 }
 

@@ -31,6 +31,12 @@ type Options struct {
 	// free; concurrent committers still batch naturally while a force is
 	// in flight.
 	GroupCommitInterval time.Duration
+	// VersionGCInterval is the cadence of the background version garbage
+	// collector that truncates MVCC chains to what the oldest live
+	// snapshot still needs. Zero means the default (one second); a
+	// negative value disables the background pass (Checkpoint and
+	// opportunistic pruning still collect).
+	VersionGCInterval time.Duration
 }
 
 // Errors reported by the store.
@@ -59,6 +65,7 @@ type txnState struct {
 	children  int
 	ops       []*LogRecord // forward operations, for runtime undo on abort
 	res       []resEntry   // undo reservations, dropped when the txn resolves
+	merged    []uint64     // committed descendants riding to the top-level outcome
 	finishing bool         // a Commit/Abort owns the txn right now
 }
 
@@ -157,6 +164,30 @@ type Store struct {
 	resMu    sync.Mutex
 	reserves map[PageID]*pageReserve
 
+	// MVCC state (mvcc.go): the commit-timestamp clock, the table
+	// resolving raw txn stamps to commit timestamps, forwarding for
+	// committed subtransactions awaiting their root's outcome, the
+	// per-RID version chains, and the snapshot registry. tsMu is a leaf
+	// lock; it is taken under page latches and chain shard mutexes.
+	commitTS   atomic.Uint64
+	tsMu       sync.Mutex
+	cts        map[uint64]uint64 // txn id -> commit timestamp
+	mergedInto map[uint64]uint64 // committed sub -> parent it merged into
+
+	chains    [chainShardCount]chainShard
+	snaps     [snapShardCount]snapShard
+	snapSeq   atomic.Uint64
+	gcHorizon atomic.Uint64 // last horizon computed by VersionGC
+
+	readSnapshotN atomic.Uint64
+	readLockedN   atomic.Uint64
+	gcReclaimed   atomic.Uint64
+	chainLenHist  atomic.Pointer[obs.Histogram]
+
+	vgcTick *time.Ticker
+	vgcQuit chan struct{}
+	vgcDone chan struct{}
+
 	closed atomic.Bool
 }
 
@@ -175,16 +206,24 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		disk:     disk,
-		wal:      wal,
-		fsm:      make(map[PageID]int),
-		reserves: make(map[PageID]*pageReserve),
+		disk:       disk,
+		wal:        wal,
+		fsm:        make(map[PageID]int),
+		reserves:   make(map[PageID]*pageReserve),
+		cts:        make(map[uint64]uint64),
+		mergedInto: make(map[uint64]uint64),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[uint64]*txnState)
 	}
 	for i := range s.free {
 		s.free[i] = make(map[PageID]struct{})
+	}
+	for i := range s.chains {
+		s.chains[i].m = make(map[RID][]chainEntry)
+	}
+	for i := range s.snaps {
+		s.snaps[i].m = make(map[uint64]int)
 	}
 	s.pool = NewBufferPoolShards(disk, opts.PoolSize, opts.PoolShards, wal.Flush)
 	if err := s.recover(); err != nil {
@@ -200,6 +239,15 @@ func Open(opts Options) (*Store, error) {
 	// The flusher starts only after recovery: recovery's own appends and
 	// flushes are single-threaded and direct.
 	s.gc = newGroupCommitter(wal, opts.GroupCommitInterval)
+	if opts.VersionGCInterval == 0 {
+		opts.VersionGCInterval = time.Second
+	}
+	if opts.VersionGCInterval > 0 {
+		s.vgcTick = time.NewTicker(opts.VersionGCInterval)
+		s.vgcQuit = make(chan struct{})
+		s.vgcDone = make(chan struct{})
+		go s.versionGCLoop()
+	}
 	return s, nil
 }
 
@@ -207,6 +255,11 @@ func Open(opts Options) (*Store, error) {
 func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return ErrStoreClosed
+	}
+	if s.vgcTick != nil {
+		s.vgcTick.Stop()
+		close(s.vgcQuit)
+		<-s.vgcDone
 	}
 	s.gc.stop()
 	if err := s.pool.FlushAll(); err != nil {
@@ -346,9 +399,19 @@ func (s *Store) Commit(id uint64) error {
 			// Reservations move with the operations: the parent's abort
 			// would undo them, so it inherits the right to the space.
 			p.res = append(p.res, t.res...)
+			// The sub's id (and those of its own committed descendants)
+			// ride to the top-level outcome: the root's commit stamps them
+			// all with its commit timestamp.
+			p.merged = append(append(p.merged, t.id), t.merged...)
 			p.children--
 			p.mu.Unlock()
 		}
+		// Forwarding entry before forget: once the sub leaves the active
+		// table, snapshot readers must resolve its stamps through the
+		// parent's (eventual) outcome instead of treating them as frozen.
+		s.tsMu.Lock()
+		s.mergedInto[t.id] = t.parent
+		s.tsMu.Unlock()
 		s.forget(t)
 		return nil
 	}
@@ -365,9 +428,33 @@ func (s *Store) Commit(id uint64) error {
 		t.unfinish()
 		return err
 	}
+	s.assignCommitTS(t)
 	s.releaseUndo(t.res)
 	s.forget(t)
 	return nil
+}
+
+// assignCommitTS stamps a durably committed top-level transaction (and
+// every subtransaction that merged into it) with the next commit
+// timestamp. Install-before-advance, under tsMu: the table entries exist
+// before the clock value that makes them relevant is published, so a
+// snapshot reader can always resolve every transaction at or below its
+// timestamp. Runs after the group-commit force and before forget.
+func (s *Store) assignCommitTS(t *txnState) {
+	s.tsMu.Lock()
+	ts := s.commitTS.Load() + 1
+	s.cts[t.id] = ts
+	for _, m := range t.merged {
+		s.cts[m] = ts
+		delete(s.mergedInto, m)
+	}
+	s.commitTS.Store(ts)
+	s.tsMu.Unlock()
+	// Version-stamp WAL record: a recovery hint keeping the clock
+	// monotone across restarts. Buffered only — the commit's durability
+	// was decided by the force above — so an append error (sealed WAL)
+	// changes nothing and is ignored.
+	_, _ = s.wal.Append(&LogRecord{Type: RecCommitTS, Txn: t.id, TS: ts})
 }
 
 // Abort rolls back every operation of the transaction. Each undo step is
@@ -416,6 +503,16 @@ func (s *Store) Abort(id uint64) error {
 		t.unfinish()
 		return err
 	}
+	// Committed descendants die with this abort; their effects were just
+	// undone, so drop their forwarding entries (an id with no entry
+	// resolves frozen, but none of its writes survive to be resolved).
+	if len(t.merged) > 0 {
+		s.tsMu.Lock()
+		for _, m := range t.merged {
+			delete(s.mergedInto, m)
+		}
+		s.tsMu.Unlock()
+	}
 	s.releaseUndo(t.res)
 	s.forget(t)
 	return nil
@@ -452,12 +549,18 @@ func (s *Store) undoOp(rec *LogRecord, stampLSN uint64) error {
 				return err
 			}
 		}
+		// An insert into a reused tombstone pushed a "did not exist"
+		// version; take it back. (Recovery undo finds empty chains and
+		// pops nothing.)
+		s.popChain(rec.RID, rec.Txn)
 	case RecDelete:
 		if !page.Live(rec.RID.Slot) {
 			if err := page.InsertAt(rec.RID.Slot, rec.Before); err != nil {
 				return err
 			}
 		}
+		xmin, _ := s.popChain(rec.RID, rec.Txn)
+		page.SetXmin(rec.RID.Slot, xmin)
 	case RecUpdate:
 		if page.Live(rec.RID.Slot) {
 			if err := page.Update(rec.RID.Slot, rec.Before); err != nil {
@@ -466,6 +569,11 @@ func (s *Store) undoOp(rec *LogRecord, stampLSN uint64) error {
 		} else if err := page.InsertAt(rec.RID.Slot, rec.Before); err != nil {
 			return err
 		}
+		// The popped entry's xmin is the restored state's true creator;
+		// zero (nothing popped — recovery undo) freezes it, which is
+		// right: no snapshot survives a crash.
+		xmin, _ := s.popChain(rec.RID, rec.Txn)
+		page.SetXmin(rec.RID.Slot, xmin)
 	case RecAlloc:
 		// Allocation is not undone; the empty page is simply reusable.
 	default:
@@ -490,6 +598,7 @@ func (s *Store) Insert(id uint64, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	defer s.pool.Unpin(page.ID, true)
+	oldSlots := page.NumSlots()
 	slot, err := page.InsertSkipping(data, s.slotFilter(page.ID))
 	if err != nil {
 		return RID{}, err
@@ -501,6 +610,13 @@ func (s *Store) Insert(id uint64, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	page.SetLSN(lsn)
+	if slot < oldSlots {
+		// Reused tombstone: push the "record absent" state this insert
+		// displaced, created by whoever tombstoned the slot, so a snapshot
+		// between that delete and this insert sees neither value.
+		s.pushChain(rid, chainEntry{writer: id, xmin: s.priorDeleter(rid)})
+	}
+	page.SetXmin(slot, id)
 	t.addOp(rec)
 	s.noteFree(page)
 	return rid, nil
@@ -649,13 +765,16 @@ func (s *Store) slotFilter(pid PageID) func(uint16) bool {
 	}
 }
 
-// Read returns a copy of the record at rid.
+// Read returns a copy of the record at rid — the latest state, no version
+// filtering. This is the 2PL read path: the caller's lock manager
+// serializes it against writers.
 func (s *Store) Read(rid RID) ([]byte, error) {
 	page, err := s.pool.Fetch(rid.Page)
 	if err != nil {
 		return nil, err
 	}
 	defer s.pool.Unpin(rid.Page, false)
+	s.readLockedN.Add(1)
 	data, err := page.Read(rid.Slot)
 	if err != nil {
 		return nil, err
@@ -683,6 +802,7 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	before := cloneBytes(old)
+	oldXmin := page.Xmin(rid.Slot)
 	// An in-place grow may not eat into space reserved for other
 	// transactions' rollbacks; force the move path instead.
 	uerr := ErrNoSpace
@@ -697,6 +817,8 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 			return RID{}, aerr
 		}
 		page.SetLSN(lsn)
+		s.pushChain(rid, chainEntry{writer: id, xmin: oldXmin, data: before, exists: true})
+		page.SetXmin(rid.Slot, id)
 		t.addOp(rec)
 		if shrink := len(before) - len(data); shrink > 0 {
 			s.reserveUndo(t, resEntry{page: rid.Page, bytes: shrink})
@@ -720,6 +842,7 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	page.SetLSN(lsn)
+	s.pushChain(rid, chainEntry{writer: id, xmin: oldXmin, data: before, exists: true})
 	t.addOp(delRec)
 	s.reserveUndo(t, resEntry{page: rid.Page, bytes: len(before), slot: rid.Slot, hasSlot: true})
 	s.noteFree(page)
@@ -730,6 +853,7 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	defer s.pool.Unpin(newPage.ID, true)
+	oldSlots := newPage.NumSlots()
 	slot, err := newPage.InsertSkipping(data, s.slotFilter(newPage.ID))
 	if err != nil {
 		return RID{}, err
@@ -741,6 +865,10 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 		return RID{}, err
 	}
 	newPage.SetLSN(lsn)
+	if slot < oldSlots {
+		s.pushChain(newRID, chainEntry{writer: id, xmin: s.priorDeleter(newRID)})
+	}
+	newPage.SetXmin(slot, id)
 	t.addOp(insRec)
 	s.noteFree(newPage)
 	return newRID, nil
@@ -762,6 +890,7 @@ func (s *Store) Delete(id uint64, rid RID) error {
 		return err
 	}
 	before := cloneBytes(old)
+	oldXmin := page.Xmin(rid.Slot)
 	if err := page.Delete(rid.Slot); err != nil {
 		return err
 	}
@@ -771,6 +900,7 @@ func (s *Store) Delete(id uint64, rid RID) error {
 		return err
 	}
 	page.SetLSN(lsn)
+	s.pushChain(rid, chainEntry{writer: id, xmin: oldXmin, data: before, exists: true})
 	t.addOp(rec)
 	s.reserveUndo(t, resEntry{page: rid.Page, bytes: len(before), slot: rid.Slot, hasSlot: true})
 	s.noteFree(page)
@@ -779,8 +909,11 @@ func (s *Store) Delete(id uint64, rid RID) error {
 
 // Checkpoint flushes all dirty pages and logs a checkpoint record. After a
 // checkpoint, recovery redo still scans the full log but page LSN checks
-// make pre-checkpoint work a no-op.
+// make pre-checkpoint work a no-op. Checkpoint also runs a version-GC
+// pass, so stores with the background collector disabled still reclaim on
+// their checkpoint cadence.
 func (s *Store) Checkpoint() error {
+	s.VersionGC()
 	active := s.ActiveTxns()
 	if err := s.pool.FlushAll(); err != nil {
 		return err
@@ -816,7 +949,7 @@ func (s *Store) recover() error {
 		return t
 	}
 	var allOps []*LogRecord
-	var maxTxn uint64
+	var maxTxn, maxTS uint64
 	err := s.wal.Scan(0, func(rec *LogRecord) error {
 		if rec.Txn > maxTxn {
 			maxTxn = rec.Txn
@@ -826,6 +959,10 @@ func (s *Store) recover() error {
 			get(rec.Txn).parent = rec.Parent
 		case RecCommit:
 			get(rec.Txn).committed = true
+		case RecCommitTS:
+			if rec.TS > maxTS {
+				maxTS = rec.TS
+			}
 		case RecAbort:
 			get(rec.Txn).aborted = true
 		case RecInsert, RecDelete, RecUpdate:
@@ -847,8 +984,12 @@ func (s *Store) recover() error {
 	}
 	// Transaction ids restart above everything the log has seen; reusing a
 	// logged id would merge a new transaction's records into an old one's
-	// on the next recovery.
+	// on the next recovery. The commit-timestamp clock likewise resumes
+	// past every stamp ever handed out; the commit table itself stays
+	// empty — every surviving record is frozen, i.e. visible to all, which
+	// is correct because no snapshot outlives a crash.
 	s.nextTxn.Store(maxTxn)
+	s.commitTS.Store(maxTS)
 	// Redo pass: repeat history, including compensations.
 	for _, rec := range allOps {
 		if err := s.redoOp(rec); err != nil {
@@ -945,6 +1086,7 @@ func (s *Store) redoOp(rec *LogRecord) error {
 				return err
 			}
 		}
+		page.SetXmin(rec.RID.Slot, rec.Txn)
 	case RecDelete:
 		if page.Live(rec.RID.Slot) {
 			if err := page.Delete(rec.RID.Slot); err != nil {
@@ -959,6 +1101,7 @@ func (s *Store) redoOp(rec *LogRecord) error {
 		} else if err := page.InsertAt(rec.RID.Slot, rec.After); err != nil {
 			return err
 		}
+		page.SetXmin(rec.RID.Slot, rec.Txn)
 	}
 	page.SetLSN(rec.LSN)
 	return nil
@@ -994,12 +1137,27 @@ func (s *Store) noteFree(p *Page) {
 	s.fsmMu.Unlock()
 }
 
-// ForEachRecord scans every live record in the store — all pages, all live
-// slots — calling fn with each record's RID and a copy of its contents.
-// It is the crash-torture harness's verification primitive: after recovery
-// the harness full-scans the store and checks committed values are present
-// and loser values absent.
+// ForEachRecord scans every record in the store under a fresh snapshot:
+// only committed state is visible, so a concurrent in-flight insert (or a
+// not-yet-resolved delete) never leaks into the scan. It is also the
+// crash-torture harness's verification primitive — after recovery
+// everything on the pages is committed, so the snapshot scan equals the
+// raw one.
 func (s *Store) ForEachRecord(fn func(RID, []byte) error) error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	sn := s.Snapshot()
+	defer sn.Close()
+	return s.ForEachRecordAt(sn, fn)
+}
+
+// ForEachRecordLatest is the unfiltered scan ForEachRecord used to be:
+// every live slot's latest state, dirty writes included. It exists for
+// recovery-internal verification (the torture harness cross-checks it
+// against the snapshot scan after reopen); concurrent use sees
+// uncommitted data by design.
+func (s *Store) ForEachRecordLatest(fn func(RID, []byte) error) error {
 	if s.closed.Load() {
 		return ErrStoreClosed
 	}
@@ -1127,6 +1285,26 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 				sh.mu.Unlock()
 			}
 			return float64(n)
+		})
+	r.CounterFunc("sentinel_storage_read_snapshot_total",
+		"Record reads served by the MVCC snapshot path (no lock-manager locks).",
+		s.readSnapshotN.Load)
+	r.CounterFunc("sentinel_storage_read_locked_total",
+		"Record reads served by the latest-state (2PL) path.",
+		s.readLockedN.Load)
+	r.CounterFunc("sentinel_storage_gc_versions_reclaimed_total",
+		"Version-chain entries reclaimed by the MVCC garbage collector.",
+		s.gcReclaimed.Load)
+	s.chainLenHist.Store(r.Histogram("sentinel_storage_version_chain_length",
+		"Version-chain entries walked per snapshot read.",
+		obs.DepthBuckets()))
+	r.GaugeFunc("sentinel_storage_snapshot_age",
+		"Commit timestamps elapsed since the oldest live snapshot (0 when none open).",
+		func() float64 {
+			if ts, ok := s.oldestLiveSnapshot(); ok {
+				return float64(s.commitTS.Load() - ts)
+			}
+			return 0
 		})
 }
 

@@ -27,6 +27,13 @@ const (
 	RecUpdate
 	RecAlloc
 	RecCheckpoint
+	// RecCommitTS records the commit timestamp a top-level transaction was
+	// assigned after its commit record became durable. It is a recovery
+	// hint only: replay restores the commit-timestamp clock to the maximum
+	// stamp seen so timestamps never repeat across restarts. Visibility
+	// after a crash does not depend on it — recovery leaves every surviving
+	// record frozen (no snapshot outlives a crash).
+	RecCommitTS
 )
 
 // String names the record type for traces.
@@ -48,6 +55,8 @@ func (t RecType) String() string {
 		return "ALLOC"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecCommitTS:
+		return "COMMIT-TS"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -63,6 +72,7 @@ type LogRecord struct {
 	Type   RecType
 	Txn    uint64
 	Parent uint64 // begin records of subtransactions: the parent txn
+	TS     uint64 // commit-timestamp records: the stamp assigned at commit
 	CLR    bool
 	RID    RID
 	Before []byte
@@ -380,7 +390,7 @@ func (w *WAL) Scan(from uint64, fn func(*LogRecord) error) error {
 //
 // payload:
 //
-//	u8 type | u8 clr | u64 txn | u64 parent | u32 page | u16 slot |
+//	u8 type | u8 clr | u64 txn | u64 parent | u64 ts | u32 page | u16 slot |
 //	u32 len(before) | before | u32 len(after) | after |
 //	u32 len(active) | active u64s
 //
@@ -397,6 +407,7 @@ func marshalRecord(rec *LogRecord) []byte {
 	}
 	payload = binary.LittleEndian.AppendUint64(payload, rec.Txn)
 	payload = binary.LittleEndian.AppendUint64(payload, rec.Parent)
+	payload = binary.LittleEndian.AppendUint64(payload, rec.TS)
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(rec.RID.Page))
 	payload = binary.LittleEndian.AppendUint16(payload, rec.RID.Slot)
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Before)))
@@ -462,6 +473,11 @@ func readRecord(r io.Reader, lsn uint64) (*LogRecord, int64, error) {
 	}
 	if b := take(8); b != nil {
 		rec.Parent = binary.LittleEndian.Uint64(b)
+	} else {
+		return nil, 0, ErrLogCorrupted
+	}
+	if b := take(8); b != nil {
+		rec.TS = binary.LittleEndian.Uint64(b)
 	} else {
 		return nil, 0, ErrLogCorrupted
 	}

@@ -52,6 +52,7 @@ var (
 	ErrFinished       = errors.New("txn: transaction already finished")
 	ErrActiveChildren = errors.New("txn: subtransactions still active")
 	ErrNotNested      = errors.New("txn: operation requires a subtransaction")
+	ErrReadOnly       = errors.New("txn: snapshot transaction is read-only")
 )
 
 // EventListener receives transaction system events. name is one of the
@@ -77,6 +78,7 @@ type Manager struct {
 	// subtransaction-depth histogram (nil until wired, at startup).
 	begins     atomic.Uint64
 	subBegins  atomic.Uint64
+	snapBegins atomic.Uint64
 	commits    atomic.Uint64
 	subCommits atomic.Uint64
 	aborts     atomic.Uint64
@@ -93,6 +95,8 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 		"Top-level transactions begun.", m.begins.Load)
 	r.CounterFunc("sentinel_txn_sub_begins_total",
 		"Subtransactions begun (one per triggered non-detached rule).", m.subBegins.Load)
+	r.CounterFunc("sentinel_txn_snapshot_begins_total",
+		"Read-only snapshot transactions begun.", m.snapBegins.Load)
 	r.CounterFunc("sentinel_txn_commits_total",
 		"Top-level transactions committed.", m.commits.Load)
 	r.CounterFunc("sentinel_txn_sub_commits_total",
@@ -138,6 +142,14 @@ type Txn struct {
 	id     uint64
 	parent *Txn
 	depth  int
+
+	// readOnly marks a snapshot transaction (BeginSnapshot): it holds snap
+	// for its whole life, takes no locks, and rejects writes. On a
+	// read-write transaction snap is armed temporarily by UseSnapshot
+	// (rule-condition evaluation) and nil otherwise. snap is touched only
+	// by the transaction's owning goroutine, like every other operation.
+	readOnly bool
+	snap     *storage.Snapshot
 
 	mu       sync.Mutex
 	status   Status
@@ -222,9 +234,63 @@ func (m *Manager) Begin() (*Txn, error) {
 	return t, nil
 }
 
+// BeginSnapshot starts a read-only snapshot transaction: it captures the
+// store's commit-timestamp clock with one atomic load and reads a frozen,
+// prefix-consistent committed state through the MVCC version chains. It
+// writes no log record, signals no transaction events, and — crucially —
+// never touches the lock manager, so it cannot block writers or be blocked
+// by them. Write operations return ErrReadOnly.
+func (m *Manager) BeginSnapshot() (*Txn, error) {
+	m.mu.Lock()
+	m.next++
+	id := m.next | 1<<63 // logical-id space: the store never sees this txn
+	m.mu.Unlock()
+	t := &Txn{mgr: m, id: id, status: Active, readOnly: true}
+	if m.store != nil {
+		t.snap = m.store.Snapshot()
+	}
+	t.family = []uint64{id}
+	m.mu.Lock()
+	m.live[id] = t
+	m.mu.Unlock()
+	m.snapBegins.Add(1)
+	return t, nil
+}
+
+// ReadOnly reports whether t is a snapshot transaction.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
+// Snapshot returns the storage snapshot the transaction is reading
+// through: always set for snapshot transactions (when a store is
+// configured), set on a read-write transaction only while UseSnapshot has
+// it armed, nil otherwise.
+func (t *Txn) Snapshot() *storage.Snapshot { return t.snap }
+
+// UseSnapshot arms a fresh snapshot on a read-write transaction for the
+// scope between the call and release: reads route through the MVCC path —
+// committed state as of now plus the transaction family's own uncommitted
+// writes — and lock requests are counted as bypassed instead of taken.
+// Rule-condition evaluation uses this to drop the Shared-lock round trip
+// per firing. On a snapshot transaction (or without a store) it is a
+// no-op. Not reentrant: release before arming again.
+func (t *Txn) UseSnapshot() (release func(), err error) {
+	if t.mgr.store == nil || t.readOnly || t.snap != nil {
+		return func() {}, nil
+	}
+	sn := t.mgr.store.SnapshotFor(t.Root().ID())
+	t.snap = sn
+	return func() {
+		t.snap = nil
+		sn.Close()
+	}, nil
+}
+
 // BeginSub starts a subtransaction of t. Rule executions are packaged in
 // subtransactions, one per triggered rule.
 func (t *Txn) BeginSub() (*Txn, error) {
+	if t.readOnly {
+		return nil, ErrReadOnly
+	}
 	t.mu.Lock()
 	if t.status != Active {
 		t.mu.Unlock()
@@ -270,29 +336,46 @@ func (t *Txn) childDone() {
 	t.mu.Unlock()
 }
 
-// Lock acquires a lock on behalf of this transaction.
+// Lock acquires a lock on behalf of this transaction. With a snapshot
+// armed (a snapshot transaction, or UseSnapshot's scope) the request is a
+// counted no-op: version visibility replaces the lock.
 func (t *Txn) Lock(resource string, mode lockmgr.Mode) error {
+	if t.readOnly || t.snap != nil {
+		t.mgr.locks.NoteBypass()
+		return nil
+	}
 	return t.mgr.locks.Lock(lockmgr.TxnID(t.id), resource, mode)
 }
 
 // Insert stores a record under this transaction.
 func (t *Txn) Insert(data []byte) (storage.RID, error) {
+	if t.readOnly || t.snap != nil {
+		return storage.RID{}, ErrReadOnly
+	}
 	if t.mgr.store == nil {
 		return storage.RID{}, errors.New("txn: no store configured")
 	}
 	return t.mgr.store.Insert(t.id, data)
 }
 
-// Read returns the record at rid.
+// Read returns the record at rid: through the armed snapshot when one is
+// set (lock-free, version-resolved), otherwise the latest state under the
+// caller's 2PL locks.
 func (t *Txn) Read(rid storage.RID) ([]byte, error) {
 	if t.mgr.store == nil {
 		return nil, errors.New("txn: no store configured")
+	}
+	if sn := t.snap; sn != nil {
+		return t.mgr.store.ReadSnapshot(sn, rid)
 	}
 	return t.mgr.store.Read(rid)
 }
 
 // Update replaces the record at rid, returning its possibly-new RID.
 func (t *Txn) Update(rid storage.RID, data []byte) (storage.RID, error) {
+	if t.readOnly || t.snap != nil {
+		return storage.RID{}, ErrReadOnly
+	}
 	if t.mgr.store == nil {
 		return storage.RID{}, errors.New("txn: no store configured")
 	}
@@ -301,6 +384,9 @@ func (t *Txn) Update(rid storage.RID, data []byte) (storage.RID, error) {
 
 // Delete removes the record at rid.
 func (t *Txn) Delete(rid storage.RID) error {
+	if t.readOnly || t.snap != nil {
+		return ErrReadOnly
+	}
 	if t.mgr.store == nil {
 		return errors.New("txn: no store configured")
 	}
@@ -313,6 +399,9 @@ func (t *Txn) Delete(rid storage.RID) error {
 // only afterwards. For a subtransaction the locks are inherited by the
 // parent and the storage effects merge into it.
 func (t *Txn) Commit() error {
+	if t.readOnly {
+		return t.finishReadOnly(Committed)
+	}
 	t.mu.Lock()
 	if t.status != Active {
 		t.mu.Unlock()
@@ -363,6 +452,9 @@ func (t *Txn) Commit() error {
 // locks released, and (for top-level transactions) abortTransaction is
 // signalled so the event graph can be flushed.
 func (t *Txn) Abort() error {
+	if t.readOnly {
+		return t.finishReadOnly(Aborted)
+	}
 	t.mu.Lock()
 	if t.status != Active {
 		t.mu.Unlock()
@@ -398,6 +490,27 @@ func (t *Txn) Abort() error {
 	m.forget(t.id)
 	runFinishers(finishers, Aborted)
 	return storeErr
+}
+
+// finishReadOnly ends a snapshot transaction: close the snapshot (its
+// versions become reclaimable), run finishers, forget. There is nothing to
+// make durable, no locks to release, and no events to signal — commit and
+// abort differ only in the status handed to the finishers.
+func (t *Txn) finishReadOnly(st Status) error {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.status = st
+	finishers := t.takeFinishersLocked()
+	t.mu.Unlock()
+	if t.snap != nil {
+		t.snap.Close()
+	}
+	t.mgr.forget(t.id)
+	runFinishers(finishers, st)
+	return nil
 }
 
 func (t *Txn) takeFinishersLocked() []func(Status) {

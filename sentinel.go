@@ -159,6 +159,19 @@ type Options struct {
 	// /debugz (metrics snapshot + event-graph DOT export) on that address
 	// (e.g. "localhost:6060"; ":0" picks a free port — see DebugAddr()).
 	DebugAddr string
+	// SnapshotConditions controls whether rule conditions evaluate against
+	// an MVCC snapshot of the triggering transaction instead of taking
+	// shared locks. 0 means the default (on); -1 turns it off; 1 forces it
+	// on; other values are rejected by Open. While a condition runs under a
+	// snapshot it is read-only — writes from condition code return
+	// txn.ErrReadOnly.
+	SnapshotConditions int
+	// VersionGCInterval is the period of the storage layer's background
+	// version garbage collector, which reclaims MVCC undo chains older
+	// than the oldest live snapshot. 0 means the storage default (1s);
+	// -1 disables the background pass (Checkpoint still collects); other
+	// negatives are rejected by Open.
+	VersionGCInterval time.Duration
 }
 
 // Database is an active object-oriented database instance — one Open OODB
@@ -218,6 +231,12 @@ func validateOptions(opts Options) error {
 	if opts.Workers < 0 {
 		return fmt.Errorf("sentinel: Workers must be >= 0, got %d", opts.Workers)
 	}
+	if opts.SnapshotConditions < -1 || opts.SnapshotConditions > 1 {
+		return fmt.Errorf("sentinel: SnapshotConditions must be -1, 0 or 1, got %d", opts.SnapshotConditions)
+	}
+	if opts.VersionGCInterval < 0 && opts.VersionGCInterval != -1 {
+		return fmt.Errorf("sentinel: VersionGCInterval must be >= 0 or -1, got %v", opts.VersionGCInterval)
+	}
 	return nil
 }
 
@@ -251,6 +270,7 @@ func Open(opts Options) (*Database, error) {
 			PoolShards:          opts.PoolShards,
 			SyncWAL:             opts.SyncWAL,
 			GroupCommitInterval: opts.GroupCommitInterval,
+			VersionGCInterval:   opts.VersionGCInterval,
 		})
 		if err != nil {
 			return nil, err
@@ -270,6 +290,7 @@ func Open(opts Options) (*Database, error) {
 	rm.RetryMax = opts.RuleRetries
 	rm.RetryBackoff = opts.RuleRetryBackoff
 	rm.MaxCascade = opts.MaxCascadeDepth
+	rm.SnapshotConditions = opts.SnapshotConditions >= 0
 	objects := object.NewRegistry(det, store)
 
 	db := &Database{
@@ -397,6 +418,19 @@ func (db *Database) Begin() (*Txn, error) {
 		db.det.FlushTxns(t.FamilyIDs())
 	})
 	return t, nil
+}
+
+// ErrReadOnly is returned by write operations on a snapshot transaction
+// (or inside a rule condition running under SnapshotConditions).
+var ErrReadOnly = txn.ErrReadOnly
+
+// BeginSnapshot starts a read-only snapshot transaction: it observes the
+// database as of the commit timestamp current at the call, takes no
+// lock-manager locks, and never blocks (or is blocked by) writers. Writes
+// return ErrReadOnly. It signals no transaction events and triggers no
+// rules; commit and abort are equivalent and merely release the snapshot.
+func (db *Database) BeginSnapshot() (*Txn, error) {
+	return db.txns.BeginSnapshot()
 }
 
 // ---------------------------------------------------------------------------

@@ -76,6 +76,19 @@ rule Nested(e2, true, nested);
 		}
 		workers = n
 	}
+	// SENTINEL_SOAK_READERS adds a pool of snapshot readers (default 2)
+	// running concurrently with the writers: each iteration takes one
+	// snapshot transaction, scans the STOCK extent twice, and requires the
+	// two scans to agree exactly — the repeatable-read contract of the
+	// lock-free MVCC path, exercised against live rule-cascading commits.
+	snapReaders := 2
+	if s := os.Getenv("SENTINEL_SOAK_READERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			t.Fatalf("SENTINEL_SOAK_READERS=%q: want a non-negative integer", s)
+		}
+		snapReaders = n
+	}
 	const txnsPerWorker = 25
 	const maxSellsPerTxn = 8
 	seed := soakSeed(t)
@@ -126,12 +139,80 @@ rule Nested(e2, true, nested);
 			errCh <- nil
 		}(w)
 	}
+	var rwg sync.WaitGroup
+	var snapScans atomic.Int64
+	rerrCh := make(chan error, snapReaders)
+	for r := 0; r < snapReaders; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			// Fixed iteration budget: an unbounded spin loop would starve
+			// the writers on small machines.
+			for i := 0; i < 20; i++ {
+				tx, err := db.BeginSnapshot()
+				if err != nil {
+					rerrCh <- err
+					return
+				}
+				scan := func() (map[sentinel.OID]int, error) {
+					out := map[sentinel.OID]int{}
+					err := db.ForEach(tx, "STOCK", true, func(obj *sentinel.Instance) bool {
+						q, _ := obj.Attr("qty").(int)
+						out[obj.OID] = q
+						return true
+					})
+					return out, err
+				}
+				s1, err := scan()
+				if err != nil {
+					rerrCh <- err
+					_ = tx.Abort()
+					return
+				}
+				s2, err := scan()
+				if err != nil {
+					rerrCh <- err
+					_ = tx.Abort()
+					return
+				}
+				if len(s1) != len(s2) {
+					rerrCh <- fmt.Errorf("snapshot scan not repeatable: %d then %d objects", len(s1), len(s2))
+					_ = tx.Abort()
+					return
+				}
+				for oid, q := range s1 {
+					q2, ok := s2[oid]
+					if !ok || q2 != q {
+						rerrCh <- fmt.Errorf("snapshot scan not repeatable at %v: qty %d then %d (present=%v)", oid, q, q2, ok)
+						_ = tx.Abort()
+						return
+					}
+				}
+				snapScans.Add(1)
+				if err := tx.Commit(); err != nil {
+					rerrCh <- err
+					return
+				}
+			}
+			rerrCh <- nil
+		}()
+	}
 	wg.Wait()
+	rwg.Wait()
 	close(errCh)
+	close(rerrCh)
 	for err := range errCh {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+	for err := range rerrCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snapReaders > 0 && snapScans.Load() == 0 {
+		t.Fatal("snapshot readers completed no scans")
 	}
 
 	c := committed.Load()
