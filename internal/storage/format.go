@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// On-disk format versioning. The database file and the WAL are headerless
+// (pages and log records start at byte zero, and LSNs are file offsets),
+// so the format generation lives in a small marker file next to them
+// instead of shifting every offset. Open refuses a data directory whose
+// marker is missing-but-populated or from a different generation, with an
+// error that names the mismatch — never a checksum/corruption report.
+//
+// History:
+//
+//	v1 — through the parallel-commit PR: 4-byte page slot entries, WAL
+//	     record payloads without a TS field, no marker file.
+//	v2 — MVCC snapshot reads: slot entries grew to 12 bytes to carry the
+//	     creator/deleter version stamps, WAL payloads gained a u64 TS
+//	     field, and the marker file was introduced.
+const (
+	formatMagic = "sentinel-format"
+	// FormatVersion is the generation this build reads and writes.
+	FormatVersion = 2
+	// formatFile is the marker's filename inside the data directory.
+	formatFile = "sentinel.meta"
+)
+
+// ErrIncompatibleFormat marks a data directory written by a build with a
+// different on-disk format generation.
+var ErrIncompatibleFormat = errors.New("storage: incompatible on-disk format")
+
+// checkFormat validates (or, for a fresh directory, creates) the format
+// marker in dir. Called by Open before any data file is touched.
+func checkFormat(dir string) error {
+	path := filepath.Join(dir, formatFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var v int
+		if _, serr := fmt.Sscanf(strings.TrimSpace(string(raw)), formatMagic+" v%d", &v); serr != nil {
+			return fmt.Errorf("%w: unrecognized marker %q in %s", ErrIncompatibleFormat, strings.TrimSpace(string(raw)), path)
+		}
+		if v != FormatVersion {
+			return fmt.Errorf("%w: data directory is format v%d, this build reads v%d", ErrIncompatibleFormat, v, FormatVersion)
+		}
+		return nil
+	case os.IsNotExist(err):
+		if dirHasData(dir) {
+			return fmt.Errorf("%w: %s holds data but no format marker (written by a pre-v%d build; v1 slot entries and WAL records are not readable here)", ErrIncompatibleFormat, dir, FormatVersion)
+		}
+		if werr := os.WriteFile(path, []byte(fmt.Sprintf("%s v%d\n", formatMagic, FormatVersion)), 0o644); werr != nil {
+			return fmt.Errorf("storage: write format marker: %w", werr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("storage: read format marker: %w", err)
+	}
+}
+
+// dirHasData reports whether dir already holds a non-empty database or log
+// file. Zero-length files (created but never written) count as fresh.
+func dirHasData(dir string) bool {
+	for _, name := range []string{"sentinel.db", "sentinel.log"} {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil && st.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}

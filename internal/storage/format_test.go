@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFormatMarkerLifecycle: a fresh Open writes the version marker, a
+// matching marker reopens cleanly, and every mismatch shape — wrong
+// version, unparseable marker, data with no marker (a pre-versioning
+// database) — is rejected with ErrIncompatibleFormat naming the problem,
+// never a checksum/corruption report.
+func TestFormatMarkerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Store, error) {
+		return Open(Options{Dir: dir, PoolSize: 16, VersionGCInterval: -1})
+	}
+	s, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid := commitValue(t, s, "survivor")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta := filepath.Join(dir, formatFile)
+	raw, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatalf("fresh Open left no format marker: %v", err)
+	}
+	if want := fmt.Sprintf("%s v%d\n", formatMagic, FormatVersion); string(raw) != want {
+		t.Fatalf("marker contents %q, want %q", raw, want)
+	}
+
+	// Matching marker: reopen works and the data is there.
+	re, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := re.Snapshot()
+	if got, err := re.ReadSnapshot(sn, rid); err != nil || string(got) != "survivor" {
+		t.Fatalf("reopen read: %q, %v", got, err)
+	}
+	sn.Close()
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rejects := func(name string) {
+		t.Helper()
+		if _, err := open(); !errors.Is(err, ErrIncompatibleFormat) {
+			t.Fatalf("%s: got %v, want ErrIncompatibleFormat", name, err)
+		}
+	}
+	if err := os.WriteFile(meta, []byte(formatMagic+" v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rejects("older format version")
+	if err := os.WriteFile(meta, []byte(formatMagic+" v999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rejects("newer format version")
+	if err := os.WriteFile(meta, []byte("scribbles\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rejects("unparseable marker")
+	if err := os.Remove(meta); err != nil {
+		t.Fatal(err)
+	}
+	rejects("populated directory with no marker")
+
+	// Restoring the marker restores access; nothing above touched the data.
+	if err := os.WriteFile(meta, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := open()
+	if err != nil {
+		t.Fatalf("reopen after restoring marker: %v", err)
+	}
+	defer re2.Close()
+	sn2 := re2.Snapshot()
+	defer sn2.Close()
+	if got, err := re2.ReadSnapshot(sn2, rid); err != nil || string(got) != "survivor" {
+		t.Fatalf("read after marker restore: %q, %v", got, err)
+	}
+}
+
+// TestFormatMarkerFreshDirIgnoresEmptyFiles: zero-length db/log files (for
+// example created by a crash before any write) do not make a directory
+// count as a pre-versioning database.
+func TestFormatMarkerFreshDirIgnoresEmptyFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"sentinel.db", "sentinel.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(Options{Dir: dir, PoolSize: 16, VersionGCInterval: -1})
+	if err != nil {
+		t.Fatalf("open over empty files: %v", err)
+	}
+	defer s.Close()
+	commitValue(t, s, "ok")
+}

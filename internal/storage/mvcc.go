@@ -184,11 +184,23 @@ func (s *Store) popChain(rid RID, writer uint64) (xmin uint64, ok bool) {
 }
 
 // commitTSOf resolves a raw creator stamp: committed at ts (ok=true), or
-// not committed (ok=false — active, finishing, or mid-merge). An id that
-// is neither active, merged, nor in the commit table is frozen: committed
-// at ts 0, visible to everything. The caller must hold the page latch for
-// the record whose stamp is being resolved (see the package comment for
-// why that closes the abort race).
+// not committed (ok=false). See resolveStamp for the rules.
+func (s *Store) commitTSOf(id uint64) (ts uint64, ok bool) {
+	ts, _, ok = s.resolveStamp(id)
+	return ts, ok
+}
+
+// resolveStamp resolves a raw creator stamp: committed at ts
+// (committed=true), or not committed (committed=false — active, finishing,
+// or mid-merge). An id that is neither active, merged, nor in the commit
+// table is frozen: committed at ts 0, visible to everything. final is the
+// id the mergedInto walk ended on — the stamp itself, or its nearest
+// not-yet-merged ancestor; when the stamp is not committed, final is an
+// active transaction, which is what the own-family check in visibleTo must
+// start from (the original creator may be a committed subtransaction the
+// active table has already forgotten). The caller must hold the page latch
+// for the record whose stamp is being resolved (see the package comment
+// for why that closes the abort race).
 //
 // The commit table is consulted BEFORE the active-transaction table, and
 // that order is load-bearing. A committer installs its cts entry and
@@ -200,17 +212,17 @@ func (s *Store) popChain(rid RID, writer uint64) (xmin uint64, ok bool) {
 // exceeds S — whether it is still active or mid-forget. The one gap — the
 // transaction leaves the active table between our two checks after
 // committing — is closed by re-reading the commit table once.
-func (s *Store) commitTSOf(id uint64) (ts uint64, ok bool) {
+func (s *Store) resolveStamp(id uint64) (ts uint64, final uint64, committed bool) {
 	for {
 		if id == 0 {
-			return 0, true // frozen
+			return 0, 0, true // frozen
 		}
 		s.tsMu.Lock()
 		ts, committed := s.cts[id]
 		parent, merged := s.mergedInto[id]
 		s.tsMu.Unlock()
 		if committed {
-			return ts, true
+			return ts, id, true
 		}
 		if merged {
 			// A committed subtransaction rides with its parent; resolve the
@@ -224,7 +236,7 @@ func (s *Store) commitTSOf(id uint64) (ts uint64, ok bool) {
 		_, active := sh.m[id]
 		sh.mu.Unlock()
 		if active {
-			return 0, false
+			return 0, id, false
 		}
 		// Not committed, not merged, not active: either long-frozen, or it
 		// finished between the two checks. One re-read of the commit table
@@ -235,13 +247,13 @@ func (s *Store) commitTSOf(id uint64) (ts uint64, ok bool) {
 		parent, merged = s.mergedInto[id]
 		s.tsMu.Unlock()
 		if committed {
-			return ts, true
+			return ts, id, true
 		}
 		if merged {
 			id = parent
 			continue
 		}
-		return 0, true // unknown: frozen
+		return 0, id, true // unknown: frozen
 	}
 }
 
@@ -249,11 +261,15 @@ func (s *Store) commitTSOf(id uint64) (ts uint64, ok bool) {
 // visible to the snapshot: created by the snapshot's own transaction
 // family, or committed at or before the snapshot timestamp.
 func (s *Store) visibleTo(sn *Snapshot, creator uint64) bool {
-	ts, committed := s.commitTSOf(creator)
+	ts, final, committed := s.resolveStamp(creator)
 	if committed {
 		return ts <= sn.ts
 	}
-	return sn.root != 0 && s.rootOf(creator) == sn.root
+	// The family check starts from final, not creator: a write made by a
+	// committed subtransaction carries the sub's stamp, and the active
+	// table has already forgotten the sub — only the mergedInto walk in
+	// resolveStamp connects it to the live ancestor rootOf can climb from.
+	return sn.root != 0 && s.rootOf(final) == sn.root
 }
 
 // rootOf walks the active-transaction table to the top-level ancestor of
@@ -416,8 +432,14 @@ func (s *Store) pruneChain(chain []chainEntry, horizon uint64) []chainEntry {
 // horizon, truncates every version chain to the suffix some live snapshot
 // may still need, and prunes commit-table entries at or below the horizon
 // (an id pruned from the table resolves as frozen — correct, because its
-// timestamp is ≤ every live snapshot). Returns the number of version
-// entries reclaimed by this pass.
+// timestamp is ≤ every live snapshot). Entries whose transaction is still
+// registered in the active table are kept: a committer holds its active
+// registration across assignCommitTS (forget comes after), and pruning
+// inside that window would send resolveStamp's cts miss to the active
+// table, where the committed writer would wrongly resolve as uncommitted —
+// breaking the invariant that a cts miss at snapshot S implies eventual
+// commit ts > S. Returns the number of version entries reclaimed by this
+// pass.
 func (s *Store) VersionGC() uint64 {
 	if s.closed.Load() {
 		return 0
@@ -439,12 +461,34 @@ func (s *Store) VersionGC() uint64 {
 		sh.mu.Unlock()
 	}
 	s.tsMu.Lock()
+	stale := make([]uint64, 0, len(s.cts))
 	for id, ts := range s.cts {
 		if ts <= horizon {
-			delete(s.cts, id)
+			stale = append(stale, id)
 		}
 	}
 	s.tsMu.Unlock()
+	// The active-table check runs outside tsMu (tsMu is a leaf lock and
+	// must not nest over the txn shards). No recheck race: an id in cts is
+	// durably committed, so once it leaves the active table it can never
+	// reappear — "not active now" stays true.
+	prunable := stale[:0]
+	for _, id := range stale {
+		sh := s.txShard(id)
+		sh.mu.Lock()
+		_, active := sh.m[id]
+		sh.mu.Unlock()
+		if !active {
+			prunable = append(prunable, id)
+		}
+	}
+	if len(prunable) > 0 {
+		s.tsMu.Lock()
+		for _, id := range prunable {
+			delete(s.cts, id)
+		}
+		s.tsMu.Unlock()
+	}
 	return s.gcReclaimed.Load() - before
 }
 

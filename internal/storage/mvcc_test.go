@@ -179,6 +179,150 @@ func TestSnapshotSubTxnVisibility(t *testing.T) {
 	}
 }
 
+// TestSnapshotForSeesMergedSubWrites: a family snapshot must see writes
+// made by the family's own committed subtransactions. The sub has merged
+// into its parent and left the active table, so its stamp resolves only
+// through the mergedInto forwarding walk — a family check that starts from
+// the raw stamp instead of the walked-to active ancestor goes blind here,
+// and rule conditions (which evaluate against SnapshotFor of the
+// triggering root) stop seeing the very write that fired them.
+func TestSnapshotForSeesMergedSubWrites(t *testing.T) {
+	s := mvccStore(t)
+	rid := commitValue(t, s, "base")
+
+	root, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.BeginSub(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(sub, rid, []byte("sub-write")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(sub); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.SnapshotFor(root)
+	if got, err := s.ReadSnapshot(sn, rid); err != nil || string(got) != "sub-write" {
+		t.Fatalf("family snapshot blind to committed sub's write: %q, %v", got, err)
+	}
+	sn.Close()
+
+	// Two forwarding hops: a grandchild commits into a still-active child.
+	mid, err := s.BeginSub(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := s.BeginSub(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(inner, rid, []byte("inner-write")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(inner); err != nil {
+		t.Fatal(err)
+	}
+	sn2 := s.SnapshotFor(root)
+	if got, err := s.ReadSnapshot(sn2, rid); err != nil || string(got) != "inner-write" {
+		t.Fatalf("family snapshot blind through two merge hops: %q, %v", got, err)
+	}
+	sn2.Close()
+
+	// Other families and plain observers still see only committed state.
+	stranger, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range []*Snapshot{s.Snapshot(), s.SnapshotFor(stranger)} {
+		if got, err := s.ReadSnapshot(sn, rid); err != nil || string(got) != "base" {
+			t.Fatalf("uncommitted family write leaked: %q, %v", got, err)
+		}
+		sn.Close()
+	}
+	if err := s.Abort(stranger); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Commit(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(root); err != nil {
+		t.Fatal(err)
+	}
+	final := s.Snapshot()
+	defer final.Close()
+	if got, err := s.ReadSnapshot(final, rid); err != nil || string(got) != "inner-write" {
+		t.Fatalf("after root commit: %q, %v", got, err)
+	}
+}
+
+// TestVersionGCKeepsCommitWindowEntries replays Commit's steps by hand and
+// pauses between assignCommitTS and forget — the window where a durably
+// committed transaction still sits in the active table. A GC pass in that
+// window must not prune its commit-table entry: a snapshot resolving the
+// writer would miss in the commit table, fall through to the active table,
+// and wrongly treat the committed write as uncommitted (invisible).
+func TestVersionGCKeepsCommitWindowEntries(t *testing.T) {
+	s := mvccStore(t)
+	rid := commitValue(t, s, "v1")
+
+	id, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(id, rid, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.takeFinisher(id, "commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := s.wal.Append(&LogRecord{Type: RecCommit, Txn: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.gc.waitDurable(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	s.assignCommitTS(tx)
+
+	// In the window. No snapshot is live, so the horizon is the clock and
+	// the new entry's timestamp is at the horizon — prunable by age, but
+	// protected by its active registration.
+	s.VersionGC()
+	s.tsMu.Lock()
+	_, present := s.cts[id]
+	s.tsMu.Unlock()
+	if !present {
+		t.Fatal("GC pruned the cts entry of a committed transaction still in its commit window")
+	}
+	sn := s.Snapshot()
+	if got, err := s.ReadSnapshot(sn, rid); err != nil || string(got) != "v2" {
+		t.Fatalf("committed write invisible during its commit window: %q, %v", got, err)
+	}
+	sn.Close()
+
+	// Finish the commit; once forgotten, the entry is prunable again and
+	// the write survives as frozen state.
+	s.releaseUndo(tx.res)
+	s.forget(tx)
+	s.VersionGC()
+	s.tsMu.Lock()
+	_, present = s.cts[id]
+	s.tsMu.Unlock()
+	if present {
+		t.Fatal("cts entry survived GC after the transaction was forgotten")
+	}
+	sn2 := s.Snapshot()
+	defer sn2.Close()
+	if got, err := s.ReadSnapshot(sn2, rid); err != nil || string(got) != "v2" {
+		t.Fatalf("committed write lost after GC: %q, %v", got, err)
+	}
+}
+
 // TestVersionGCPinnedBySnapshot is the GC-correctness contract: a
 // long-lived snapshot pins the versions it can still see — VersionGC must
 // not reclaim them and the snapshot must keep reading its value — and

@@ -38,7 +38,9 @@ var (
 	ErrPageCorrupted = errors.New("storage: page corrupted")
 )
 
-// Slotted page layout (all integers little-endian):
+// Slotted page layout (format v2; the generation is recorded in the data
+// directory's marker file, see format.go — v1 pages had 4-byte slot
+// entries without xmin stamps; all integers little-endian):
 //
 //	[0:8)   pageLSN  — LSN of the last log record applied to this page
 //	[8:10)  slotCount

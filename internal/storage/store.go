@@ -196,6 +196,9 @@ func Open(opts Options) (*Store, error) {
 	if opts.PoolSize == 0 {
 		opts.PoolSize = 64
 	}
+	if err := checkFormat(opts.Dir); err != nil {
+		return nil, err
+	}
 	disk, err := OpenDisk(filepath.Join(opts.Dir, "sentinel.db"))
 	if err != nil {
 		return nil, err

@@ -55,6 +55,10 @@ func TestTortureLogTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	metaBytes, err := os.ReadFile(filepath.Join(srcDir, formatFile))
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = s.wal.Close()
 	_ = s.disk.Close()
 
@@ -74,6 +78,11 @@ func TestTortureLogTruncation(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(filepath.Join(dir, "sentinel.db"), dbBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The crash image carries the format marker with it: a torn tail is
+		// a recovery problem, not a format mismatch.
+		if err := os.WriteFile(filepath.Join(dir, formatFile), metaBytes, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s2, err := Open(Options{Dir: dir, PoolSize: 8})

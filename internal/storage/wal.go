@@ -384,7 +384,9 @@ func (w *WAL) Scan(from uint64, fn func(*LogRecord) error) error {
 	}
 }
 
-// On-disk record framing:
+// On-disk record framing (format v2 — the generation is recorded in the
+// data directory's marker file, see format.go; the log itself stays
+// headerless so LSNs remain file offsets):
 //
 //	u32 payloadLen | u32 crc32(payload) | payload
 //
