@@ -6,7 +6,7 @@
 # pattern and tool invocations live in exactly one place.
 
 GO ?= go
-BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_
+BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_|BenchmarkRules_
 BENCH_PKG ?= . ./internal/storage
 BENCH_OUT ?= BENCH_detector.json
 BENCH_STORAGE_OUT ?= BENCH_storage.json
@@ -15,7 +15,7 @@ BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage torture clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules torture clean
 
 all: build
 
@@ -86,6 +86,21 @@ bench-storage:
 	$(MAKE) bench-text BENCH_PATTERN='BenchmarkStorage_' BENCH_PKG=./internal/storage \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_STORAGE_OUT) -merge
+
+# bench-rules reruns the rule-scale benchmarks (bulk vs sequential load,
+# live-load interleaving, signal cost against a resident rule base) at
+# the full 1k/10k/100k sweep and records them under the
+# "rules-$(BENCH_LABEL)" label of $(BENCH_OUT). One iteration per size:
+# each op loads the whole rule base, so -benchtime 1x is already a
+# multi-second measurement at 100k.
+BENCH_RULES_COUNTS ?= 1000,10000,100000
+bench-rules:
+	( SENTINEL_BENCH_RULES=$(BENCH_RULES_COUNTS) \
+		$(MAKE) bench-text BENCH_PATTERN='BenchmarkRules_(Bulk|Seq|Live)Load' BENCH_PKG=. BENCH_TIME=1x BENCH_CPUS=1 && \
+	  SENTINEL_BENCH_RULES=$(BENCH_RULES_COUNTS) \
+		$(MAKE) bench-text BENCH_PATTERN='BenchmarkRules_SignalWithRuleBase' BENCH_PKG=. BENCH_TIME=2s BENCH_CPUS=1 ) \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label rules-$(BENCH_LABEL) -out $(BENCH_OUT) -merge
 
 # bench-record captures one labelled run into BENCH_REC_OUT (the CI
 # before/after halves of the regression gate).

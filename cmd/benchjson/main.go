@@ -33,6 +33,7 @@ import (
 type result struct {
 	Name        string  `json:"name"`
 	Parallelism int     `json:"parallelism"`
+	RuleCount   int     `json:"rule_count,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op,omitempty"`
@@ -50,6 +51,23 @@ func splitGomaxprocs(name string) (string, int) {
 	n, err := strconv.Atoi(name[i+1:])
 	if err != nil || n < 1 {
 		return name, 1
+	}
+	return name[:i], n
+}
+
+// splitRuleCount splits off a trailing "/rulesN" sub-benchmark segment
+// (the rule-base-size sweep convention used by BenchmarkRules_*), so the
+// same benchmark at different rule counts shares a Name and the count is
+// a comparable dimension ("BenchmarkRules_BulkLoad/rules1000" →
+// "BenchmarkRules_BulkLoad", 1000).
+func splitRuleCount(name string) (string, int) {
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 || !strings.HasPrefix(name[i+1:], "rules") {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1+len("rules"):])
+	if err != nil || n < 1 {
+		return name, 0
 	}
 	return name[:i], n
 }
@@ -161,17 +179,18 @@ func runCompare(baseFile, baseLabel, headFile, headLabel string, threshold float
 	type key struct {
 		name  string
 		procs int
+		rules int
 	}
 	baseNs := map[key]float64{}
 	for _, r := range base {
 		if r.NsPerOp > 0 {
-			baseNs[key{r.Name, r.Parallelism}] = r.NsPerOp
+			baseNs[key{r.Name, r.Parallelism, r.RuleCount}] = r.NsPerOp
 		}
 	}
 	var keys []key
 	ratios := map[key]float64{}
 	for _, r := range head {
-		k := key{r.Name, r.Parallelism}
+		k := key{r.Name, r.Parallelism, r.RuleCount}
 		if b, ok := baseNs[k]; ok && r.NsPerOp > 0 {
 			keys = append(keys, k)
 			ratios[k] = r.NsPerOp / b
@@ -184,14 +203,20 @@ func runCompare(baseFile, baseLabel, headFile, headLabel string, threshold float
 		if keys[i].name != keys[j].name {
 			return keys[i].name < keys[j].name
 		}
+		if keys[i].rules != keys[j].rules {
+			return keys[i].rules < keys[j].rules
+		}
 		return keys[i].procs < keys[j].procs
 	})
 	fmt.Printf("%-52s %10s\n", "benchmark", "ns/op Δ")
 	logSum := 0.0
 	for _, k := range keys {
 		name := k.name
+		if k.rules != 0 {
+			name = fmt.Sprintf("%s/rules%d", name, k.rules)
+		}
 		if k.procs != 1 {
-			name = fmt.Sprintf("%s-%d", k.name, k.procs)
+			name = fmt.Sprintf("%s-%d", name, k.procs)
 		}
 		fmt.Printf("%-52s %+9.2f%%\n", name, (ratios[k]-1)*100)
 		logSum += math.Log(ratios[k])
@@ -226,7 +251,8 @@ func parse(f *os.File) ([]result, error) {
 			continue // e.g. "Benchmark...: output" log lines
 		}
 		name, procs := splitGomaxprocs(fields[0])
-		r := result{Name: name, Parallelism: procs, Iterations: iters}
+		name, rules := splitRuleCount(name)
+		r := result{Name: name, Parallelism: procs, RuleCount: rules, Iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

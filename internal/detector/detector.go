@@ -120,6 +120,14 @@ type Detector struct {
 	obs      obsCounters                // signal-outcome and flush counters (obs.go)
 	admit    atomic.Pointer[matchIndex] // lock-free admission + routing index
 
+	// batching suppresses the per-mutation admission-index invalidation
+	// while a BulkBuild window is open (the window invalidates once on
+	// entry and rebuilds once on exit). Guarded by structMu.
+	batching bool
+	// liveNodes counts distinct nodes currently in the graph, maintained
+	// on build and release so the gauge never needs a graph walk.
+	liveNodes atomic.Int64
+
 	// Component registry and transaction fan-out map; compsMu is a leaf
 	// lock below the component mutexes.
 	compsMu  sync.Mutex
@@ -224,8 +232,13 @@ func (d *Detector) StatsSnapshot() Stats {
 func (d *Detector) DeclareClass(name, super string) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
+	d.declareClassLocked(name, super)
+}
+
+// declareClassLocked implements DeclareClass; callers hold structMu.
+func (d *Detector) declareClassLocked(name, super string) {
 	if _, ok := d.super[name]; !ok {
-		d.admit.Store(nil)
+		d.invalidateAdmit()
 		d.super[name] = super
 	}
 }
@@ -260,15 +273,29 @@ func (d *Detector) isSubclassOf(class, ancestor string) bool {
 func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
 	if existing, ok := d.nodes[name]; ok {
 		if d.nodeSig[name] == sig {
+			d.obs.nodesShared.Add(1)
 			return existing, nil
 		}
 		return nil, fmt.Errorf("%w: %q (%s vs %s)", ErrDuplicateEvent, name, d.nodeSig[name], sig)
 	}
-	d.admit.Store(nil)
+	d.invalidateAdmit()
 	n := build()
 	d.nodes[name] = n
 	d.nodeSig[name] = sig
+	core := n.core()
+	core.names = append(core.names, name)
+	d.liveNodes.Add(1)
 	return n, nil
+}
+
+// invalidateAdmit drops the admission index ahead of a structure
+// mutation. Inside a BulkBuild window the store is skipped: the window
+// already dropped the index on entry and rebuilds it once on exit.
+// Callers hold structMu.
+func (d *Detector) invalidateAdmit() {
+	if !d.batching {
+		d.admit.Store(nil)
+	}
 }
 
 // DefinePrimitive declares a named primitive method event: class-level
@@ -276,31 +303,14 @@ func (d *Detector) register(name, sig string, build func() Node) (Node, error) {
 func (d *Detector) DefinePrimitive(name, class, method string, mod event.Modifier, instance event.OID) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	sig := fmt.Sprintf("prim(%s,%s,%s,%d)", class, method, mod, instance)
-	return d.register(name, sig, func() Node {
-		p := &PrimitiveNode{
-			nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
-			kind:     event.KindMethod,
-			class:    class,
-			method:   method,
-			modifier: mod,
-			instance: instance,
-		}
-		d.classes[class] = append(d.classes[class], p)
-		return p
-	})
+	return (&Bulk{d: d}).DefinePrimitive(name, class, method, mod, instance)
 }
 
 // DefineExplicit declares a named application-raised (abstract) event.
 func (d *Detector) DefineExplicit(name string) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	return d.register(name, "explicit("+name+")", func() Node {
-		return &PrimitiveNode{
-			nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
-			kind:     event.KindExplicit,
-		}
-	})
+	return (&Bulk{d: d}).DefineExplicit(name)
 }
 
 // transaction event nodes are created lazily on first reference.
@@ -308,13 +318,15 @@ func (d *Detector) txnNode(name string) *PrimitiveNode {
 	if n, ok := d.nodes[name]; ok {
 		return n.(*PrimitiveNode)
 	}
-	d.admit.Store(nil)
+	d.invalidateAdmit()
 	p := &PrimitiveNode{
 		nodeCore: nodeCore{d: d, name: name, comp: d.newComponent()},
 		kind:     event.KindTransaction,
 	}
 	d.nodes[name] = p
 	d.nodeSig[name] = "txn(" + name + ")"
+	p.names = append(p.names, name)
+	d.liveNodes.Add(1)
 	return p
 }
 
@@ -337,6 +349,13 @@ func (d *Detector) TransactionEvent(name string) (Node, error) {
 func (d *Detector) Alias(alias, existing string) error {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
+	return d.aliasLocked(alias, existing)
+}
+
+// aliasLocked implements Alias; callers hold structMu. An alias counts
+// as a hold on the node: a user-named event survives even when the last
+// rule retaining its subtree is dropped.
+func (d *Detector) aliasLocked(alias, existing string) error {
 	n, ok := d.nodes[existing]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownEvent, existing)
@@ -347,9 +366,12 @@ func (d *Detector) Alias(alias, existing string) error {
 		}
 		return fmt.Errorf("%w: %q", ErrDuplicateEvent, alias)
 	}
-	d.admit.Store(nil)
+	d.invalidateAdmit()
 	d.nodes[alias] = n
 	d.nodeSig[alias] = d.nodeSig[existing]
+	core := n.core()
+	core.names = append(core.names, alias)
+	core.pins++
 	return nil
 }
 
@@ -404,30 +426,21 @@ func (d *Detector) opNode(name, sig string, kids []Node, build func(core opCore)
 func (d *Detector) And(name string, a, b Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{a, b}
-	return d.opNode(name, "and("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &andNode{opCore: core}
-	})
+	return (&Bulk{d: d}).And(name, a, b)
 }
 
 // Or defines name = a ∨ b.
 func (d *Detector) Or(name string, a, b Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{a, b}
-	return d.opNode(name, "or("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &orNode{opCore: core}
-	})
+	return (&Bulk{d: d}).Or(name, a, b)
 }
 
 // Seq defines name = a ; b (a strictly before b).
 func (d *Detector) Seq(name string, a, b Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{a, b}
-	return d.opNode(name, "seq("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &seqNode{opCore: core}
-	})
+	return (&Bulk{d: d}).Seq(name, a, b)
 }
 
 // Not defines name = NOT(mid)[start, end]: end after start with no mid in
@@ -435,89 +448,50 @@ func (d *Detector) Seq(name string, a, b Node) (Node, error) {
 func (d *Detector) Not(name string, start, mid, end Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{start, mid, end}
-	return d.opNode(name, "not("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &notNode{opCore: core}
-	})
+	return (&Bulk{d: d}).Not(name, start, mid, end)
 }
 
 // Any defines name = ANY(m, events...): m distinct events of the list.
 func (d *Detector) Any(name string, m int, events ...Node) (Node, error) {
-	if m < 1 || m > len(events) {
-		return nil, fmt.Errorf("%w: ANY(%d) of %d events", ErrBadOperand, m, len(events))
-	}
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	return d.opNode(name, fmt.Sprintf("any(%d,%s)", m, childSig(events)), events, func(core opCore) operatorNode {
-		return &anyNode{opCore: core, m: m}
-	})
+	return (&Bulk{d: d}).Any(name, m, events...)
 }
 
 // A defines the aperiodic event name = A(start, mid, end).
 func (d *Detector) A(name string, start, mid, end Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{start, mid, end}
-	return d.opNode(name, "a("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &aNode{opCore: core}
-	})
+	return (&Bulk{d: d}).A(name, start, mid, end)
 }
 
 // AStar defines the cumulative aperiodic event name = A*(start, mid, end).
 func (d *Detector) AStar(name string, start, mid, end Node) (Node, error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{start, mid, end}
-	return d.opNode(name, "astar("+childSig(kids)+")", kids, func(core opCore) operatorNode {
-		return &aStarNode{opCore: core}
-	})
+	return (&Bulk{d: d}).AStar(name, start, mid, end)
 }
 
 // Plus defines name = start + delta (a temporal event delta time units
 // after each start).
 func (d *Detector) Plus(name string, start Node, delta uint64) (Node, error) {
-	if delta == 0 {
-		return nil, fmt.Errorf("%w: PLUS with zero delta", ErrBadOperand)
-	}
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	kids := []Node{start}
-	return d.opNode(name, fmt.Sprintf("plus(%s,%d)", childSig(kids), delta), kids, func(core opCore) operatorNode {
-		return &plusNode{opCore: core, delta: delta}
-	})
+	return (&Bulk{d: d}).Plus(name, start, delta)
 }
 
 // P defines the periodic event name = P(start, period, end).
 func (d *Detector) P(name string, start Node, period uint64, end Node) (Node, error) {
-	return d.periodic(name, start, period, end, false)
+	d.structMu.Lock()
+	defer d.structMu.Unlock()
+	return (&Bulk{d: d}).P(name, start, period, end)
 }
 
 // PStar defines the cumulative periodic event name = P*(start, period, end).
 func (d *Detector) PStar(name string, start Node, period uint64, end Node) (Node, error) {
-	return d.periodic(name, start, period, end, true)
-}
-
-func (d *Detector) periodic(name string, start Node, period uint64, end Node, star bool) (Node, error) {
-	if period == 0 {
-		return nil, fmt.Errorf("%w: periodic event with zero period", ErrBadOperand)
-	}
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
-	op := "p"
-	if star {
-		op = "pstar"
-	}
-	sig := fmt.Sprintf("%s(%s,%d,%s)", op, start.Name(), period, end.Name())
-	return d.register(name, sig, func() Node {
-		comp := d.mergeNodeComps([]Node{start, end})
-		comp.mu.Lock()
-		defer comp.mu.Unlock()
-		core := opCore{nodeCore: nodeCore{d: d, name: name, comp: comp}, kids: []Node{start, end}}
-		n := &pNode{opCore: core, period: period, star: star}
-		start.attach(n, 0)
-		end.attach(n, 2)
-		return n
-	})
+	return (&Bulk{d: d}).PStar(name, start, period, end)
 }
 
 // Subscribe attaches sub to the named event in the given parameter
@@ -529,11 +503,18 @@ func (d *Detector) periodic(name string, start Node, period uint64, end Node, st
 func (d *Detector) Subscribe(eventName string, ctx Context, sub Subscriber) (func(), error) {
 	d.structMu.Lock()
 	defer d.structMu.Unlock()
+	return d.subscribeLocked(eventName, ctx, sub)
+}
+
+// subscribeLocked implements Subscribe; callers hold structMu. The
+// returned unsubscribe closure takes structMu itself — it runs later,
+// outside any bulk window.
+func (d *Detector) subscribeLocked(eventName string, ctx Context, sub Subscriber) (func(), error) {
 	n, ok := d.nodes[eventName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, eventName)
 	}
-	d.admit.Store(nil)
+	d.invalidateAdmit()
 	root := n.component()
 	root.mu.Lock()
 	undo := n.subscribe(sub, ctx)

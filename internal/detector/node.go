@@ -65,6 +65,10 @@ type Node interface {
 	// assert failed rules never strand occurrences. Callers hold the
 	// node's component lock.
 	occupancy() int
+
+	// core exposes the shared bookkeeping (pins, names, edges) to the
+	// node-lifetime machinery in release.go.
+	core() *nodeCore
 }
 
 // operatorNode is a Node that consumes child occurrences.
@@ -102,9 +106,21 @@ type nodeCore struct {
 	parents  []parentEdge
 	rules    []*ruleEdge
 	refCount [numContexts]int
+
+	// Node-lifetime bookkeeping (release.go), all guarded by structMu:
+	// names lists every name (canonical plus aliases) mapping to this node
+	// in the detector's registry; pins counts external holds — one per
+	// alias and one per retaining rule — distinct from the per-context
+	// refCount above, which only gates detection. permanent marks nodes
+	// that are never collected (declared primitive and explicit events).
+	names     []string
+	pins      int
+	permanent bool
 }
 
 func (c *nodeCore) Name() string { return c.name }
+
+func (c *nodeCore) core() *nodeCore { return c }
 
 // component resolves the node's current root component.
 func (c *nodeCore) component() *component { return c.comp.find() }
@@ -120,6 +136,22 @@ func (c *nodeCore) detach(parent operatorNode, side int) {
 			return
 		}
 	}
+}
+
+// detachParent removes every parent edge leading to parent — used when
+// parent itself is released, so all of its operand positions go at once
+// (a duplicated operand holds two edges).
+func (c *nodeCore) detachParent(parent Node) {
+	out := c.parents[:0]
+	for _, e := range c.parents {
+		if Node(e.parent) != parent {
+			out = append(out, e)
+		}
+	}
+	for i := len(out); i < len(c.parents); i++ {
+		c.parents[i] = parentEdge{}
+	}
+	c.parents = out
 }
 
 func (c *nodeCore) activeIn(ctx Context) bool { return c.refCount[ctx] > 0 }

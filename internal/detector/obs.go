@@ -21,7 +21,23 @@ type obsCounters struct {
 	batchOccs   atomic.Uint64 // occurrences submitted through SignalBatch
 	txnFlushes  atomic.Uint64 // transaction flushes (commit/abort fan-out)
 	flushFanout atomic.Uint64 // components visited by transaction flushes
+
+	nodesShared   atomic.Uint64 // registrations satisfied by an existing node
+	nodesReleased atomic.Uint64 // nodes collected by the refcount release path
 }
+
+// SharedNodes returns how many node registrations were satisfied by an
+// existing structurally identical node — the subexpression-sharing hit
+// count the rule-scale benchmarks assert against.
+func (d *Detector) SharedNodes() uint64 { return d.obs.nodesShared.Load() }
+
+// LiveNodes returns the number of distinct nodes currently in the graph,
+// maintained incrementally on build and release.
+func (d *Detector) LiveNodes() int64 { return d.liveNodes.Load() }
+
+// ReleasedNodes returns how many nodes the refcount release path has
+// collected.
+func (d *Detector) ReleasedNodes() uint64 { return d.obs.nodesReleased.Load() }
 
 // ComponentStats reports the event graph's sharding shape: the number of
 // root (live) components, the number of distinct named nodes, and the
@@ -87,6 +103,15 @@ func (d *Detector) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sentinel_detector_batch_occurrences_total",
 		"Occurrences submitted through SignalBatch.",
 		d.obs.batchOccs.Load)
+	r.CounterFunc("sentinel_detector_nodes_shared_total",
+		"Node registrations satisfied by an existing structurally identical node (subexpression sharing).",
+		d.obs.nodesShared.Load)
+	r.CounterFunc("sentinel_detector_nodes_released_total",
+		"Nodes collected by the refcount release path after their last hold dropped.",
+		d.obs.nodesReleased.Load)
+	r.GaugeFunc("sentinel_detector_nodes_live",
+		"Distinct nodes currently resident in the event graph (incremental count).",
+		func() float64 { return float64(d.liveNodes.Load()) })
 	r.CounterFunc("sentinel_detector_txn_flushes_total",
 		"Transaction flushes of the event graph (commit/abort boundaries).",
 		d.obs.txnFlushes.Load)

@@ -1,0 +1,168 @@
+package detector
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestReleaseCollectsOperatorSubtree(t *testing.T) {
+	d := New()
+	d.DeclareClass("C", "")
+	a := mustPrim(t, d, "a", "C", "ma", event.End, 0)
+	b := mustPrim(t, d, "b", "C", "mb", event.End, 0)
+	x, err := d.And("(a^b)", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := d.Or("((a^b)|b)", x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = y
+	live := d.LiveNodes()
+	if err := d.Retain("((a^b)|b)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("((a^b)|b)"); err != nil {
+		t.Fatal(err)
+	}
+	// The or node and the and node under it are both gone; the declared
+	// primitives are permanent and survive.
+	for _, name := range []string{"((a^b)|b)", "(a^b)"} {
+		if _, err := d.Lookup(name); !errors.Is(err, ErrUnknownEvent) {
+			t.Fatalf("Lookup(%q) after release: %v", name, err)
+		}
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := d.Lookup(name); err != nil {
+			t.Fatalf("primitive %q collected: %v", name, err)
+		}
+	}
+	if got := d.LiveNodes(); got != live-2 {
+		t.Fatalf("LiveNodes=%d want %d", got, live-2)
+	}
+	if d.ReleasedNodes() != 2 {
+		t.Fatalf("ReleasedNodes=%d want 2", d.ReleasedNodes())
+	}
+}
+
+func TestReleaseKeepsSharedSubexpression(t *testing.T) {
+	d := New()
+	d.DeclareClass("C", "")
+	a := mustPrim(t, d, "a", "C", "ma", event.End, 0)
+	b := mustPrim(t, d, "b", "C", "mb", event.End, 0)
+	c := mustPrim(t, d, "c", "C", "mc", event.End, 0)
+	x, err := d.And("(a^b)", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Seq("((a^b)>>c)", x, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Or("((a^b)|c)", x, c); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"((a^b)>>c)", "((a^b)|c)"} {
+		if err := d.Retain(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Release("((a^b)>>c)"); err != nil {
+		t.Fatal(err)
+	}
+	// (a^b) is still a child of the surviving or node.
+	if _, err := d.Lookup("(a^b)"); err != nil {
+		t.Fatalf("shared subexpression collected: %v", err)
+	}
+	if err := d.Release("((a^b)|c)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lookup("(a^b)"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("subexpression survived last release: %v", err)
+	}
+}
+
+func TestAliasPinsNode(t *testing.T) {
+	d := New()
+	d.DeclareClass("C", "")
+	a := mustPrim(t, d, "a", "C", "ma", event.End, 0)
+	b := mustPrim(t, d, "b", "C", "mb", event.End, 0)
+	if _, err := d.And("(a^b)", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alias("e", "(a^b)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Retain("e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("e"); err != nil {
+		t.Fatal(err)
+	}
+	// The alias itself still pins the node.
+	if _, err := d.Lookup("(a^b)"); err != nil {
+		t.Fatalf("aliased node collected: %v", err)
+	}
+}
+
+func TestRuleSubscriptionBlocksCollection(t *testing.T) {
+	d := New()
+	d.DeclareClass("C", "")
+	a := mustPrim(t, d, "a", "C", "ma", event.End, 0)
+	b := mustPrim(t, d, "b", "C", "mb", event.End, 0)
+	if _, err := d.And("(a^b)", a, b); err != nil {
+		t.Fatal(err)
+	}
+	unsub, err := d.Subscribe("(a^b)", Recent, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Retain("(a^b)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("(a^b)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lookup("(a^b)"); err != nil {
+		t.Fatalf("subscribed node collected: %v", err)
+	}
+	unsub()
+	// Unsubscribe alone does not collect (no release ran after it); a
+	// fresh retain/release cycle does.
+	if err := d.Retain("(a^b)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("(a^b)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lookup("(a^b)"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("node survived release after unsubscribe: %v", err)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	d := New()
+	if err := d.Release("nope"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("release unknown: %v", err)
+	}
+	if err := d.Retain("nope"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("retain unknown: %v", err)
+	}
+	d.DeclareClass("C", "")
+	mustPrim(t, d, "a", "C", "ma", event.End, 0)
+	if err := d.Release("a"); err == nil {
+		t.Fatal("release of unpinned event succeeded")
+	}
+	// Permanent nodes survive a retain/release cycle.
+	if err := d.Retain("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lookup("a"); err != nil {
+		t.Fatalf("declared primitive collected: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package rules
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/detector"
+)
+
+// TestDefineDuplicateNameRace races many Defines of one rule name:
+// exactly one must win, and the losers must report ErrDuplicateRule (the
+// name is reserved before the event subscription is published, so two
+// racing Defines can never both install). Run with -race.
+func TestDefineDuplicateNameRace(t *testing.T) {
+	e := newEnv(t)
+	const racers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.rules.Define(Spec{
+				Name:   "R",
+				Event:  "e1",
+				Action: func(*Execution) error { return nil },
+			})
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			won++
+		case errors.Is(err, ErrDuplicateRule):
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d Defines won the race, want exactly 1", won)
+	}
+	if _, err := e.rules.Get("R"); err != nil {
+		t.Fatalf("winner not installed: %v", err)
+	}
+}
+
+// TestDropReleasesDeferredRewrite checks that dropping the last deferred
+// rule on an event collects the A*(beginTransaction, E, preCommit)
+// rewrite node instead of leaking it.
+func TestDropReleasesDeferredRewrite(t *testing.T) {
+	e := newEnv(t)
+	const astar = "A*(beginTransaction,e1,preCommitTransaction)"
+	mk := func(name string) {
+		t.Helper()
+		if _, err := e.rules.Define(Spec{
+			Name:     name,
+			Event:    "e1",
+			Coupling: Deferred,
+			Action:   func(*Execution) error { return nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R1")
+	mk("R2")
+	if _, err := e.det.Lookup(astar); err != nil {
+		t.Fatalf("A* rewrite node missing: %v", err)
+	}
+	if err := e.rules.Drop("R1"); err != nil {
+		t.Fatal(err)
+	}
+	// R2 still holds the rewrite.
+	if _, err := e.det.Lookup(astar); err != nil {
+		t.Fatalf("A* node collected while a deferred rule remains: %v", err)
+	}
+	released := e.det.ReleasedNodes()
+	if err := e.rules.Drop("R2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.det.Lookup(astar); !errors.Is(err, detector.ErrUnknownEvent) {
+		t.Fatalf("A* node leaked after last deferred rule dropped: %v", err)
+	}
+	if e.det.ReleasedNodes() <= released {
+		t.Fatal("release counter did not move")
+	}
+	// e1 itself is untouched.
+	if _, err := e.det.Lookup("e1"); err != nil {
+		t.Fatalf("user event collected: %v", err)
+	}
+}
+
+func TestDefineBatchInstallsAndFires(t *testing.T) {
+	e := newEnv(t)
+	var mu sync.Mutex
+	var fired []string
+	act := func(name string) Action {
+		return func(*Execution) error {
+			mu.Lock()
+			defer mu.Unlock()
+			fired = append(fired, name)
+			return nil
+		}
+	}
+	rs, err := e.rules.DefineBatch([]Spec{
+		{Name: "B1", Event: "e1", Action: act("B1")},
+		{Name: "B2", Event: "e2", Action: act("B2")},
+		{Name: "B3", Event: "e1", Coupling: Deferred, Action: act("B3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("rules=%d", len(rs))
+	}
+	tx, _ := e.txns.Begin()
+	e.sig("e1", tx)
+	e.sig("e2", tx)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 3 {
+		t.Fatalf("fired=%v", fired)
+	}
+	// The deferred rule ran at pre-commit, after both immediates.
+	if fired[len(fired)-1] != "B3" {
+		t.Fatalf("deferred rule order: %v", fired)
+	}
+}
+
+// TestDefineBatchAllOrNothing checks that an invalid spec in a batch
+// installs nothing and leaks no detector pins.
+func TestDefineBatchAllOrNothing(t *testing.T) {
+	e := newEnv(t)
+	noop := func(*Execution) error { return nil }
+	_, err := e.rules.DefineBatch([]Spec{
+		{Name: "G1", Event: "e1", Action: noop},
+		{Name: "G2", Event: "no-such-event", Action: noop},
+	})
+	if err == nil {
+		t.Fatal("batch with unknown event succeeded")
+	}
+	if _, err := e.rules.Get("G1"); !errors.Is(err, ErrUnknownRule) {
+		t.Fatalf("G1 installed despite failed batch: %v", err)
+	}
+	// The names are free again.
+	if _, err := e.rules.Define(Spec{Name: "G1", Event: "e1", Action: noop}); err != nil {
+		t.Fatalf("name not released after failed batch: %v", err)
+	}
+
+	// Duplicates inside one batch are rejected up front.
+	if _, err := e.rules.DefineBatch([]Spec{
+		{Name: "D", Event: "e1", Action: noop},
+		{Name: "D", Event: "e2", Action: noop},
+	}); !errors.Is(err, ErrDuplicateRule) {
+		t.Fatalf("duplicate in batch: %v", err)
+	}
+	if _, err := e.rules.Define(Spec{Name: "D", Event: "e1", Action: noop}); err != nil {
+		t.Fatalf("name not released after duplicate batch: %v", err)
+	}
+}
+
+// TestBatchDropCycle loads a batch, drops every rule, and checks the
+// graph returns to its pre-batch node count (no leaked operator nodes).
+func TestBatchDropCycle(t *testing.T) {
+	e := newEnv(t)
+	live := e.det.LiveNodes()
+	noop := func(*Execution) error { return nil }
+	specs := []Spec{
+		{Name: "C1", Event: "e1", Coupling: Deferred, Action: noop},
+		{Name: "C2", Event: "e2", Coupling: Deferred, Action: noop},
+		{Name: "C3", Event: "e1", Action: noop},
+	}
+	if _, err := e.rules.DefineBatch(specs); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := e.rules.Drop(s.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.det.LiveNodes(); got != live {
+		t.Fatalf("LiveNodes=%d after drop cycle, want %d", got, live)
+	}
+}

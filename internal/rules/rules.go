@@ -288,6 +288,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	rules    map[string]*Rule
+	reserved map[string]struct{}    // names claimed by in-flight Defines
 	running  map[uint64]*sched.Task // rule subtxn id -> its task
 	detached sync.WaitGroup
 
@@ -331,6 +332,7 @@ type ruleMetrics struct {
 	exhausted *obs.Counter
 	sheds     *obs.Counter
 	cascade   *obs.Histogram
+	bulkLoad  *obs.Histogram
 }
 
 // RegisterMetrics wires the rule manager into a metrics registry: rule
@@ -354,6 +356,9 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 		cascade: r.Histogram("sentinel_rules_cascade_depth",
 			"Nesting depth of rule triggerings (1 = top-level, deeper = rules triggered by rules).",
 			obs.DepthBuckets()),
+		bulkLoad: r.Histogram("sentinel_rules_bulk_load_seconds",
+			"Wall time of DefineBatch bulk rule loads (reservation through catalog install).",
+			obs.DurationBuckets()),
 	}
 	met.fires[Immediate] = r.Counter("sentinel_rules_fires_immediate_total",
 		"Completed executions of IMMEDIATE rules.")
@@ -375,11 +380,12 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 // scheduler.
 func NewManager(det *detector.Detector, txns *txn.Manager, s *sched.Scheduler) *Manager {
 	return &Manager{
-		det:     det,
-		txns:    txns,
-		sched:   s,
-		rules:   make(map[string]*Rule),
-		running: make(map[uint64]*sched.Task),
+		det:      det,
+		txns:     txns,
+		sched:    s,
+		rules:    make(map[string]*Rule),
+		reserved: make(map[string]struct{}),
+		running:  make(map[uint64]*sched.Task),
 	}
 }
 
@@ -387,34 +393,65 @@ func NewManager(det *detector.Detector, txns *txn.Manager, s *sched.Scheduler) *
 // scheduling points).
 func (m *Manager) Scheduler() *sched.Scheduler { return m.sched }
 
+// validateSpec rejects specs no Define path accepts.
+func validateSpec(spec Spec) error {
+	if spec.Action == nil {
+		return fmt.Errorf("%w: %q", ErrNoAction, spec.Name)
+	}
+	if spec.Class == "" && spec.Visibility != Public {
+		return fmt.Errorf("rules: %q: %v visibility requires an owning class", spec.Name, spec.Visibility)
+	}
+	return nil
+}
+
+// reserve claims the name for an in-flight Define under one critical
+// section, so two concurrent Defines of the same name cannot both pass
+// the duplicate check (the loser used to silently overwrite the winner
+// in the catalog and leak its detector subscription).
+func (m *Manager) reserve(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.rules[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateRule, name)
+	}
+	if _, dup := m.reserved[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateRule, name)
+	}
+	m.reserved[name] = struct{}{}
+	return nil
+}
+
+// unreserve abandons a reservation after a failed Define.
+func (m *Manager) unreserve(name string) {
+	m.mu.Lock()
+	delete(m.reserved, name)
+	m.mu.Unlock()
+}
+
 // Define creates, registers and enables a rule.
 func (m *Manager) Define(spec Spec) (*Rule, error) {
-	if spec.Action == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNoAction, spec.Name)
+	if err := validateSpec(spec); err != nil {
+		return nil, err
 	}
-	m.mu.Lock()
-	if _, dup := m.rules[spec.Name]; dup {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateRule, spec.Name)
+	if err := m.reserve(spec.Name); err != nil {
+		return nil, err
 	}
-	m.mu.Unlock()
 
 	eventName := spec.Event
 	if spec.Coupling == Deferred {
 		// The Sentinel pre-processor rewrite: deferred on E becomes
 		// immediate on A*(beginTransaction, E, preCommitTransaction).
-		rewritten, err := m.deferredEvent(spec.Name, spec.Event)
+		rewritten, err := m.deferredEvent(spec.Event)
 		if err != nil {
+			m.unreserve(spec.Name)
 			return nil, err
 		}
 		eventName = rewritten
-	} else if _, err := m.det.Lookup(spec.Event); err != nil {
+	} else if err := m.det.Retain(spec.Event); err != nil {
+		m.unreserve(spec.Name)
 		return nil, err
 	}
 
-	if spec.Class == "" && spec.Visibility != Public {
-		return nil, fmt.Errorf("rules: %q: %v visibility requires an owning class", spec.Name, spec.Visibility)
-	}
 	r := &Rule{
 		mgr:       m,
 		name:      spec.Name,
@@ -430,34 +467,151 @@ func (m *Manager) Define(spec Spec) (*Rule, error) {
 		vis:       spec.Visibility,
 	}
 	if err := r.Enable(); err != nil {
+		_ = m.det.Release(eventName)
+		m.unreserve(spec.Name)
 		return nil, err
 	}
 	m.mu.Lock()
+	delete(m.reserved, spec.Name)
 	m.rules[spec.Name] = r
 	m.mu.Unlock()
 	return r, nil
 }
 
 // deferredEvent builds (or reuses) the A* rewrite event for a deferred
-// rule and returns its name.
-func (m *Manager) deferredEvent(rule, userEvent string) (string, error) {
-	e, err := m.det.Lookup(userEvent)
-	if err != nil {
-		return "", err
-	}
-	bt, err := m.det.TransactionEvent(event.BeginTransaction)
-	if err != nil {
-		return "", err
-	}
-	pc, err := m.det.TransactionEvent(event.PreCommit)
-	if err != nil {
-		return "", err
-	}
+// rule and returns its name with one pin taken for the defining rule, all
+// in one structure-lock window — so a concurrent Drop of the last other
+// deferred rule on the same event cannot collect the node between the
+// build and the pin.
+func (m *Manager) deferredEvent(userEvent string) (string, error) {
 	name := "A*(beginTransaction," + userEvent + ",preCommitTransaction)"
-	if _, err := m.det.AStar(name, bt, e, pc); err != nil {
+	err := m.det.BulkBuild(func(b *detector.Bulk) error {
+		return deferredEventIn(b, userEvent, name)
+	})
+	if err != nil {
 		return "", err
 	}
 	return name, nil
+}
+
+// deferredEventIn builds and pins the deferred rewrite inside an open
+// bulk window.
+func deferredEventIn(b *detector.Bulk, userEvent, name string) error {
+	e, err := b.Lookup(userEvent)
+	if err != nil {
+		return err
+	}
+	bt, err := b.TransactionEvent(event.BeginTransaction)
+	if err != nil {
+		return err
+	}
+	pc, err := b.TransactionEvent(event.PreCommit)
+	if err != nil {
+		return err
+	}
+	if _, err := b.AStar(name, bt, e, pc); err != nil {
+		return err
+	}
+	return b.Retain(name)
+}
+
+// DefineBatch defines and enables many rules in one detector
+// structure-lock window: names are reserved in one catalog critical
+// section, every event subtree is built and subscribed under a single
+// BulkBuild window (one admission-index invalidation and rebuild for the
+// whole batch), and the rules are installed in the catalog together. On
+// any error the already-built rules are unwound and nothing is installed.
+func (m *Manager) DefineBatch(specs []Spec) ([]*Rule, error) {
+	start := time.Now()
+	for i := range specs {
+		if err := validateSpec(specs[i]); err != nil {
+			return nil, err
+		}
+	}
+	m.mu.Lock()
+	for i := range specs {
+		name := specs[i].Name
+		_, dupR := m.rules[name]
+		_, dupP := m.reserved[name]
+		if dupR || dupP {
+			for j := 0; j < i; j++ {
+				delete(m.reserved, specs[j].Name)
+			}
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateRule, name)
+		}
+		m.reserved[name] = struct{}{}
+	}
+	m.mu.Unlock()
+
+	built := make([]*Rule, 0, len(specs))
+	err := m.det.BulkBuild(func(b *detector.Bulk) error {
+		for i := range specs {
+			spec := &specs[i]
+			eventName := spec.Event
+			if spec.Coupling == Deferred {
+				rewritten := "A*(beginTransaction," + spec.Event + ",preCommitTransaction)"
+				if err := deferredEventIn(b, spec.Event, rewritten); err != nil {
+					return err
+				}
+				eventName = rewritten
+			} else if err := b.Retain(spec.Event); err != nil {
+				return err
+			}
+			r := &Rule{
+				mgr:       m,
+				name:      spec.Name,
+				eventName: eventName,
+				userEvent: spec.Event,
+				cond:      spec.Condition,
+				action:    spec.Action,
+				ctx:       spec.Context,
+				coupling:  spec.Coupling,
+				priority:  spec.Priority,
+				trigger:   spec.Trigger,
+				class:     spec.Class,
+				vis:       spec.Visibility,
+			}
+			unsub, err := b.Subscribe(eventName, spec.Context, r)
+			if err != nil {
+				_ = b.Release(eventName)
+				return err
+			}
+			// The rule is enabled directly: it is not yet published, so no
+			// concurrent Enable/Disable can race the unlocked dance Enable
+			// performs for published rules.
+			r.unsub = unsub
+			r.enabled = true
+			if spec.Trigger == Now {
+				r.minSeq = b.SeqNow() + 1
+			}
+			built = append(built, r)
+		}
+		return nil
+	})
+	if err != nil {
+		for _, r := range built {
+			r.Disable()
+			_ = m.det.Release(r.eventName)
+		}
+		m.mu.Lock()
+		for i := range specs {
+			delete(m.reserved, specs[i].Name)
+		}
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.mu.Lock()
+	for _, r := range built {
+		delete(m.reserved, r.name)
+		m.rules[r.name] = r
+	}
+	m.mu.Unlock()
+	if met := m.met; met != nil {
+		met.enables.Add(uint64(len(built)))
+		met.bulkLoad.ObserveDuration(time.Since(start))
+	}
+	return built, nil
 }
 
 // Get returns a defined rule.
@@ -481,7 +635,11 @@ func (m *Manager) Rules() []string {
 	return out
 }
 
-// Drop disables and removes a rule.
+// Drop disables and removes a rule, releasing its hold on the event
+// subtree: subexpression nodes no surviving rule or alias reaches are
+// collected, and for a deferred rule the A*(beginTransaction, E,
+// preCommit) rewrite event goes with the last deferred rule on E —
+// previously it stayed resident in the graph forever with no subscribers.
 func (m *Manager) Drop(name string) error {
 	m.mu.Lock()
 	r, ok := m.rules[name]
@@ -491,6 +649,7 @@ func (m *Manager) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownRule, name)
 	}
 	r.Disable()
+	_ = m.det.Release(r.eventName)
 	return nil
 }
 

@@ -11,6 +11,16 @@
 // order lexicographically with larger elements first, and a path extending
 // another runs before it resumes — which is precisely priority-ordered
 // depth-first execution.
+//
+// Concurrent execution inside a priority class runs on a persistent worker
+// pool (the paper's pool of free threads), started lazily on the first
+// parallel class and shared by every Drain thereafter. Each worker owns a
+// shard of the dispatched class; a worker whose shard runs dry steals from
+// its siblings' shards, so a class whose tasks have skewed run times still
+// keeps every worker busy. The goroutine dispatching a class helps run it
+// rather than blocking, which both bounds drain latency and makes nested
+// scheduling points (a rule action invoking a method re-enters Drain on a
+// pool worker) deadlock-free by construction.
 package sched
 
 import (
@@ -77,10 +87,13 @@ type Task struct {
 	// enqueuedAt is stamped by Enqueue when latency histograms are wired,
 	// so task wait time (enqueue → start) can be observed.
 	enqueuedAt time.Time
+	// batch is the dispatch the task belongs to while it sits in a pool
+	// shard; Done is called exactly once after the task runs.
+	batch *sync.WaitGroup
 }
 
-// Scheduler executes tasks with a bounded worker pool per priority class.
-// The zero value is not usable; call New.
+// Scheduler executes tasks with a persistent work-stealing worker pool per
+// priority class. The zero value is not usable; call New.
 type Scheduler struct {
 	mu      sync.Mutex
 	queue   []*Task
@@ -92,11 +105,23 @@ type Scheduler struct {
 	// Ran counts executed tasks, for the benchmarks.
 	Ran uint64
 
-	// Observability: drain/class counters are always-on atomics; the
+	// Worker pool: shards[i] is worker i's home run queue, all guarded by
+	// pmu; pcond wakes idle workers when a class is dispatched or the pool
+	// closes. Workers start lazily on the first parallel class, so serial
+	// schedulers never spawn a goroutine.
+	pmu      sync.Mutex
+	pcond    *sync.Cond
+	shards   [][]*Task
+	started  bool
+	closed   bool
+	workerWG sync.WaitGroup
+
+	// Observability: drain/class/steal counters are always-on atomics; the
 	// latency histograms are nil until RegisterMetrics wires them (before
 	// any concurrent use), so unobserved schedulers never call the clock.
 	drains      atomic.Uint64
 	classDrains atomic.Uint64
+	steals      atomic.Uint64
 	waitHist    *obs.Histogram
 	runHist     *obs.Histogram
 }
@@ -107,7 +132,9 @@ func New(workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Scheduler{workers: workers}
+	s := &Scheduler{workers: workers, shards: make([][]*Task, workers)}
+	s.pcond = sync.NewCond(&s.pmu)
+	return s
 }
 
 // Enqueue adds a triggered rule. Safe to call from anywhere, including
@@ -128,14 +155,34 @@ func (s *Scheduler) Pending() int {
 	return len(s.queue)
 }
 
+// Steals returns how many tasks pool workers have stolen from sibling
+// shards.
+func (s *Scheduler) Steals() uint64 { return s.steals.Load() }
+
 // Drain runs tasks until the queue is empty: this is the scheduling point
 // at which the paper suspends the main application. Each round takes the
-// most urgent priority class, runs all its tasks (concurrently up to the
-// worker bound, or serially in Serial mode), waits for them — including
+// most urgent priority class, runs all its tasks (concurrently on the
+// worker pool, or serially in Serial mode), waits for them — including
 // any deeper tasks they spawned, which outrank them — and repeats.
 func (s *Scheduler) Drain() {
 	s.drains.Add(1)
 	s.drainAbove(nil)
+}
+
+// Close shuts the worker pool down and waits for the workers to exit.
+// Call it after the final Drain; it is idempotent. A Drain after Close
+// still completes — the dispatching goroutine runs the whole class
+// itself — it just no longer runs tasks concurrently.
+func (s *Scheduler) Close() {
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return
+	}
+	s.closed = true
+	s.pmu.Unlock()
+	s.pcond.Broadcast()
+	s.workerWG.Wait()
 }
 
 // drainAbove runs every queued task whose priority strictly outranks
@@ -157,19 +204,118 @@ func (s *Scheduler) drainAbove(floor Path) {
 			}
 			continue
 		}
-		sem := make(chan struct{}, s.workers)
-		var wg sync.WaitGroup
-		for _, t := range batch {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(t *Task) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				s.runOne(t)
-			}(t)
-		}
-		wg.Wait()
+		s.runBatch(batch)
 	}
+}
+
+// runBatch dispatches one priority class onto the worker pool, scattering
+// the tasks round-robin across the workers' shards, then helps run the
+// class instead of blocking: it keeps pulling this batch's still-queued
+// tasks until none remain, and only then waits for the in-flight
+// remainder. Helping is what makes re-entrant scheduling points safe — a
+// pool worker whose task reaches a nested Drain dispatches and helps run
+// the nested class itself, so every dispatched task is always claimable
+// by some goroutine that is not asleep.
+func (s *Scheduler) runBatch(batch []*Task) {
+	var wg sync.WaitGroup
+	wg.Add(len(batch))
+	for _, t := range batch {
+		t.batch = &wg
+	}
+	s.pmu.Lock()
+	// The pool holds workers-1 goroutines: the dispatcher's help loop
+	// below is the remaining executor, so in-class concurrency stays
+	// bounded by the configured worker count.
+	if !s.started && !s.closed && s.workers > 1 {
+		s.started = true
+		s.workerWG.Add(s.workers - 1)
+		for i := 0; i < s.workers-1; i++ {
+			go s.worker(i)
+		}
+	}
+	for i, t := range batch {
+		shard := i % s.workers
+		s.shards[shard] = append(s.shards[shard], t)
+	}
+	s.pmu.Unlock()
+	s.pcond.Broadcast()
+	for {
+		t := s.takeFromBatch(&wg)
+		if t == nil {
+			break
+		}
+		s.runOne(t)
+		wg.Done()
+	}
+	wg.Wait()
+}
+
+// takeFromBatch removes one still-queued task belonging to the given
+// dispatch from whichever shard holds it, for the dispatcher's help loop.
+func (s *Scheduler) takeFromBatch(wg *sync.WaitGroup) *Task {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for si, sh := range s.shards {
+		for i, t := range sh {
+			if t.batch == wg {
+				copy(sh[i:], sh[i+1:])
+				sh[len(sh)-1] = nil
+				s.shards[si] = sh[:len(sh)-1]
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// worker is one pool goroutine: it drains its home shard in dispatch
+// order, steals from sibling shards when home is dry, and sleeps on the
+// pool condition when there is no work anywhere.
+func (s *Scheduler) worker(home int) {
+	defer s.workerWG.Done()
+	s.pmu.Lock()
+	for {
+		t, stolen := s.takeWorkLocked(home)
+		if t == nil {
+			if s.closed {
+				s.pmu.Unlock()
+				return
+			}
+			s.pcond.Wait()
+			continue
+		}
+		s.pmu.Unlock()
+		if stolen {
+			s.steals.Add(1)
+		}
+		s.runOne(t)
+		t.batch.Done()
+		s.pmu.Lock()
+	}
+}
+
+// takeWorkLocked pops the next task for a worker: the head of its home
+// shard, or — when home is empty — the tail of the first non-empty
+// sibling shard (a steal). Callers hold pmu.
+func (s *Scheduler) takeWorkLocked(home int) (t *Task, stolen bool) {
+	if sh := s.shards[home]; len(sh) > 0 {
+		t := sh[0]
+		copy(sh, sh[1:])
+		sh[len(sh)-1] = nil
+		s.shards[home] = sh[:len(sh)-1]
+		return t, false
+	}
+	for off := 1; off < s.workers; off++ {
+		vi := (home + off) % s.workers
+		sh := s.shards[vi]
+		if len(sh) > 0 {
+			t := sh[len(sh)-1]
+			sh[len(sh)-1] = nil
+			s.shards[vi] = sh[:len(sh)-1]
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 func (s *Scheduler) runOne(t *Task) {
@@ -193,9 +339,10 @@ func (s *Scheduler) runOne(t *Task) {
 }
 
 // RegisterMetrics wires the scheduler into a metrics registry: queue
-// depth, executed tasks, drain rounds, drained priority classes, and task
-// wait/run latency histograms. Call it before the scheduler is shared
-// across goroutines (the histogram fields are written unsynchronized).
+// depth, executed tasks, drain rounds, drained priority classes, steals,
+// and task wait/run latency histograms. Call it before the scheduler is
+// shared across goroutines (the histogram fields are written
+// unsynchronized).
 func (s *Scheduler) RegisterMetrics(r *obs.Registry) {
 	s.waitHist = r.Histogram("sentinel_sched_task_wait_seconds",
 		"Time tasks spent queued between Enqueue and the start of execution.",
@@ -219,6 +366,9 @@ func (s *Scheduler) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sentinel_sched_class_drains_total",
 		"Priority classes drained (batches of equal-priority tasks taken).",
 		s.classDrains.Load)
+	r.CounterFunc("sentinel_sched_steals_total",
+		"Tasks pool workers stole from sibling shards (equal-priority work stealing).",
+		s.steals.Load)
 }
 
 // takeTopClassAbove removes and returns every queued task belonging to the

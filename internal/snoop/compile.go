@@ -35,6 +35,34 @@ type Compiler struct {
 // ErrNoRuleManager is returned for rule declarations without a manager.
 var ErrNoRuleManager = errors.New("snoop: compiler has no rule manager")
 
+// graphBuilder is the slice of the detector's definition surface the
+// compiler needs. Both *detector.Detector (one lock acquisition per
+// definition) and *detector.Bulk (one lock window for a whole batch)
+// satisfy it, so every compile path below is written once and runs in
+// either mode.
+type graphBuilder interface {
+	DeclareClass(name, super string)
+	DefinePrimitive(name, class, method string, mod event.Modifier, instance event.OID) (detector.Node, error)
+	TransactionEvent(name string) (detector.Node, error)
+	Alias(alias, existing string) error
+	Lookup(name string) (detector.Node, error)
+	And(name string, x, y detector.Node) (detector.Node, error)
+	Or(name string, x, y detector.Node) (detector.Node, error)
+	Seq(name string, x, y detector.Node) (detector.Node, error)
+	Not(name string, start, mid, end detector.Node) (detector.Node, error)
+	Any(name string, m int, events ...detector.Node) (detector.Node, error)
+	A(name string, start, mid, end detector.Node) (detector.Node, error)
+	AStar(name string, start, mid, end detector.Node) (detector.Node, error)
+	Plus(name string, start detector.Node, delta uint64) (detector.Node, error)
+	P(name string, start detector.Node, period uint64, end detector.Node) (detector.Node, error)
+	PStar(name string, start detector.Node, period uint64, end detector.Node) (detector.Node, error)
+}
+
+var (
+	_ graphBuilder = (*detector.Detector)(nil)
+	_ graphBuilder = (*detector.Bulk)(nil)
+)
+
 // CompileSource parses and compiles a specification.
 func (c *Compiler) CompileSource(src string) error {
 	decls, err := Parse(src)
@@ -44,15 +72,16 @@ func (c *Compiler) CompileSource(src string) error {
 	return c.Compile(decls)
 }
 
-// Compile applies the declarations in order.
+// Compile applies the declarations in order, one detector lock
+// acquisition per definition. For large rule bases prefer CompileBulk.
 func (c *Compiler) Compile(decls []Decl) error {
 	for _, d := range decls {
 		var err error
 		switch d := d.(type) {
 		case *ClassDecl:
-			err = c.compileClass(d)
+			err = c.compileClass(c.Det, d, nil)
 		case *EventDecl:
-			err = c.compileEvent(d)
+			err = c.compileEvent(c.Det, d)
 		case *RuleDecl:
 			err = c.compileRule(d)
 		default:
@@ -65,28 +94,121 @@ func (c *Compiler) Compile(decls []Decl) error {
 	return nil
 }
 
-func (c *Compiler) compileClass(d *ClassDecl) error {
-	c.Det.DeclareClass(d.Name, d.Super)
-	if c.Objects != nil {
-		if _, err := c.Objects.DefineClass(d.Name, d.Super, d.Reactive); err != nil &&
-			!errors.Is(err, object.ErrDuplicateClass) {
+// CompileBulkSource parses and bulk-compiles a specification.
+func (c *Compiler) CompileBulkSource(src string) error {
+	decls, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return c.CompileBulk(decls)
+}
+
+// CompileBulk applies the declarations as a batch: all classes, events,
+// and rule event expressions are built inside one detector BulkBuild
+// window (one structure-lock acquisition, one admission-index rebuild),
+// and the collected rule specs are then installed through
+// rules.Manager.DefineBatch (a second window that subscribes and pins
+// every rule). Two lock windows total, independent of batch size.
+//
+// Declarations up to the first error are applied, as with Compile; if
+// the error occurs in the rule-installation phase, all events remain
+// defined and no rule from the batch is installed.
+func (c *Compiler) CompileBulk(decls []Decl) error {
+	// Object-registry class registration happens before the detector
+	// window opens: the registry signals the detector itself
+	// (DeclareClass), which must not run while BulkBuild holds the
+	// structure lock.
+	for _, d := range decls {
+		if cd, ok := d.(*ClassDecl); ok {
+			if err := c.registerClassObject(cd); err != nil {
+				return err
+			}
+		}
+	}
+	var specs []rules.Spec
+	err := c.Det.BulkBuild(func(b *detector.Bulk) error {
+		for _, d := range decls {
+			var err error
+			switch d := d.(type) {
+			case *ClassDecl:
+				err = c.compileClass(b, d, &specs)
+			case *EventDecl:
+				err = c.compileEvent(b, d)
+			case *RuleDecl:
+				if c.Rules == nil {
+					return fmt.Errorf("%w (rule %q)", ErrNoRuleManager, d.Name)
+				}
+				var spec rules.Spec
+				if spec, err = c.ruleSpec(b, d); err == nil {
+					specs = append(specs, spec)
+				}
+			default:
+				err = fmt.Errorf("snoop: unknown declaration %T", d)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	_, err = c.Rules.DefineBatch(specs)
+	return err
+}
+
+// registerClassObject registers the class with the object registry (a
+// no-op without one). Never called while a detector BulkBuild window is
+// open: the registry calls back into the detector.
+func (c *Compiler) registerClassObject(d *ClassDecl) error {
+	if c.Objects == nil {
+		return nil
+	}
+	if _, err := c.Objects.DefineClass(d.Name, d.Super, d.Reactive); err != nil &&
+		!errors.Is(err, object.ErrDuplicateClass) {
+		return err
+	}
+	return nil
+}
+
+// compileClass declares the class and its event interface through g.
+// Rules declared in the class body are defined immediately when specs is
+// nil, or collected into *specs for batch installation. The object
+// registry is updated only in sequential mode (specs == nil); CompileBulk
+// registers classes in a pre-pass before its lock window.
+func (c *Compiler) compileClass(g graphBuilder, d *ClassDecl, specs *[]rules.Spec) error {
+	g.DeclareClass(d.Name, d.Super)
+	if specs == nil {
+		if err := c.registerClassObject(d); err != nil {
 			return err
 		}
 	}
 	for _, ce := range d.Events {
 		if ce.BeginName != "" {
-			if _, err := c.Det.DefinePrimitive(ce.BeginName, d.Name, ce.Signature(), event.Begin, 0); err != nil {
+			if _, err := g.DefinePrimitive(ce.BeginName, d.Name, ce.Signature(), event.Begin, 0); err != nil {
 				return err
 			}
 		}
 		if ce.EndName != "" {
-			if _, err := c.Det.DefinePrimitive(ce.EndName, d.Name, ce.Signature(), event.End, 0); err != nil {
+			if _, err := g.DefinePrimitive(ce.EndName, d.Name, ce.Signature(), event.End, 0); err != nil {
 				return err
 			}
 		}
 	}
 	if c.Rules != nil {
 		for _, rd := range d.Rules {
+			if specs != nil {
+				spec, err := c.ruleSpec(g, rd)
+				if err != nil {
+					return err
+				}
+				*specs = append(*specs, spec)
+				continue
+			}
 			if err := c.compileRule(rd); err != nil {
 				return err
 			}
@@ -95,12 +217,12 @@ func (c *Compiler) compileClass(d *ClassDecl) error {
 	return nil
 }
 
-func (c *Compiler) compileEvent(d *EventDecl) error {
-	node, err := c.compileExpr(d.Expr)
+func (c *Compiler) compileEvent(g graphBuilder, d *EventDecl) error {
+	node, err := c.compileExpr(g, Normalize(d.Expr))
 	if err != nil {
 		return err
 	}
-	return c.Det.Alias(d.Name, node.Name())
+	return g.Alias(d.Name, node.Name())
 }
 
 // builtinTxnEvents maps the transaction event identifiers.
@@ -114,13 +236,13 @@ var builtinTxnEvents = map[string]string{
 // compileExpr builds (or reuses) the event-graph subtree for an
 // expression and returns its node. Subexpressions are named by their
 // canonical text, so common subexpressions share nodes.
-func (c *Compiler) compileExpr(e Expr) (detector.Node, error) {
+func (c *Compiler) compileExpr(g graphBuilder, e Expr) (detector.Node, error) {
 	switch e := e.(type) {
 	case *RefExpr:
 		if txnName, ok := builtinTxnEvents[e.Name]; ok {
-			return c.Det.TransactionEvent(txnName)
+			return g.TransactionEvent(txnName)
 		}
-		return c.Det.Lookup(e.Name)
+		return g.Lookup(e.Name)
 	case *PrimExpr:
 		var oid event.OID
 		if e.Instance != "" {
@@ -137,138 +259,138 @@ func (c *Compiler) compileExpr(e Expr) (detector.Node, error) {
 		if e.Begin {
 			mod = event.Begin
 		}
-		return c.Det.DefinePrimitive(e.Canon(), e.Class, e.Signature(), mod, oid)
+		return g.DefinePrimitive(e.Canon(), e.Class, e.Signature(), mod, oid)
 	case *BinExpr:
-		l, err := c.compileExpr(e.L)
+		l, err := c.compileExpr(g, e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.compileExpr(e.R)
+		r, err := c.compileExpr(g, e.R)
 		if err != nil {
 			return nil, err
 		}
 		switch e.Op {
 		case "and":
-			return c.Det.And(e.Canon(), l, r)
+			return g.And(e.Canon(), l, r)
 		case "or":
-			return c.Det.Or(e.Canon(), l, r)
+			return g.Or(e.Canon(), l, r)
 		case "seq":
-			return c.Det.Seq(e.Canon(), l, r)
+			return g.Seq(e.Canon(), l, r)
 		default:
 			return nil, fmt.Errorf("snoop: unknown operator %q", e.Op)
 		}
 	case *NotExpr:
-		start, err := c.compileExpr(e.Start)
+		start, err := c.compileExpr(g, e.Start)
 		if err != nil {
 			return nil, err
 		}
-		mid, err := c.compileExpr(e.Mid)
+		mid, err := c.compileExpr(g, e.Mid)
 		if err != nil {
 			return nil, err
 		}
-		end, err := c.compileExpr(e.End)
+		end, err := c.compileExpr(g, e.End)
 		if err != nil {
 			return nil, err
 		}
-		return c.Det.Not(e.Canon(), start, mid, end)
+		return g.Not(e.Canon(), start, mid, end)
 	case *AnyExpr:
 		kids := make([]detector.Node, len(e.Events))
 		for i, ev := range e.Events {
-			k, err := c.compileExpr(ev)
+			k, err := c.compileExpr(g, ev)
 			if err != nil {
 				return nil, err
 			}
 			kids[i] = k
 		}
-		return c.Det.Any(e.Canon(), e.M, kids...)
+		return g.Any(e.Canon(), e.M, kids...)
 	case *AperiodicExpr:
-		start, err := c.compileExpr(e.Start)
+		start, err := c.compileExpr(g, e.Start)
 		if err != nil {
 			return nil, err
 		}
-		mid, err := c.compileExpr(e.Mid)
+		mid, err := c.compileExpr(g, e.Mid)
 		if err != nil {
 			return nil, err
 		}
-		end, err := c.compileExpr(e.End)
+		end, err := c.compileExpr(g, e.End)
 		if err != nil {
 			return nil, err
 		}
 		if e.Star {
-			return c.Det.AStar(e.Canon(), start, mid, end)
+			return g.AStar(e.Canon(), start, mid, end)
 		}
-		return c.Det.A(e.Canon(), start, mid, end)
+		return g.A(e.Canon(), start, mid, end)
 	case *PeriodicExpr:
-		start, err := c.compileExpr(e.Start)
+		start, err := c.compileExpr(g, e.Start)
 		if err != nil {
 			return nil, err
 		}
-		end, err := c.compileExpr(e.End)
+		end, err := c.compileExpr(g, e.End)
 		if err != nil {
 			return nil, err
 		}
 		if e.Star {
-			return c.Det.PStar(e.Canon(), start, e.Period, end)
+			return g.PStar(e.Canon(), start, e.Period, end)
 		}
-		return c.Det.P(e.Canon(), start, e.Period, end)
+		return g.P(e.Canon(), start, e.Period, end)
 	case *PlusExpr:
-		start, err := c.compileExpr(e.Start)
+		start, err := c.compileExpr(g, e.Start)
 		if err != nil {
 			return nil, err
 		}
-		return c.Det.Plus(e.Canon(), start, e.Delta)
+		return g.Plus(e.Canon(), start, e.Delta)
 	default:
 		return nil, fmt.Errorf("snoop: unknown expression %T", e)
 	}
 }
 
-func (c *Compiler) compileRule(d *RuleDecl) error {
-	if c.Rules == nil {
-		return fmt.Errorf("%w (rule %q)", ErrNoRuleManager, d.Name)
-	}
+// ruleSpec resolves a rule declaration's bindings and attributes into a
+// rules.Spec, defining the referenced transaction event through g when
+// the rule triggers on one.
+func (c *Compiler) ruleSpec(g graphBuilder, d *RuleDecl) (rules.Spec, error) {
 	var cond rules.Condition
 	switch {
 	case d.CondExpr != "":
 		var err error
 		cond, err = PredicateCondition(d.CondExpr)
 		if err != nil {
-			return fmt.Errorf("snoop: rule %q: %w", d.Name, err)
+			return rules.Spec{}, fmt.Errorf("snoop: rule %q: %w", d.Name, err)
 		}
 	case d.Condition != "" && d.Condition != "true":
 		var ok bool
 		cond, ok = c.Conditions[d.Condition]
 		if !ok {
-			return fmt.Errorf("snoop: rule %q: unbound condition function %q", d.Name, d.Condition)
+			return rules.Spec{}, fmt.Errorf("snoop: rule %q: unbound condition function %q", d.Name, d.Condition)
 		}
 	}
 	action, ok := c.Actions[d.Action]
 	if !ok {
-		return fmt.Errorf("snoop: rule %q: unbound action function %q", d.Name, d.Action)
+		return rules.Spec{}, fmt.Errorf("snoop: rule %q: unbound action function %q", d.Name, d.Action)
 	}
 	ctx, err := detector.ParseContext(d.Context)
 	if err != nil {
-		return err
+		return rules.Spec{}, err
 	}
 	coupling, err := rules.ParseCoupling(d.Coupling)
 	if err != nil {
-		return err
+		return rules.Spec{}, err
 	}
 	trigger, err := rules.ParseTrigger(d.Trigger)
 	if err != nil {
-		return err
+		return rules.Spec{}, err
 	}
 	vis, err := rules.ParseVisibility(d.Visibility)
 	if err != nil {
-		return err
+		return rules.Spec{}, err
 	}
 	eventName := d.Event
 	if txnName, ok := builtinTxnEvents[eventName]; ok {
-		if _, err := c.Det.TransactionEvent(txnName); err != nil {
-			return err
+		if _, err := g.TransactionEvent(txnName); err != nil {
+			return rules.Spec{}, err
 		}
 		eventName = txnName
 	}
-	_, err = c.Rules.Define(rules.Spec{
+	return rules.Spec{
 		Name:       d.Name,
 		Event:      eventName,
 		Condition:  cond,
@@ -279,6 +401,17 @@ func (c *Compiler) compileRule(d *RuleDecl) error {
 		Trigger:    trigger,
 		Class:      d.Class,
 		Visibility: vis,
-	})
+	}, nil
+}
+
+func (c *Compiler) compileRule(d *RuleDecl) error {
+	if c.Rules == nil {
+		return fmt.Errorf("%w (rule %q)", ErrNoRuleManager, d.Name)
+	}
+	spec, err := c.ruleSpec(c.Det, d)
+	if err != nil {
+		return err
+	}
+	_, err = c.Rules.Define(spec)
 	return err
 }

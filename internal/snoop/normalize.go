@@ -1,0 +1,68 @@
+package snoop
+
+import "sort"
+
+// Normalize returns a canonical-form copy of e. Operands of the
+// commutative operators (and, or, any) are sorted by canonical text and
+// associative and/or chains are flattened and re-associated left-deep,
+// so structurally equivalent expressions — "A and B" vs "B and A",
+// "(A|B)|C" vs "A|(B|C)" — render the same Canon() string and share a
+// single node in the event graph. Seq is associative but not
+// commutative and keeps the association the user wrote; the remaining
+// operators (not, A, A*, P, P*, +) are order-sensitive and are only
+// normalized in their children.
+func Normalize(e Expr) Expr {
+	switch e := e.(type) {
+	case *BinExpr:
+		l, r := Normalize(e.L), Normalize(e.R)
+		if e.Op == "and" || e.Op == "or" {
+			ops := flattenOp(e.Op, l, r)
+			sort.SliceStable(ops, func(i, j int) bool {
+				return ops[i].Canon() < ops[j].Canon()
+			})
+			out := ops[0]
+			for _, operand := range ops[1:] {
+				out = &BinExpr{Op: e.Op, L: out, R: operand}
+			}
+			return out
+		}
+		return &BinExpr{Op: e.Op, L: l, R: r}
+	case *NotExpr:
+		return &NotExpr{Start: Normalize(e.Start), Mid: Normalize(e.Mid), End: Normalize(e.End)}
+	case *AnyExpr:
+		evs := make([]Expr, len(e.Events))
+		for i, ev := range e.Events {
+			evs[i] = Normalize(ev)
+		}
+		sort.SliceStable(evs, func(i, j int) bool {
+			return evs[i].Canon() < evs[j].Canon()
+		})
+		return &AnyExpr{M: e.M, Events: evs}
+	case *AperiodicExpr:
+		return &AperiodicExpr{Star: e.Star, Start: Normalize(e.Start), Mid: Normalize(e.Mid), End: Normalize(e.End)}
+	case *PeriodicExpr:
+		return &PeriodicExpr{Star: e.Star, Start: Normalize(e.Start), End: Normalize(e.End), Period: e.Period}
+	case *PlusExpr:
+		return &PlusExpr{Start: Normalize(e.Start), Delta: e.Delta}
+	default:
+		// RefExpr and PrimExpr are leaves.
+		return e
+	}
+}
+
+// flattenOp collects the operand list of an associative and/or chain.
+func flattenOp(op string, l, r Expr) []Expr {
+	var out []Expr
+	var walk func(Expr)
+	walk = func(x Expr) {
+		if b, ok := x.(*BinExpr); ok && b.Op == op {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		out = append(out, x)
+	}
+	walk(l)
+	walk(r)
+	return out
+}

@@ -1,0 +1,122 @@
+package snoop
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+// norm parses a single event declaration and returns the normalized
+// canonical text of its expression.
+func norm(t *testing.T, src string) string {
+	t.Helper()
+	decls, err := Parse("event x = " + src + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Normalize(decls[0].(*EventDecl).Expr).Canon()
+}
+
+func TestNormalizeCommutativeAndAssociative(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"a and b", "b and a"},
+		{"a or b", "b or a"},
+		{"(a and b) and c", "c and (b and a)"},
+		{"a or (b or c)", "(c or a) or b"},
+		{"any(2, a, b, c)", "any(2, c, a, b)"},
+		{"(a and b) >> (c and d)", "(b and a) >> (d and c)"},
+		{"not(b and a)[m, e]", "not(a and b)[m, e]"},
+	}
+	for _, c := range cases {
+		ca, cb := norm(t, c.a), norm(t, c.b)
+		if ca != cb {
+			t.Errorf("%q -> %q but %q -> %q; want equal", c.a, ca, c.b, cb)
+		}
+	}
+}
+
+func TestNormalizePreservesOrderSensitiveOperators(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"a >> b", "b >> a"},                 // seq is not commutative
+		{"any(1, a, b)", "any(2, a, b)"},     // m is significant
+		{"not(m)[a, e]", "not(m)[e, a]"},     // operand roles are positional
+		{"A(a, m, e)", "A(e, m, a)"},         // ditto
+		{"a and (b or c)", "(a and b) or c"}, // no distribution
+	}
+	for _, c := range cases {
+		ca, cb := norm(t, c.a), norm(t, c.b)
+		if ca == cb {
+			t.Errorf("%q and %q both normalize to %q; want distinct", c.a, c.b, ca)
+		}
+	}
+}
+
+func TestNormalizeSharesGraphNodes(t *testing.T) {
+	d := detector.New()
+	c := &Compiler{Det: d}
+	err := c.CompileSource(`
+		class C reactive {
+			event end(a) ma();
+			event end(b) mb();
+			event end(cc) mc();
+		}
+		event e1 = a and b;
+		event e2 = b and a;
+		event e3 = (a and b) and cc;
+		event e4 = cc and (b and a);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err1 := d.Lookup("e1")
+	n2, err2 := d.Lookup("e2")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if n1 != n2 {
+		t.Fatalf("a and b / b and a compiled to distinct nodes %q, %q", n1.Name(), n2.Name())
+	}
+	n3, _ := d.Lookup("e3")
+	n4, _ := d.Lookup("e4")
+	if n3 == nil || n3 != n4 {
+		t.Fatalf("re-associated 3-way and did not share: %v vs %v", n3, n4)
+	}
+	if d.SharedNodes() < 2 {
+		t.Fatalf("SharedNodes=%d, want >=2", d.SharedNodes())
+	}
+}
+
+func TestNormalizedSharedEventStillDetects(t *testing.T) {
+	// Both orderings of the conjunction must detect through the single
+	// shared node, whichever alias a subscriber used.
+	d := detector.New()
+	c := &Compiler{Det: d}
+	err := c.CompileSource(`
+		class C reactive {
+			event end(a) ma();
+			event end(b) mb();
+		}
+		event e1 = a and b;
+		event e2 = b and a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	unsub, err := d.Subscribe("e2", detector.Recent,
+		detector.SubscriberFunc(func(*event.Occurrence, detector.Context) { got++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	d.SignalMethod("C", "ma()", event.End, 1, nil, 1)
+	d.SignalMethod("C", "mb()", event.End, 1, nil, 1)
+	if got != 1 {
+		t.Fatalf("detections through shared node: %d", got)
+	}
+}

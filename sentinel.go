@@ -396,6 +396,7 @@ func (db *Database) Close() error {
 	db.mu.Unlock()
 	db.rules.WaitDetached()
 	db.sched.Drain()
+	db.sched.Close()
 	db.closeInternals()
 	return nil
 }
@@ -491,6 +492,15 @@ func (db *Database) Invoke(tx *Txn, obj *Instance, method string, args ...any) (
 // Exec compiles Sentinel event/rule declarations (classes, events, rules).
 func (db *Database) Exec(spec string) error { return db.comp.CompileSource(spec) }
 
+// LoadRules bulk-compiles Sentinel declarations: the whole specification
+// is built inside one detector lock window and its rules installed as one
+// batch, so loading a large rule base costs two structure-lock
+// acquisitions and one admission-index rebuild instead of one per
+// declaration. Semantically equivalent to Exec, except that an error
+// during rule installation leaves no rule of the batch defined (events
+// compiled before the error remain, as with Exec).
+func (db *Database) LoadRules(spec string) error { return db.comp.CompileBulkSource(spec) }
+
 // BindCondition binds a condition function name for Exec rule
 // declarations.
 func (db *Database) BindCondition(name string, c Condition) { db.comp.Conditions[name] = c }
@@ -500,6 +510,13 @@ func (db *Database) BindAction(name string, a Action) { db.comp.Actions[name] = 
 
 // DefineRule defines a rule programmatically.
 func (db *Database) DefineRule(spec RuleSpec) (*Rule, error) { return db.rules.Define(spec) }
+
+// DefineRules defines a batch of rules in one detector lock window (see
+// rules.Manager.DefineBatch). All-or-nothing: on error no rule of the
+// batch is installed.
+func (db *Database) DefineRules(specs []RuleSpec) ([]*Rule, error) {
+	return db.rules.DefineBatch(specs)
+}
 
 // GetRule returns a rule by name (for Enable/Disable).
 func (db *Database) GetRule(name string) (*Rule, error) { return db.rules.Get(name) }

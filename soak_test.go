@@ -65,6 +65,22 @@ rule Nested(e2, true, nested);
 		t.Fatal(err)
 	}
 
+	// SENTINEL_SOAK_RULES bulk-loads that many extra rules before the
+	// workload starts (pairwise-overlapping conjunctions over a dedicated
+	// class — see genRuleSpec), so the soak also exercises dispatch against
+	// a large resident rule base and a populated admission index.
+	if s := os.Getenv("SENTINEL_SOAK_RULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2 {
+			t.Fatalf("SENTINEL_SOAK_RULES=%q: want an integer >= 2", s)
+		}
+		db.BindAction("noop", func(*sentinel.Execution) error { return nil })
+		if err := db.LoadRules(genRuleSpec(n)); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("soak rule base: %d extra rules loaded", n)
+	}
+
 	// SENTINEL_SOAK_WRITERS widens the concurrent-writer fan-out (default
 	// 4) to stress the parallel storage commit pipeline; the accounting
 	// below scales with it.
