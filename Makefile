@@ -6,16 +6,17 @@
 # pattern and tool invocations live in exactly one place.
 
 GO ?= go
-BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_|BenchmarkRules_
-BENCH_PKG ?= . ./internal/storage
+BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_|BenchmarkRules_|BenchmarkGED_
+BENCH_PKG ?= . ./internal/storage ./internal/ged
 BENCH_OUT ?= BENCH_detector.json
 BENCH_STORAGE_OUT ?= BENCH_storage.json
+BENCH_GED_OUT ?= BENCH_ged.json
 BENCH_TIME ?= 1s
 BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules torture clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules bench-ged ged-smoke torture clean
 
 all: build
 
@@ -101,6 +102,24 @@ bench-rules:
 		$(MAKE) bench-text BENCH_PATTERN='BenchmarkRules_SignalWithRuleBase' BENCH_PKG=. BENCH_TIME=2s BENCH_CPUS=1 ) \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -label rules-$(BENCH_LABEL) -out $(BENCH_OUT) -merge
+
+# bench-ged reruns the GED event-bus benchmarks (pipelined contribute
+# throughput with the durable log, 8-way live notify fan-out latency,
+# stream replay catch-up) and records them under the "after" label of
+# $(BENCH_GED_OUT).
+bench-ged:
+	$(MAKE) bench-text BENCH_PATTERN='BenchmarkGED_' BENCH_PKG=./internal/ged BENCH_CPUS=1 \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_GED_OUT) -merge
+
+# ged-smoke is the end-to-end event-bus gate: build gedserver and beast
+# (race detector on), run a gedserver with a durable log, drive it with
+# beast's multi-client load mode (contribute/subscribe/replay under
+# injected disconnects), and require zero dropped acks plus a clean
+# server shutdown. Scale down locally with GED_SMOKE_CONNS.
+GED_SMOKE_CONNS ?= 1000
+ged-smoke:
+	GED_SMOKE_CONNS=$(GED_SMOKE_CONNS) ./scripts/ged_smoke.sh
 
 # bench-record captures one labelled run into BENCH_REC_OUT (the CI
 # before/after halves of the regression gate).

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/ged"
+	"repro/internal/obs"
+)
+
+// runGED is beast's GED load-driver mode: it drives many concurrent
+// client connections against one gedserver and checks the production
+// properties the bus promises — zero dropped contribute acks, live
+// notify fan-out with client-measured latency, replay-from-offset-0
+// completeness for a late joiner, and at-least-once redelivery across an
+// injected disconnect. Returns the process exit code.
+func runGED(addr string, conns, perConn, nsubs int, debugAddr string) int {
+	total := conns * perConn
+	fmt.Printf("GED load driver: %s, %d connections x %d events = %d contributions, %d live subscribers\n\n",
+		addr, conns, perConn, total, nsubs)
+
+	reg := obs.NewRegistry()
+	lat := obs.NewHistogram(obs.DurationBuckets())
+	reg.RegisterHistogram("beast_ged_notify_latency_seconds",
+		"Client-side contribute-to-notify latency.", lat)
+	var notifies atomic.Int64
+	reg.CounterFunc("beast_ged_notifies_total",
+		"Live notifications received across all subscribers.",
+		func() uint64 { return uint64(notifies.Load()) })
+	if debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "beast: debug server:", err)
+			}
+		}()
+		fmt.Println("beast metrics on", debugAddr)
+	}
+
+	var (
+		sampleMu sync.Mutex
+		samples  []float64
+	)
+	onNotify := func(occ *event.Occurrence, _ detector.Context) {
+		notifies.Add(1)
+		if v, ok := occ.Params.Get("t"); ok {
+			if sent, ok := v.(int64); ok {
+				d := time.Duration(time.Now().UnixNano() - sent)
+				lat.ObserveDuration(d)
+				sampleMu.Lock()
+				samples = append(samples, d.Seconds())
+				sampleMu.Unlock()
+			}
+		}
+	}
+
+	failed := false
+	step := func(name string, fn func() error) {
+		status := "PASS"
+		if err := fn(); err != nil {
+			status = "FAIL: " + err.Error()
+			failed = true
+		}
+		fmt.Printf("  %-44s %s\n", name, status)
+	}
+
+	// Live subscribers first, so every contribution is seen.
+	subClients := make([]*ged.Client, 0, nsubs)
+	defer func() {
+		for _, c := range subClients {
+			_ = c.Close()
+		}
+	}()
+	step("live subscribers attached", func() error {
+		for i := 0; i < nsubs; i++ {
+			c, err := ged.Dial(addr, fmt.Sprintf("beast-sub%d", i))
+			if err != nil {
+				return err
+			}
+			subClients = append(subClients, c)
+			if err := c.Subscribe("beast_load", detector.Recent, onNotify); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if failed {
+		return 1
+	}
+
+	var elapsed time.Duration
+	step(fmt.Sprintf("contribute load, zero dropped acks (%d conns)", conns), func() error {
+		var (
+			wg      sync.WaitGroup
+			errMu   sync.Mutex
+			firstMu error
+			acked   atomic.Int64
+		)
+		start := time.Now()
+		for i := 0; i < conns; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fail := func(err error) {
+					errMu.Lock()
+					if firstMu == nil {
+						firstMu = fmt.Errorf("conn %d: %w", i, err)
+					}
+					errMu.Unlock()
+				}
+				c, err := ged.Dial(addr, fmt.Sprintf("beast-load%d", i))
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer c.Close()
+				for j := 0; j < perConn; j++ {
+					occ := &event.Occurrence{
+						Name:   "beast_load",
+						Params: event.NewParams("t", time.Now().UnixNano(), "conn", i, "i", j),
+					}
+					if err := c.Contribute(occ); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if err := c.Flush(); err != nil {
+					fail(err)
+					return
+				}
+				acked.Add(int64(c.Acked()))
+			}(i)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+		if firstMu != nil {
+			return firstMu
+		}
+		if got := acked.Load(); got != int64(total) {
+			return fmt.Errorf("acked %d of %d contributions", got, total)
+		}
+		fmt.Printf("    %d contributions acked in %v (%.0f events/s)\n",
+			total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+		return nil
+	})
+	if failed {
+		return 1
+	}
+
+	step("notify fan-out latency", func() error {
+		// Live notifies are shedable under backpressure by design; wait
+		// until delivery quiesces, then report what arrived.
+		expected := int64(total * nsubs)
+		deadline := time.Now().Add(30 * time.Second)
+		last := int64(-1)
+		for time.Now().Before(deadline) {
+			n := notifies.Load()
+			if n >= expected || n == last {
+				break
+			}
+			last = n
+			time.Sleep(200 * time.Millisecond)
+		}
+		got := notifies.Load()
+		if got == 0 {
+			return fmt.Errorf("no live notifications received")
+		}
+		sampleMu.Lock()
+		s := append([]float64(nil), samples...)
+		sampleMu.Unlock()
+		sort.Float64s(s)
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(s)-1))
+			return time.Duration(s[i] * float64(time.Second))
+		}
+		fmt.Printf("    received %d/%d (shed %d under backpressure)\n", got, expected, expected-got)
+		fmt.Printf("    contribute->notify latency p50=%v p95=%v p99=%v max=%v\n",
+			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+		return nil
+	})
+
+	step(fmt.Sprintf("late joiner replays %d events from offset 0", total), func() error {
+		c, err := ged.Dial(addr, "beast-replay")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		var count atomic.Int64
+		done := make(chan struct{})
+		var once sync.Once
+		end, err := c.SubscribeFrom("beast_load", 0, func(occ *event.Occurrence, offset uint64) {
+			count.Add(1)
+			if offset >= uint64(total)-1 {
+				once.Do(func() { close(done) })
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("subscribe from 0: %w (is the server running with -log?)", err)
+		}
+		if end < uint64(total) {
+			return fmt.Errorf("server log end %d < %d contributed", end, total)
+		}
+		start := time.Now()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("replay stalled at %d/%d", count.Load(), total)
+		}
+		if got := count.Load(); got < int64(total) {
+			return fmt.Errorf("replayed %d of %d", got, total)
+		}
+		fmt.Printf("    caught up %d events in %v\n", count.Load(), time.Since(start).Round(time.Millisecond))
+		return nil
+	})
+
+	step("reconnect redelivers; idempotent subscriber dedups", func() error {
+		// First connection: read roughly half the log, remember the last
+		// offset handled, then drop the connection mid-stream.
+		seen := make(map[uint64]struct{})
+		var seenMu sync.Mutex
+		var lastHandled atomic.Uint64
+		half := make(chan struct{})
+		var halfOnce sync.Once
+		c1, err := ged.Dial(addr, "beast-flaky")
+		if err != nil {
+			return err
+		}
+		_, err = c1.SubscribeFrom("beast_load", 0, func(occ *event.Occurrence, offset uint64) {
+			seenMu.Lock()
+			seen[offset] = struct{}{}
+			seenMu.Unlock()
+			lastHandled.Store(offset)
+			if offset >= uint64(total/2) {
+				halfOnce.Do(func() { close(half) })
+			}
+		})
+		if err != nil {
+			c1.Close()
+			return err
+		}
+		select {
+		case <-half:
+		case <-time.After(60 * time.Second):
+			c1.Close()
+			return fmt.Errorf("first stream stalled before half")
+		}
+		_ = c1.Close() // injected disconnect, mid-stream
+
+		// Second connection resumes AT the last handled offset (not
+		// after it): that record is redelivered, which an at-least-once
+		// consumer must tolerate.
+		resume := lastHandled.Load()
+		dups := 0
+		done := make(chan struct{})
+		var doneOnce sync.Once
+		c2, err := ged.Dial(addr, "beast-flaky")
+		if err != nil {
+			return err
+		}
+		defer c2.Close()
+		_, err = c2.SubscribeFrom("beast_load", resume, func(occ *event.Occurrence, offset uint64) {
+			seenMu.Lock()
+			if _, dup := seen[offset]; dup {
+				dups++
+			}
+			seen[offset] = struct{}{}
+			n := len(seen)
+			seenMu.Unlock()
+			if n >= total && offset >= uint64(total)-1 {
+				doneOnce.Do(func() { close(done) })
+			}
+		})
+		if err != nil {
+			return err
+		}
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			seenMu.Lock()
+			n := len(seen)
+			seenMu.Unlock()
+			return fmt.Errorf("resumed stream stalled with %d/%d unique offsets", n, total)
+		}
+		if dups == 0 {
+			return fmt.Errorf("expected at least one duplicate delivery at resume offset %d", resume)
+		}
+		seenMu.Lock()
+		n := len(seen)
+		seenMu.Unlock()
+		fmt.Printf("    resumed at offset %d, %d duplicate(s) tolerated, %d/%d unique after dedup\n",
+			resume, dups, n, total)
+		return nil
+	})
+
+	fmt.Println()
+	if failed {
+		fmt.Println("GED load driver: FAIL")
+		return 1
+	}
+	fmt.Println("GED load driver: PASS")
+	return 0
+}

@@ -6,6 +6,16 @@
 // Usage:
 //
 //	beast [-events N]
+//	beast -ged addr [-conns N] [-events-per-conn N] [-subscribers N] [-debug addr]
+//
+// With -ged set, beast instead becomes a load driver for a gedserver
+// instance: it opens -conns concurrent client connections, contributes
+// -events-per-conn events on each, and verifies zero dropped contribute
+// acks, live notify fan-out (reporting client-measured contribute-to-
+// notify latency percentiles, also served on -debug /metrics), replay
+// completeness for a subscriber joining after the fact, and at-least-
+// once redelivery across an injected disconnect. Exits nonzero if any
+// check fails.
 package main
 
 import (
@@ -22,7 +32,16 @@ import (
 
 func main() {
 	n := flag.Int("events", 100000, "events per micro-measurement")
+	gedAddr := flag.String("ged", "", "GED server address: run the load-driver mode instead of the functionality matrix")
+	conns := flag.Int("conns", 1000, "concurrent client connections (with -ged)")
+	perConn := flag.Int("events-per-conn", 20, "events contributed per connection (with -ged)")
+	nsubs := flag.Int("subscribers", 8, "live notify subscribers (with -ged)")
+	debugAddr := flag.String("debug", "", "address to serve beast's own /metrics on (with -ged; off when empty)")
 	flag.Parse()
+
+	if *gedAddr != "" {
+		os.Exit(runGED(*gedAddr, *conns, *perConn, *nsubs, *debugAddr))
+	}
 
 	fmt.Println("Sentinel reproduction — functionality matrix (paper §2.3)")
 	fmt.Println()

@@ -1,19 +1,31 @@
 // Command gedserver runs a standalone global event detector: applications
-// connect, contribute local primitive events, and subscribe to global
-// composite events defined by the spec file.
+// connect over the framed binary wire protocol, contribute local
+// primitive events, and subscribe to global composite events defined by
+// the spec file — or stream the durable contribution log from any offset.
 //
 // Usage:
 //
-//	gedserver -listen 127.0.0.1:7070 [-spec global.snp] [-debug 127.0.0.1:7071]
+//	gedserver -listen 127.0.0.1:7070 [-spec global.snp] [-log dir]
+//	          [-log-sync] [-segment-bytes n] [-queue n] [-drain 2s]
+//	          [-partition i/n] [-debug 127.0.0.1:7071]
 //
 // The spec file may declare composite events over the (explicit) event
 // names applications contribute, e.g.:
 //
 //	event e1 = e1_decl; ...
 //
+// With -log set, every contribution is appended to a segmented,
+// CRC-checksummed log under that directory before detection, and clients
+// can replay it from any offset (at-least-once delivery). -log-sync adds
+// an fsync per append batch.
+//
+// With -partition i/n the server announces itself as slot i of an
+// n-instance deployment; clients using ged.DialCluster route event names
+// to slots with ged.PartitionOf.
+//
 // With -debug set, an HTTP server on that address serves /metrics
-// (Prometheus text format) and /debugz (metrics snapshot plus the global
-// event graph in DOT form).
+// (Prometheus text format: detector and wire/log/backpressure metrics)
+// and /debugz (metrics snapshot plus the global event graph in DOT form).
 package main
 
 import (
@@ -23,6 +35,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/debug"
 	"repro/internal/ged"
@@ -33,10 +47,35 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
 	spec := flag.String("spec", "", "Sentinel spec file with global event definitions")
+	logDir := flag.String("log", "", "directory for the durable contribution log (off when empty)")
+	logSync := flag.Bool("log-sync", false, "fsync the contribution log after every append batch")
+	segBytes := flag.Int64("segment-bytes", 0, "log segment roll size in bytes (0 = default 8 MiB)")
+	queue := flag.Int("queue", 0, "per-connection send queue capacity in frames (0 = default 256)")
+	drain := flag.Duration("drain", 2*time.Second, "shutdown drain deadline per connection")
+	partition := flag.String("partition", "", "this instance's slot as i/n, e.g. 0/4 (standalone when empty)")
 	debugAddr := flag.String("debug", "", "address for the /metrics and /debugz HTTP endpoints (off when empty)")
 	flag.Parse()
 
-	server := ged.NewServer(nil)
+	opts := ged.Options{
+		LogDir:          *logDir,
+		LogSegmentBytes: *segBytes,
+		LogSync:         *logSync,
+		SendQueue:       *queue,
+		DrainTimeout:    *drain,
+	}
+	if *partition != "" {
+		var i, n int
+		if _, err := fmt.Sscanf(*partition, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
+			fmt.Fprintf(os.Stderr, "gedserver: -partition must be i/n with 0 <= i < n, got %q\n", *partition)
+			os.Exit(1)
+		}
+		opts.Partition, opts.Partitions = i, n
+	}
+	server, err := ged.NewServerOptions(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gedserver:", err)
+		os.Exit(1)
+	}
 	if *spec != "" {
 		src, err := os.ReadFile(*spec)
 		if err != nil {
@@ -52,6 +91,7 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		server.Det.RegisterMetrics(reg)
+		server.RegisterMetrics(reg)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.MetricsHandler())
 		mux.Handle("/debugz", reg.DebugzHandler(obs.DebugzSection{
@@ -72,8 +112,12 @@ func main() {
 	}
 	fmt.Println("gedserver listening on", addr)
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	fmt.Println("gedserver shutting down")
-	_ = server.Close()
+	if err := server.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gedserver:", err)
+		os.Exit(1)
+	}
+	fmt.Println("gedserver shutdown clean")
 }

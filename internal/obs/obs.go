@@ -249,6 +249,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// RegisterHistogram registers an existing histogram — the bridge for
+// subsystems that keep their instruments alive independently of any
+// registry (the GED server's wire metrics are created at construction
+// and exported only when a registry is attached later).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.add(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+}
+
 // Snapshot samples every registered metric, in registration order.
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end GED event-bus smoke: build gedserver and beast with the race
+# detector, run a gedserver with a durable log, drive it with beast's
+# multi-client load mode (contribute fan-in, live notify fan-out, replay
+# from offset 0, reconnect redelivery), then SIGINT the server and
+# require a clean drain. Fails on any dropped ack, stalled replay, or
+# unclean shutdown.
+set -euo pipefail
+
+CONNS="${GED_SMOKE_CONNS:-1000}"
+EVENTS="${GED_SMOKE_EVENTS:-20}"
+SUBS="${GED_SMOKE_SUBS:-8}"
+PORT="${GED_SMOKE_PORT:-7171}"
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building gedserver and beast (-race)"
+go build -race -o "$work/gedserver" ./cmd/gedserver
+go build -race -o "$work/beast" ./cmd/beast
+
+echo "== starting gedserver (durable log, $PORT)"
+"$work/gedserver" -listen "127.0.0.1:$PORT" -log "$work/gedlog" \
+    >"$work/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the listening line (the server prints it once bound).
+for _ in $(seq 1 50); do
+    if grep -q "listening on" "$work/server.log" 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "gedserver exited early:"; cat "$work/server.log"; exit 1
+    fi
+    sleep 0.2
+done
+grep -q "listening on" "$work/server.log" || {
+    echo "gedserver never started:"; cat "$work/server.log"; exit 1
+}
+
+echo "== driving load: $CONNS connections x $EVENTS events, $SUBS subscribers"
+"$work/beast" -ged "127.0.0.1:$PORT" \
+    -conns "$CONNS" -events-per-conn "$EVENTS" -subscribers "$SUBS"
+
+echo "== shutting the server down (SIGINT)"
+kill -INT "$server_pid"
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.2
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "gedserver did not exit within 20s of SIGINT:"; cat "$work/server.log"; exit 1
+fi
+wait "$server_pid" || { echo "gedserver exited nonzero:"; cat "$work/server.log"; exit 1; }
+server_pid=""
+grep -q "shutdown clean" "$work/server.log" || {
+    echo "gedserver shutdown was not clean:"; cat "$work/server.log"; exit 1
+}
+# The race detector reports to stderr; any report fails the smoke.
+if grep -q "WARNING: DATA RACE" "$work/server.log"; then
+    echo "race detected in gedserver:"; cat "$work/server.log"; exit 1
+fi
+
+echo "== ged-smoke PASS"

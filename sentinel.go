@@ -135,6 +135,15 @@ type Options struct {
 	// GEDAddr, when set, connects to a global event detector at that
 	// address.
 	GEDAddr string
+	// GEDAddrs, when set, connects to a partitioned global event
+	// detector cluster: event names are routed to instances by
+	// ged.PartitionOf. A single address behaves exactly like GEDAddr.
+	// Setting both GEDAddr and GEDAddrs is rejected by Open.
+	GEDAddrs []string
+	// GEDBatch, when > 1, batches ShareEvent forwarding: up to GEDBatch
+	// occurrences are coalesced into one contribute frame. Call
+	// FlushGlobalEvents to push out a partial batch (Close does).
+	GEDBatch int
 	// LockTimeout bounds lock waits (0 = wait forever; deadlocks are
 	// still detected and broken). Negative values are rejected by Open.
 	// It becomes lockmgr.Manager.DefaultTimeout — the bound every Lock
@@ -187,7 +196,9 @@ type Database struct {
 	rules   *rules.Manager
 	objects *object.Registry
 	comp    *snoop.Compiler
-	gedCli  *ged.Client
+	gedCli   ged.Bus
+	gedFwd   detector.Subscriber
+	gedFlush func() error
 	metrics *obs.Registry
 
 	debugLn  net.Listener
@@ -351,13 +362,34 @@ func Open(opts Options) (*Database, error) {
 			return nil, err
 		}
 	}
+	gedAddrs := opts.GEDAddrs
 	if opts.GEDAddr != "" {
-		cli, err := ged.Dial(opts.GEDAddr, opts.AppName)
+		if len(gedAddrs) > 0 {
+			db.closeInternals()
+			return nil, errors.New("sentinel: set GEDAddr or GEDAddrs, not both")
+		}
+		gedAddrs = []string{opts.GEDAddr}
+	}
+	if len(gedAddrs) > 0 {
+		var (
+			bus ged.Bus
+			err error
+		)
+		if len(gedAddrs) == 1 {
+			bus, err = ged.Dial(gedAddrs[0], opts.AppName)
+		} else {
+			bus, err = ged.DialCluster(gedAddrs, opts.AppName)
+		}
 		if err != nil {
 			db.closeInternals()
 			return nil, err
 		}
-		db.gedCli = cli
+		db.gedCli = bus
+		if opts.GEDBatch > 1 {
+			db.gedFwd, db.gedFlush = bus.BatchForwarder(opts.GEDBatch)
+		} else {
+			db.gedFwd = bus.Forwarder()
+		}
 	}
 	if opts.DebugAddr != "" {
 		ln, err := net.Listen("tcp", opts.DebugAddr)
@@ -378,6 +410,10 @@ func (db *Database) closeInternals() {
 		db.debugSrv = nil
 	}
 	if db.gedCli != nil {
+		if db.gedFlush != nil {
+			_ = db.gedFlush()
+		}
+		_ = db.gedCli.Flush()
 		_ = db.gedCli.Close()
 	}
 	if db.store != nil {
@@ -647,8 +683,39 @@ func (db *Database) ShareEvent(name string) error {
 	if db.gedCli == nil {
 		return ErrNoGED
 	}
-	_, err := db.det.Subscribe(name, Recent, db.gedCli.Forwarder())
+	_, err := db.det.Subscribe(name, Recent, db.gedFwd)
 	return err
+}
+
+// FlushGlobalEvents pushes out any batched shared events (GEDBatch > 1)
+// and then blocks until the GED has acknowledged every contribution sent
+// so far — the durability barrier for shared events.
+func (db *Database) FlushGlobalEvents() error {
+	if db.gedCli == nil {
+		return ErrNoGED
+	}
+	if db.gedFlush != nil {
+		if err := db.gedFlush(); err != nil {
+			return err
+		}
+	}
+	return db.gedCli.Flush()
+}
+
+// OnGlobalEventFrom streams the GED's durable contribution log to h:
+// records from offset `from` replay first (so a subscriber joining late
+// catches up on everything it missed), then live contributions follow.
+// Event name "*" matches every record. Delivery is at-least-once — h
+// must tolerate redelivery, and the offset argument is the dedup key. It
+// returns the log end at subscription time. Composite detections are not
+// logged; this streams the primitive contributions they are built from.
+func (db *Database) OnGlobalEventFrom(eventName string, from uint64, h func(occ *Occurrence, offset uint64)) (uint64, error) {
+	if db.gedCli == nil {
+		return 0, ErrNoGED
+	}
+	return db.gedCli.SubscribeFrom(eventName, from, func(occ *event.Occurrence, offset uint64) {
+		h(occ, offset)
+	})
 }
 
 // OnGlobalEvent registers a detached rule on a global composite event:
