@@ -12,12 +12,16 @@ import (
 )
 
 // Handler consumes live notifications of a global event at an application.
+// Handlers run on a dedicated dispatch goroutine (one per client, deliveries
+// in order), not on the receive loop, so a handler may safely call back into
+// the client (Flush, Subscribe, Contribute, ...).
 type Handler func(occ *event.Occurrence, ctx detector.Context)
 
 // StreamHandler consumes stream (replay and tail) deliveries. The offset
 // is the record's position in the server's durable log; handlers that
 // must be exactly-once deduplicate on it, and reconnecting from the last
-// seen offset gives at-least-once delivery.
+// seen offset gives at-least-once delivery. Like Handler, it runs on the
+// client's dispatch goroutine and may call back into the client.
 type StreamHandler func(occ *event.Occurrence, offset uint64)
 
 // ErrClosed reports use of a closed or draining client.
@@ -57,6 +61,27 @@ type Client struct {
 	logEnd     uint64 // server log end at connect
 
 	done chan struct{}
+
+	// Handler dispatch rides its own goroutine so a handler can call back
+	// into the client (Flush, Subscribe) without deadlocking the receive
+	// loop that delivers the ack it waits for. The queue is unbounded: the
+	// dispatcher itself may be parked inside such a reentrant call, and
+	// blocking the receive loop here would recreate the deadlock.
+	dispMu     sync.Mutex
+	dispCond   *sync.Cond
+	dispQ      []dispatchItem
+	dispClosed bool
+	dispDone   chan struct{}
+}
+
+// dispatchItem is one queued handler invocation (live notify or stream
+// delivery).
+type dispatchItem struct {
+	sub    *clientSub
+	live   bool
+	occ    *event.Occurrence
+	ctx    detector.Context
+	offset uint64
 }
 
 type ackWaiter struct {
@@ -84,12 +109,15 @@ func Dial(addr, app string) (*Client, error) {
 		subAcks:    make(map[uint32]chan uint64),
 		helloReady: make(chan struct{}),
 		done:       make(chan struct{}),
+		dispDone:   make(chan struct{}),
 	}
+	c.dispCond = sync.NewCond(&c.dispMu)
 	if err := c.send(frHello, encodeHello(app)); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	go c.recvLoop()
+	go c.dispatchLoop()
 	select {
 	case <-c.helloReady:
 		return c, nil
@@ -152,6 +180,40 @@ func (c *Client) LastOffset() uint64 {
 	return c.lastOffset
 }
 
+// dispatch enqueues one handler invocation for the dispatch goroutine.
+func (c *Client) dispatch(it dispatchItem) {
+	c.dispMu.Lock()
+	c.dispQ = append(c.dispQ, it)
+	c.dispMu.Unlock()
+	c.dispCond.Signal()
+}
+
+// dispatchLoop runs handler callbacks off the receive goroutine, in
+// delivery order, draining whatever is queued before exiting.
+func (c *Client) dispatchLoop() {
+	defer close(c.dispDone)
+	for {
+		c.dispMu.Lock()
+		for len(c.dispQ) == 0 && !c.dispClosed {
+			c.dispCond.Wait()
+		}
+		if len(c.dispQ) == 0 {
+			c.dispMu.Unlock()
+			return
+		}
+		q := c.dispQ
+		c.dispQ = nil
+		c.dispMu.Unlock()
+		for _, it := range q {
+			if it.live {
+				it.sub.live(it.occ, it.ctx)
+			} else {
+				it.sub.stream(it.occ, it.offset)
+			}
+		}
+	}
+}
+
 func (c *Client) recvLoop() {
 	defer func() {
 		c.mu.Lock()
@@ -167,6 +229,10 @@ func (c *Client) recvLoop() {
 			close(ch)
 		}
 		close(c.done)
+		c.dispMu.Lock()
+		c.dispClosed = true
+		c.dispMu.Unlock()
+		c.dispCond.Signal()
 	}()
 	fr := newFrameReader(c.conn)
 	for {
@@ -233,7 +299,7 @@ func (c *Client) recvLoop() {
 			sub := c.subs[id]
 			c.mu.Unlock()
 			if sub != nil && sub.live != nil {
-				sub.live(occ, detector.Context(ctx))
+				c.dispatch(dispatchItem{sub: sub, live: true, occ: occ, ctx: detector.Context(ctx)})
 			}
 		case frStream:
 			id, offset, occ, err := decodeStream(payload)
@@ -245,7 +311,7 @@ func (c *Client) recvLoop() {
 			sub := c.subs[id]
 			c.mu.Unlock()
 			if sub != nil && sub.stream != nil {
-				sub.stream(occ, offset)
+				c.dispatch(dispatchItem{sub: sub, occ: occ, offset: offset})
 			}
 		case frError:
 			msg, _ := decodeError(payload)
@@ -313,10 +379,25 @@ func (c *Client) Flush() error {
 		c.mu.Unlock()
 		return nil
 	}
+	if c.closed {
+		// The receive loop is gone (or going): nothing will ever close a
+		// waiter registered now, so fail fast instead of blocking.
+		defer c.mu.Unlock()
+		if c.err != nil {
+			return c.err
+		}
+		return fmt.Errorf("ged: connection closed with %d contributions unacked", target-c.acked)
+	}
 	w := ackWaiter{seq: target, ch: make(chan struct{})}
 	c.ackWaiters = append(c.ackWaiters, w)
 	c.mu.Unlock()
-	<-w.ch
+	// c.done covers the race where recvLoop's cleanup ran between the
+	// registration above and this wait: the waiter would never be closed,
+	// but done is closed right after that cleanup.
+	select {
+	case <-w.ch:
+	case <-c.done:
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.acked >= target {
@@ -423,7 +504,9 @@ func (c *Client) BatchForwarder(size int) (detector.Subscriber, func() error) {
 	return sub, flush
 }
 
-// Close disconnects from the GED and waits for the receive loop to stop.
+// Close disconnects from the GED and waits for the receive loop to stop
+// and the handler dispatcher to drain: no handler runs after Close
+// returns. (A handler must not call Close on its own client.)
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -437,5 +520,6 @@ func (c *Client) Close() error {
 	c.wmu.Unlock()
 	err := c.conn.Close()
 	<-c.done
+	<-c.dispDone
 	return err
 }

@@ -126,6 +126,12 @@ func (cl *Cluster) Subscribe(eventName string, ctx detector.Context, h Handler) 
 // per-partition; "*" streams only partition 0 (use PartitionClient to
 // tail every partition's firehose).
 func (cl *Cluster) SubscribeFrom(eventName string, from uint64, h StreamHandler) (uint64, error) {
+	if eventName == "*" {
+		// The firehose is not an event name: hashing it would pick an
+		// arbitrary width-dependent partition. Pin it to partition 0, as
+		// documented.
+		return cl.clients[0].SubscribeFrom(eventName, from, h)
+	}
 	return cl.route(eventName).SubscribeFrom(eventName, from, h)
 }
 

@@ -48,11 +48,12 @@ type Server struct {
 	log  *EventLog
 	met  *serverMetrics
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[*serverConn]struct{}
-	closing bool
-	closeCh chan struct{} // closed when Close begins; wakes pumps
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*serverConn]struct{}
+	preConns map[net.Conn]struct{} // accepted, hello not yet read
+	closing  bool
+	closeCh  chan struct{} // closed when Close begins; wakes pumps
 
 	readers sync.WaitGroup
 	streams atomic.Int64
@@ -92,11 +93,12 @@ func NewServerOptions(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("ged: partition %d out of range 0..%d", opts.Partition, opts.Partitions-1)
 	}
 	s := &Server{
-		Det:     det,
-		opts:    opts,
-		met:     newServerMetrics(),
-		conns:   make(map[*serverConn]struct{}),
-		closeCh: make(chan struct{}),
+		Det:      det,
+		opts:     opts,
+		met:      newServerMetrics(),
+		conns:    make(map[*serverConn]struct{}),
+		preConns: make(map[net.Conn]struct{}),
+		closeCh:  make(chan struct{}),
 	}
 	if opts.LogDir != "" {
 		log, err := OpenEventLog(opts.LogDir, opts.LogSegmentBytes, opts.LogSync)
@@ -268,14 +270,35 @@ func (c *serverConn) protoError(err error) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	// Track the connection and bound the Hello read before it is
+	// registered in s.conns: an idle peer that never sends a hello (a
+	// health probe, a port scan) must not pin this goroutine forever, and
+	// Close must be able to deadline it. Registration and deadline updates
+	// happen under s.mu so they cannot race Close's own deadline pass.
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.preConns[conn] = struct{}{}
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	s.mu.Unlock()
+	dropPre := func() {
+		s.mu.Lock()
+		delete(s.preConns, conn)
+		s.mu.Unlock()
+	}
 	fr := newFrameReader(conn)
 	kind, payload, err := fr.readFrame()
 	if err != nil || kind != frHello {
+		dropPre()
 		conn.Close()
 		return
 	}
 	app, err := decodeHello(payload)
 	if err != nil {
+		dropPre()
 		// Pre-handshake: answer inline, no writer goroutine yet.
 		fw := newFrameWriter(conn)
 		_ = fw.writeFrame(frError, encodeError(err.Error()))
@@ -293,12 +316,14 @@ func (s *Server) handle(conn net.Conn) {
 		wdone: make(chan struct{}),
 	}
 	s.mu.Lock()
+	delete(s.preConns, conn)
 	if s.closing {
 		s.mu.Unlock()
 		conn.Close()
 		return
 	}
 	s.conns[c] = struct{}{}
+	_ = conn.SetReadDeadline(time.Time{}) // handshake done; reads block again
 	s.mu.Unlock()
 	s.met.connects.Inc()
 	go c.writeLoop()
@@ -340,7 +365,15 @@ func (s *Server) handle(conn net.Conn) {
 				if s.log != nil {
 					la := time.Now()
 					first, aerr := s.log.Append(occs)
-					if aerr != nil && !errors.Is(aerr, errLogClosed) {
+					if errors.Is(aerr, errLogClosed) {
+						// Server draining: the batch was never logged, so
+						// neither ack it (the offset would be a lie) nor
+						// inject it (live subscribers would see records
+						// stream subscribers never will). The client keeps
+						// it in flight and sees the connection close.
+						return
+					}
+					if aerr != nil {
 						c.protoError(fmt.Errorf("ged: log append: %w", aerr))
 						return
 					}
@@ -495,6 +528,18 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	// Unblock every reader: a read deadline in the past fails the pending
+	// Read, the reader goroutine runs its shutdown (unsubscribe, drain,
+	// goodbye, close) and exits. Done under s.mu — where handle also sets
+	// and clears deadlines — so a handshake completing concurrently cannot
+	// overwrite a deadline set here. Pre-handshake connections (hello not
+	// yet read) get the same treatment; they are not in s.conns yet.
+	for _, c := range conns {
+		_ = c.conn.SetReadDeadline(time.Now())
+	}
+	for pc := range s.preConns {
+		_ = pc.SetReadDeadline(time.Now())
+	}
 	s.mu.Unlock()
 	close(s.closeCh)
 	if ln != nil {
@@ -502,12 +547,6 @@ func (s *Server) Close() error {
 	}
 	if s.log != nil {
 		_ = s.log.Close() // wakes pumps blocked at the tail
-	}
-	// Unblock every reader: a read deadline in the past fails the pending
-	// Read, the reader goroutine runs its shutdown (unsubscribe, drain,
-	// goodbye, close) and exits.
-	for _, c := range conns {
-		_ = c.conn.SetReadDeadline(time.Now())
 	}
 	s.readers.Wait()
 	// Readers own their shutdown; anything raced past the map snapshot is
