@@ -16,7 +16,7 @@ BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules bench-ged ged-smoke torture clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules bench-ged ged-smoke repl-smoke torture clean
 
 all: build
 
@@ -34,14 +34,20 @@ check:
 
 # torture runs the crash-torture harness: TORTURE_ITERS seeded kill-point
 # iterations against the storage manager, each reopened and verified
-# (committed present, aborted absent, interrupted commits all-or-nothing).
-# The seed is always logged; reproduce a failure with
+# (committed present, aborted absent, interrupted commits all-or-nothing),
+# then REPL_TORTURE_ITERS seeded leader/follower replication iterations
+# (leader killed and restarted, leader killed and follower promoted,
+# follower killed mid-apply — zero divergence and bounded replica lag
+# required). The seed is always logged; reproduce a failure with
 # TORTURE_SEED=<seed from the log>.
 TORTURE_ITERS ?= 500
+REPL_TORTURE_ITERS ?= 200
 TORTURE_SEED ?=
 torture:
 	SENTINEL_TORTURE_ITERS=$(TORTURE_ITERS) SENTINEL_TORTURE_SEED=$(TORTURE_SEED) \
 		$(GO) test -count=1 -run 'TestCrashTorture|TestTortureHarnessDetectsBrokenRecovery' -v ./internal/faulttest
+	SENTINEL_REPL_TORTURE_ITERS=$(REPL_TORTURE_ITERS) \
+		$(GO) test -count=1 -run TestReplTorture -v ./internal/faulttest
 
 # lint runs the static analyzers beyond vet. The tools are not vendored;
 # CI installs them (see .github/workflows/ci.yml) and locally the target
@@ -120,6 +126,14 @@ bench-ged:
 GED_SMOKE_CONNS ?= 1000
 ged-smoke:
 	GED_SMOKE_CONNS=$(GED_SMOKE_CONNS) ./scripts/ged_smoke.sh
+
+# repl-smoke is the end-to-end replication failover gate: build replserver
+# with the race detector, run a leader and a follower, kill -9 the leader
+# mid-load, promote the follower with SIGUSR1, and require the promoted
+# store to hold an exact prefix of the leader's committed history plus a
+# successful post-promotion write (scripts/repl_smoke.sh).
+repl-smoke:
+	./scripts/repl_smoke.sh
 
 # bench-record captures one labelled run into BENCH_REC_OUT (the CI
 # before/after halves of the regression gate).

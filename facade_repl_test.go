@@ -1,0 +1,157 @@
+package sentinel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReplicationOptionValidation(t *testing.T) {
+	if _, err := Open(Options{Dir: t.TempDir(), ReplAddr: ":0", ReplicaOf: "localhost:1"}); err == nil {
+		t.Fatal("ReplAddr+ReplicaOf accepted")
+	}
+	if _, err := Open(Options{ReplAddr: ":0"}); err == nil {
+		t.Fatal("ReplAddr without Dir accepted")
+	}
+	if _, err := Open(Options{ReplicaOf: "localhost:1"}); err == nil {
+		t.Fatal("ReplicaOf without Dir accepted")
+	}
+}
+
+func TestFacadeReplicationAndPromote(t *testing.T) {
+	leader, err := Open(Options{Dir: t.TempDir(), PoolSize: 32, ReplAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if leader.ReplAddr() == "" {
+		t.Fatal("leader reports no repl address")
+	}
+
+	follower, err := Open(Options{
+		Dir: t.TempDir(), PoolSize: 32, ReplicaOf: leader.ReplAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Schema lives in code: both sides define the class.
+	for _, db := range []*Database{leader, follower} {
+		if _, err := db.DefineClass("STOCK", "", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tx, err := leader.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := leader.New(tx, "STOCK", map[string]any{"price": 42.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Bind(tx, "ACME", obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes on the follower are refused while it follows.
+	if _, err := follower.Begin(); !errors.Is(err, ErrFollowerReadOnly) {
+		t.Fatalf("follower Begin: got %v, want ErrFollowerReadOnly", err)
+	}
+
+	// The replicated object becomes visible to follower snapshot reads.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stx, err := follower.BeginSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid, rerr := follower.Resolve(stx, "ACME")
+		var inst *Instance
+		if rerr == nil {
+			inst, rerr = follower.Load(stx, oid)
+		}
+		_ = stx.Commit()
+		if rerr == nil {
+			if got := inst.Attr("price").(float64); got != 42.0 {
+				t.Fatalf("follower read price %v, want 42", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicated object never became visible: %v", rerr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The replication metrics are exported.
+	var text strings.Builder
+	for _, s := range follower.Metrics().Snapshot() {
+		text.WriteString(s.Name)
+		text.WriteByte('\n')
+	}
+	for _, want := range []string{
+		"sentinel_repl_apply_records_total",
+		"sentinel_repl_connected",
+		"sentinel_repl_failover_seconds",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("follower metrics missing %s", want)
+		}
+	}
+	var leaderText strings.Builder
+	for _, s := range leader.Metrics().Snapshot() {
+		leaderText.WriteString(s.Name)
+		leaderText.WriteByte('\n')
+	}
+	for _, want := range []string{
+		"sentinel_repl_ship_records_total",
+		"sentinel_repl_lag_records",
+		"sentinel_repl_sessions",
+	} {
+		if !strings.Contains(leaderText.String(), want) {
+			t.Fatalf("leader metrics missing %s", want)
+		}
+	}
+
+	// Failover: the leader goes away, the follower takes over.
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.Promote(); !errors.Is(err, ErrNotReplica) {
+		t.Fatalf("double promote: got %v, want ErrNotReplica", err)
+	}
+	wtx, err := follower.Begin()
+	if err != nil {
+		t.Fatalf("promoted database refuses writes: %v", err)
+	}
+	obj2, err := follower.New(wtx, "STOCK", map[string]any{"price": 7.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Bind(wtx, "NEWCO", obj2.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := wtx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rtx, err := follower.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.Resolve(rtx, "ACME"); err != nil {
+		t.Fatalf("pre-failover object lost: %v", err)
+	}
+	if _, err := follower.Resolve(rtx, "NEWCO"); err != nil {
+		t.Fatalf("post-failover object missing: %v", err)
+	}
+	_ = rtx.Commit()
+}

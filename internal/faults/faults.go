@@ -69,6 +69,10 @@ const (
 	// recovers the crash panic, seals the WAL, and re-raises the crash on
 	// each waiting committer's goroutine.
 	StoreGroupFlush Point = "storage.store.groupcommit.flush"
+	// ReplApply fires in a follower store before each shipped log record
+	// is applied, so replication torture can kill the follower mid-batch
+	// (between the raw-WAL ingest and the page/version-chain effects).
+	ReplApply Point = "storage.store.repl.apply"
 	// RecoverSkipUndo is a recovery-sabotage point: when armed, Store
 	// recovery SKIPS its undo pass entirely. It exists solely so the
 	// crash-torture harness can prove it detects broken recovery (the

@@ -1,0 +1,369 @@
+package faulttest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/repl"
+	"repro/internal/storage"
+)
+
+// Replication torture: a leader and a follower store wired over real TCP,
+// the seeded workload running on the leader while the follower applies the
+// shipped WAL, and a seeded kill striking one side:
+//
+//   - leader killed, leader restarts: the follower reconnects to the
+//     recovered leader and both must converge to identical record states;
+//   - leader killed, follower promoted: the promoted store must satisfy
+//     the workload's expectation (committed present, losers absent,
+//     interrupted commits all-or-nothing) and accept new writes;
+//   - follower killed mid-apply: its store is reopened (running follower
+//     recovery), follows again from its own offset, and must converge;
+//   - nobody killed: plain convergence within the lag bound.
+//
+// Divergence checking is record-for-record: after convergence the leader
+// and follower scans (snapshot and latest alike) must be identical.
+
+// Replication scenario classes, chosen by seed.
+const (
+	scenConverge = iota
+	scenLeaderRestart
+	scenLeaderPromote
+	scenFollowerKill
+	scenCount
+)
+
+var scenNames = map[int]string{
+	scenConverge:      "converge",
+	scenLeaderRestart: "leader-restart",
+	scenLeaderPromote: "leader-promote",
+	scenFollowerKill:  "follower-kill",
+}
+
+// leaderKillPoints are the crash sites a leader kill may strike. Only
+// points the follower's ingest/flush paths never pass through are eligible
+// — both stores share the process-global fault injector.
+var leaderKillPoints = []killPoint{
+	{point: faults.StoreCommit, maxHit: 8},
+	{point: faults.StoreGroupFlush, maxHit: 12},
+	{point: faults.StoreAbortUndo, maxHit: 8},
+	{point: faults.WALAppend, maxHit: 48},
+}
+
+// ReplIteration is one seeded replication torture run.
+type ReplIteration struct {
+	Seed     int64
+	Scenario string
+	Killed   string // armed kill point (for the log)
+	Crashed  bool   // the kill actually fired
+}
+
+// replLagTimeout bounds how long a follower may need to converge — the
+// harness's bounded-replica-lag assertion. Generous because it covers
+// reconnect backoff after a leader restart.
+const replLagTimeout = 30 * time.Second
+
+// addrBox hands the (changing) leader address to the follower's dial loop.
+type addrBox struct {
+	mu sync.Mutex
+	s  string
+}
+
+func (b *addrBox) set(s string) { b.mu.Lock(); b.s = s; b.mu.Unlock() }
+func (b *addrBox) get() string  { b.mu.Lock(); defer b.mu.Unlock(); return b.s }
+
+// RunRepl executes one seeded replication iteration in dir. It returns the
+// iteration record and the first invariant violation (nil when all held).
+func RunRepl(seed int64, dir string) (*ReplIteration, error) {
+	for _, sub := range []string{"leader", "follower"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	it := &ReplIteration{Seed: seed}
+
+	scen := rng.Intn(scenCount)
+	it.Scenario = scenNames[scen]
+	syncWAL := rng.Intn(3) == 0
+	// Small segments exercise rolls, sealed-segment shipping and the
+	// checkpoint archive path. Not in the follower-kill class: with its
+	// session dead, a workload checkpoint may prune below the crashed
+	// follower's resume offset, turning the reconnect into a (correct but
+	// terminal) resync refusal.
+	segBytes := int64(0)
+	if scen != scenFollowerKill && rng.Intn(2) == 0 {
+		segBytes = 4 << 10
+	}
+	leaderOpts := storage.Options{
+		Dir: filepath.Join(dir, "leader"), PoolSize: 8,
+		SyncWAL: syncWAL, WALSegBytes: segBytes,
+	}
+	followerOpts := storage.Options{
+		Dir: filepath.Join(dir, "follower"), PoolSize: 8,
+		SyncWAL: syncWAL, WALSegBytes: segBytes, Follower: true,
+	}
+
+	ld, err := storage.Open(leaderOpts)
+	if err != nil {
+		return it, fmt.Errorf("open leader: %w", err)
+	}
+	srv, err := repl.NewServer(ld, "127.0.0.1:0")
+	if err != nil {
+		return it, fmt.Errorf("repl server: %w", err)
+	}
+	var addr addrBox
+	addr.set(srv.Addr())
+	fst, err := storage.Open(followerOpts)
+	if err != nil {
+		return it, fmt.Errorf("open follower: %w", err)
+	}
+	fol, err := repl.StartFollower(fst, addr.get)
+	if err != nil {
+		return it, fmt.Errorf("start follower: %w", err)
+	}
+	// Let the session establish before writing: a connected session's ack
+	// floor is what keeps workload checkpoints from pruning the log bytes
+	// the follower has not pulled yet. (A follower bootstrapped after
+	// pruning legitimately needs a full resync — not this harness's topic.)
+	for waited := 0; !fol.Connected(); waited++ {
+		if waited > 5000 {
+			return it, fmt.Errorf("follower never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	switch scen {
+	case scenLeaderRestart, scenLeaderPromote:
+		kp := leaderKillPoints[rng.Intn(len(leaderKillPoints))]
+		on := uint64(1 + rng.Intn(kp.maxHit))
+		it.Killed = fmt.Sprintf("%s#%d", kp.point, on)
+		faults.Arm(faults.NewInjector(seed, faults.Trigger{
+			Point: kp.point, On: on, Limit: 1, Fault: faults.Fault{Crash: true},
+		}))
+	case scenFollowerKill:
+		on := uint64(1 + rng.Intn(60))
+		it.Killed = fmt.Sprintf("%s#%d", faults.ReplApply, on)
+		faults.Arm(faults.NewInjector(seed, faults.Trigger{
+			Point: faults.ReplApply, On: on, Limit: 1, Fault: faults.Fault{Crash: true},
+		}))
+	}
+
+	exp, crashed := runWorkload(rng, seed, ld)
+	if scen == scenFollowerKill {
+		// The kill strikes the follower's apply loop, concurrent with (or
+		// after) the workload: leave the injector armed until the stream
+		// either hits it or drains.
+		deadline := time.Now().Add(replLagTimeout)
+		for fol.Err() == nil {
+			_ = ld.FlushLog()
+			if fst.ReplApplied() >= ld.LogEnd() {
+				break
+			}
+			if time.Now().After(deadline) {
+				faults.Disarm()
+				return it, fmt.Errorf("follower neither crashed nor converged (applied %d, leader %d)",
+					fst.ReplApplied(), ld.LogEnd())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		crashed = fol.Err() != nil
+	}
+	faults.Disarm()
+	it.Crashed = crashed
+
+	if !crashed {
+		// The schedule never fired (or the class injects nothing): plain
+		// convergence under the lag bound, then record-level equality.
+		if err := waitShipped(ld, fst, fol, replLagTimeout); err != nil {
+			return it, err
+		}
+		if err := Verify(ld, exp); err != nil {
+			return it, fmt.Errorf("leader: %w", err)
+		}
+		if err := Verify(fst, exp); err != nil {
+			return it, fmt.Errorf("follower: %w", err)
+		}
+		if err := verifyMirror(ld, fst); err != nil {
+			return it, err
+		}
+		fol.Stop()
+		srv.Close()
+		if err := ld.Close(); err != nil {
+			return it, fmt.Errorf("close leader: %w", err)
+		}
+		if err := fst.Close(); err != nil {
+			return it, fmt.Errorf("close follower: %w", err)
+		}
+		return it, nil
+	}
+
+	switch scen {
+	case scenLeaderRestart:
+		// The dead leader restarts: stop shipping from the crashed store,
+		// reopen its directory (recovery resolves every in-flight
+		// transaction and republishes lost commit timestamps), and serve
+		// again on a fresh port. The follower is still dialing; it must
+		// resume from its own offset and converge on the recovered history.
+		srv.Close()
+		ld2, err := storage.Open(leaderOpts)
+		if err != nil {
+			return it, fmt.Errorf("leader recovery: %w", err)
+		}
+		srv2, err := repl.NewServer(ld2, "127.0.0.1:0")
+		if err != nil {
+			return it, fmt.Errorf("repl server (restarted): %w", err)
+		}
+		addr.set(srv2.Addr())
+		if err := waitShipped(ld2, fst, fol, replLagTimeout); err != nil {
+			return it, err
+		}
+		if err := Verify(ld2, exp); err != nil {
+			return it, fmt.Errorf("recovered leader: %w", err)
+		}
+		if err := Verify(fst, exp); err != nil {
+			return it, fmt.Errorf("follower of recovered leader: %w", err)
+		}
+		if err := verifyMirror(ld2, fst); err != nil {
+			return it, err
+		}
+		fol.Stop()
+		srv2.Close()
+		if err := ld2.Close(); err != nil {
+			return it, fmt.Errorf("close recovered leader: %w", err)
+		}
+		if err := fst.Close(); err != nil {
+			return it, fmt.Errorf("close follower: %w", err)
+		}
+
+	case scenLeaderPromote:
+		// The dead leader stays dead: the follower drains whatever reached
+		// the leader's disk, is promoted, and must satisfy the workload's
+		// expectation on its own — then take writes as the new leader.
+		if err := waitShipped(ld, fst, fol, replLagTimeout); err != nil {
+			return it, err
+		}
+		srv.Close()
+		if _, err := fol.Promote(); err != nil {
+			return it, fmt.Errorf("promote: %w", err)
+		}
+		if err := Verify(fst, exp); err != nil {
+			return it, fmt.Errorf("promoted follower: %w", err)
+		}
+		if err := smoke(fst, seed); err != nil {
+			return it, fmt.Errorf("post-promotion smoke: %w", err)
+		}
+		// The crashed leader store is abandoned, never closed.
+		if err := fst.Close(); err != nil {
+			return it, fmt.Errorf("close promoted follower: %w", err)
+		}
+
+	case scenFollowerKill:
+		// The follower's "process" died mid-apply: its store is abandoned
+		// (unflushed ingest tail lost, apply mutex still held) and its
+		// directory reopened — running follower recovery — then it follows
+		// again from its own durable offset and must converge.
+		fol.Stop()
+		fst2, err := storage.Open(followerOpts)
+		if err != nil {
+			return it, fmt.Errorf("follower recovery: %w", err)
+		}
+		fol2, err := repl.StartFollower(fst2, addr.get)
+		if err != nil {
+			return it, fmt.Errorf("restart follower: %w", err)
+		}
+		if err := waitShipped(ld, fst2, fol2, replLagTimeout); err != nil {
+			return it, err
+		}
+		if err := Verify(ld, exp); err != nil {
+			return it, fmt.Errorf("leader: %w", err)
+		}
+		if err := Verify(fst2, exp); err != nil {
+			return it, fmt.Errorf("recovered follower: %w", err)
+		}
+		if err := verifyMirror(ld, fst2); err != nil {
+			return it, err
+		}
+		fol2.Stop()
+		srv.Close()
+		if err := ld.Close(); err != nil {
+			return it, fmt.Errorf("close leader: %w", err)
+		}
+		if err := fst2.Close(); err != nil {
+			return it, fmt.Errorf("close recovered follower: %w", err)
+		}
+	}
+	return it, nil
+}
+
+// waitShipped blocks until the follower has fully applied everything up to
+// the leader's flushed end — the bounded-replica-lag assertion. It waits on
+// the applied watermark, not the log end: ingest advances the log end before
+// the batch's records have been applied, and verifying in that window would
+// race the apply loop. The flush attempt is best-effort: a crashed (sealed)
+// leader WAL keeps its flushed end, which is then exactly what the follower
+// can ever receive.
+func waitShipped(ld, fst *storage.Store, fol *repl.Follower, timeout time.Duration) error {
+	_ = ld.FlushLog()
+	target := ld.LogFlushed()
+	deadline := time.Now().Add(timeout)
+	for fst.ReplApplied() < target {
+		if err := fol.Err(); err != nil {
+			return fmt.Errorf("follower failed at lsn %d: %w", fst.ReplApplied(), err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica lag unbounded: follower applied %d, leader flushed %d",
+				fst.ReplApplied(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// verifyMirror checks record-for-record equality of the two stores, through
+// both the snapshot scan and the unfiltered latest scan.
+func verifyMirror(ld, fst *storage.Store) error {
+	type scan func(*storage.Store) (map[storage.RID]string, error)
+	snapshot := func(st *storage.Store) (map[storage.RID]string, error) {
+		m := map[storage.RID]string{}
+		err := st.ForEachRecord(func(rid storage.RID, data []byte) error {
+			m[rid] = string(data)
+			return nil
+		})
+		return m, err
+	}
+	latest := func(st *storage.Store) (map[storage.RID]string, error) {
+		m := map[storage.RID]string{}
+		err := st.ForEachRecordLatest(func(rid storage.RID, data []byte) error {
+			m[rid] = string(data)
+			return nil
+		})
+		return m, err
+	}
+	for name, sc := range map[string]scan{"snapshot": snapshot, "latest": latest} {
+		lm, err := sc(ld)
+		if err != nil {
+			return fmt.Errorf("leader %s scan: %w", name, err)
+		}
+		fm, err := sc(fst)
+		if err != nil {
+			return fmt.Errorf("follower %s scan: %w", name, err)
+		}
+		if len(lm) != len(fm) {
+			return fmt.Errorf("divergence: leader %s scan has %d records, follower %d",
+				name, len(lm), len(fm))
+		}
+		for rid, v := range lm {
+			if fv, ok := fm[rid]; !ok || fv != v {
+				return fmt.Errorf("divergence at %v (%s scan): leader %q, follower %q",
+					rid, name, v, fv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package faulttest
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestReplTorture runs seeded leader/follower crash schedules. Default is a
+// smoke-sized sweep; CI and `make torture` raise it via
+// SENTINEL_REPL_TORTURE_ITERS. Any failure names its seed — rerunning that
+// seed reproduces the schedule exactly.
+func TestReplTorture(t *testing.T) {
+	iters := 12
+	if s := os.Getenv("SENTINEL_REPL_TORTURE_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SENTINEL_REPL_TORTURE_ITERS %q", s)
+		}
+		iters = n
+	} else if testing.Short() {
+		iters = 4
+	}
+	const base = int64(0x5EED4EA1)
+	for i := 0; i < iters; i++ {
+		seed := base + int64(i)*7919
+		it, err := RunRepl(seed, t.TempDir())
+		if err != nil {
+			t.Fatalf("seed %d scenario %s (killed %s, crashed %v): %v",
+				seed, it.Scenario, it.Killed, it.Crashed, err)
+		}
+		if testing.Verbose() {
+			t.Logf("seed %d: %s killed=%s crashed=%v ok", seed, it.Scenario, it.Killed, it.Crashed)
+		}
+	}
+}

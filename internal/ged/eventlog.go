@@ -210,6 +210,13 @@ func (l *EventLog) startSegment(base uint64) error {
 		f.Close()
 		return err
 	}
+	// Syncing the file makes its contents durable but not its name: until
+	// the directory entry is fsynced, a crash can forget the segment ever
+	// existed, leaving a replay hole after the previous sealed segment.
+	if err := syncDirEntry(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.active = f
 	l.actBase = base
 	l.actN = 0
@@ -473,4 +480,19 @@ func (r *LogReader) Next() (*event.Occurrence, uint64, error) {
 	off := r.next
 	r.next++
 	return occ, off, nil
+}
+
+// syncDirEntry fsyncs a directory, making a freshly created segment's
+// directory entry durable — fsyncing the file alone does not cover its
+// name.
+func syncDirEntry(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }

@@ -29,6 +29,15 @@ type frame struct {
 	dirty   bool
 	loading bool          // a miss is reading this page from disk
 	lruElem *list.Element // non-nil iff unpinned and resident
+
+	// cleanLSN is the page's LSN the last time this frame matched the
+	// on-disk copy (at load, after write-back) — or, for a brand-new page,
+	// the log position when it materialized. It is the frame's recovery
+	// LSN for fuzzy checkpoints: any log record that dirtied the frame
+	// after that moment has LSN > cleanLSN, so redo from min(cleanLSN over
+	// dirty frames) covers every unpersisted change. Guarded like dirty:
+	// shard mutex or latch+pin.
+	cleanLSN uint64
 }
 
 // flushLogFunc is called before a dirty page is written, with the page LSN,
@@ -53,6 +62,7 @@ type poolShard struct {
 type BufferPool struct {
 	disk     *DiskManager
 	flushLog flushLogFunc
+	lsnNow   func() uint64 // current log end, for new pages' cleanLSN; may be nil
 	shards   []*poolShard
 
 	// Page-lookup and write-back counters, readable without any lock
@@ -111,6 +121,13 @@ func NewBufferPoolShards(disk *DiskManager, capacity, shards int, flushLog flush
 	return b
 }
 
+// SetLSNSource installs the function that reports the current end of the
+// log, used to stamp a conservative cleanLSN on pages that have never been
+// written to disk (NewPage). Wired by Open after the WAL exists; pools
+// without a WAL leave it nil and new pages get recovery LSN zero, which is
+// merely conservative.
+func (b *BufferPool) SetLSNSource(fn func() uint64) { b.lsnNow = fn }
+
 func (b *BufferPool) shard(id PageID) *poolShard {
 	return b.shards[uint64(id)%uint64(len(b.shards))]
 }
@@ -164,6 +181,7 @@ func (b *BufferPool) Fetch(id PageID) (*Page, error) {
 		sh.mu.Unlock()
 		return nil, err
 	}
+	fr.cleanLSN = fr.page.LSN() // fresh from disk: frame matches the disk copy
 	sh.loaded.Broadcast()
 	sh.mu.Unlock()
 	fr.latch.Lock()
@@ -188,6 +206,12 @@ func (b *BufferPool) NewPage() (*Page, error) {
 	fr.page.InitPage()
 	fr.pins = 1
 	fr.dirty = true
+	// Never persisted: the page's whole history starts at the log's
+	// current end (its alloc record is appended under the latch we return
+	// holding), so that is its recovery LSN.
+	if b.lsnNow != nil {
+		fr.cleanLSN = b.lsnNow()
+	}
 	sh.frames[id] = fr
 	sh.mu.Unlock()
 	fr.latch.Lock()
@@ -261,6 +285,7 @@ func (b *BufferPool) writeBack(fr *frame) error {
 		return err
 	}
 	fr.dirty = false
+	fr.cleanLSN = fr.page.LSN()
 	b.writes.Add(1)
 	return nil
 }
@@ -312,6 +337,51 @@ func (b *BufferPool) flushOne(sh *poolShard, id PageID) error {
 	}
 	sh.mu.Unlock()
 	return err
+}
+
+// DirtyPages collects the dirty-page table for a fuzzy checkpoint: every
+// currently-dirty resident page mapped to its recovery LSN (the frame's
+// cleanLSN). Each frame is pinned and latched for its reading, like
+// flushOne, so the walk synchronizes with content writers without holding
+// any shard mutex across a latch wait. The collection is fuzzy by design —
+// pages dirtied after their frame is visited are covered by the
+// checkpoint-record LSN bound, not the table.
+func (b *BufferPool) DirtyPages() map[PageID]uint64 {
+	out := make(map[PageID]uint64)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		ids := make([]PageID, 0, len(sh.frames))
+		for id, fr := range sh.frames {
+			if fr.dirty && !fr.loading {
+				ids = append(ids, id)
+			}
+		}
+		sh.mu.Unlock()
+		for _, id := range ids {
+			sh.mu.Lock()
+			fr, ok := sh.frames[id]
+			if !ok || fr.loading {
+				sh.mu.Unlock()
+				continue
+			}
+			sh.pinLocked(fr)
+			sh.mu.Unlock()
+
+			fr.latch.Lock()
+			if fr.dirty {
+				out[id] = fr.cleanLSN
+			}
+			fr.latch.Unlock()
+
+			sh.mu.Lock()
+			fr.pins--
+			if fr.pins == 0 {
+				fr.lruElem = sh.lru.PushBack(id)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return out
 }
 
 // Resident reports how many pages are currently cached (for tests).

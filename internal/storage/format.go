@@ -22,10 +22,14 @@ import (
 //	v2 — MVCC snapshot reads: slot entries grew to 12 bytes to carry the
 //	     creator/deleter version stamps, WAL payloads gained a u64 TS
 //	     field, and the marker file was introduced.
+//	v3 — WAL-shipping replication: the single sentinel.log became a wal/
+//	     directory of sealed, CRC-manifested segments named by base LSN,
+//	     with fuzzy-checkpoint state in wal/MANIFEST. Record framing is
+//	     unchanged but a v2 log file is not discoverable by a v3 build.
 const (
 	formatMagic = "sentinel-format"
 	// FormatVersion is the generation this build reads and writes.
-	FormatVersion = 2
+	FormatVersion = 3
 	// formatFile is the marker's filename inside the data directory.
 	formatFile = "sentinel.meta"
 )
@@ -62,12 +66,21 @@ func checkFormat(dir string) error {
 	}
 }
 
-// dirHasData reports whether dir already holds a non-empty database or log
-// file. Zero-length files (created but never written) count as fresh.
+// dirHasData reports whether dir already holds a non-empty database or log.
+// Zero-length files (created but never written) count as fresh. sentinel.log
+// is the pre-v3 single-file WAL; wal/ is the v3 segmented layout, which
+// counts as data once any segment holds a record past its 8-byte header.
 func dirHasData(dir string) bool {
 	for _, name := range []string{"sentinel.db", "sentinel.log"} {
 		if st, err := os.Stat(filepath.Join(dir, name)); err == nil && st.Size() > 0 {
 			return true
+		}
+	}
+	if entries, err := os.ReadDir(filepath.Join(dir, "wal")); err == nil {
+		for _, e := range entries {
+			if info, err := e.Info(); err == nil && !e.IsDir() && info.Size() > walHeaderLen {
+				return true
+			}
 		}
 	}
 	return false

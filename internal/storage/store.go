@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,13 +36,27 @@ type Options struct {
 	// negative value disables the background pass (Checkpoint and
 	// opportunistic pruning still collect).
 	VersionGCInterval time.Duration
+	// Follower opens the store as a replication follower: every write
+	// entry point returns ErrFollowerReadOnly and state advances only
+	// through ReplIngest applying shipped leader log records. Snapshot
+	// reads work normally. Promote flips the store to a leader.
+	Follower bool
+	// WALSegBytes is the log's segment-roll threshold (default 4 MiB).
+	// Tests use small values to exercise rolling and archival.
+	WALSegBytes int64
+	// RecoveryShards is the parallelism of the recovery redo pass
+	// (default min(8, GOMAXPROCS)). 1 forces serial redo.
+	RecoveryShards int
 }
 
 // Errors reported by the store.
 var (
-	ErrNoSuchTxn   = errors.New("storage: no such active transaction")
-	ErrTxnDone     = errors.New("storage: transaction already finished")
-	ErrStoreClosed = errors.New("storage: store is closed")
+	ErrNoSuchTxn         = errors.New("storage: no such active transaction")
+	ErrTxnDone           = errors.New("storage: transaction already finished")
+	ErrStoreClosed       = errors.New("storage: store is closed")
+	ErrFollowerReadOnly  = errors.New("storage: store is a replication follower (read-only)")
+	ErrNotFollower       = errors.New("storage: store is not a replication follower")
+	ErrReplicaDivergence = errors.New("storage: follower diverged from shipped log")
 )
 
 // txnState tracks one active transaction — top-level or nested. Nested
@@ -58,8 +71,9 @@ var (
 // still internally consistent under concurrent sibling commits merging
 // into a shared parent.
 type txnState struct {
-	id     uint64
-	parent uint64 // zero for top-level transactions
+	id       uint64
+	parent   uint64 // zero for top-level transactions
+	firstLSN uint64 // LSN of the begin record (fuzzy-checkpoint redo bound)
 
 	mu        sync.Mutex
 	children  int
@@ -67,6 +81,7 @@ type txnState struct {
 	res       []resEntry   // undo reservations, dropped when the txn resolves
 	merged    []uint64     // committed descendants riding to the top-level outcome
 	finishing bool         // a Commit/Abort owns the txn right now
+	applied   bool         // follower only: ops applied, awaiting the commit-TS record
 }
 
 func (t *txnState) addOp(rec *LogRecord) {
@@ -188,6 +203,18 @@ type Store struct {
 	vgcQuit chan struct{}
 	vgcDone chan struct{}
 
+	// Replication state. follower gates every write entry point; applyMu
+	// serializes the single apply/promote path on a follower. retainFn
+	// (settable by a shipping server) lowers the archive-prune floor to
+	// what the slowest connected follower still needs.
+	follower    atomic.Bool
+	applyMu     sync.Mutex
+	retainMu    sync.Mutex
+	retainFn    func() (uint64, bool)
+	recShards   int
+	recStats    RecoveryStats
+	replApplied atomic.Uint64 // log position fully applied by ReplIngest
+
 	closed atomic.Bool
 }
 
@@ -203,7 +230,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(filepath.Join(opts.Dir, "sentinel.log"), opts.SyncWAL)
+	wal, err := OpenWALSize(filepath.Join(opts.Dir, "wal"), opts.SyncWAL, opts.WALSegBytes)
 	if err != nil {
 		disk.Close()
 		return nil, err
@@ -215,7 +242,9 @@ func Open(opts Options) (*Store, error) {
 		reserves:   make(map[PageID]*pageReserve),
 		cts:        make(map[uint64]uint64),
 		mergedInto: make(map[uint64]uint64),
+		recShards:  opts.RecoveryShards,
 	}
+	s.follower.Store(opts.Follower)
 	for i := range s.shards {
 		s.shards[i].m = make(map[uint64]*txnState)
 	}
@@ -229,11 +258,13 @@ func Open(opts Options) (*Store, error) {
 		s.snaps[i].m = make(map[uint64]int)
 	}
 	s.pool = NewBufferPoolShards(disk, opts.PoolSize, opts.PoolShards, wal.Flush)
+	s.pool.SetLSNSource(wal.NextLSN)
 	if err := s.recover(); err != nil {
 		wal.Close()
 		disk.Close()
 		return nil, err
 	}
+	s.replApplied.Store(wal.NextLSN())
 	if err := s.rebuildFSM(); err != nil {
 		wal.Close()
 		disk.Close()
@@ -333,17 +364,28 @@ func (s *Store) forget(t *txnState) {
 }
 
 // Begin starts a top-level transaction and returns its id.
+//
+// The begin record is appended while the transaction's shard mutex is
+// held, so the append and the registration are atomic with respect to a
+// fuzzy checkpoint's active-transaction walk: any transaction whose begin
+// record precedes the checkpoint record is either in the walked table or
+// entirely above the checkpoint's LSN bound — never invisible to both.
 func (s *Store) Begin() (uint64, error) {
 	if s.closed.Load() {
 		return 0, ErrStoreClosed
 	}
-	id := s.nextTxn.Add(1)
-	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id}); err != nil {
-		return 0, err
+	if s.follower.Load() {
+		return 0, ErrFollowerReadOnly
 	}
+	id := s.nextTxn.Add(1)
 	sh := s.txShard(id)
 	sh.mu.Lock()
-	sh.m[id] = &txnState{id: id}
+	lsn, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id})
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
+	sh.m[id] = &txnState{id: id, firstLSN: lsn}
 	sh.mu.Unlock()
 	return id, nil
 }
@@ -354,6 +396,9 @@ func (s *Store) Begin() (uint64, error) {
 func (s *Store) BeginSub(parent uint64) (uint64, error) {
 	if s.closed.Load() {
 		return 0, ErrStoreClosed
+	}
+	if s.follower.Load() {
+		return 0, ErrFollowerReadOnly
 	}
 	p, err := s.lookupActive(parent)
 	if err != nil {
@@ -367,15 +412,17 @@ func (s *Store) BeginSub(parent uint64) (uint64, error) {
 	p.children++
 	p.mu.Unlock()
 	id := s.nextTxn.Add(1)
-	if _, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id, Parent: parent}); err != nil {
+	sh := s.txShard(id)
+	sh.mu.Lock()
+	lsn, err := s.wal.Append(&LogRecord{Type: RecBegin, Txn: id, Parent: parent})
+	if err != nil {
+		sh.mu.Unlock()
 		p.mu.Lock()
 		p.children--
 		p.mu.Unlock()
 		return 0, err
 	}
-	sh := s.txShard(id)
-	sh.mu.Lock()
-	sh.m[id] = &txnState{id: id, parent: parent}
+	sh.m[id] = &txnState{id: id, parent: parent, firstLSN: lsn}
 	sh.mu.Unlock()
 	return id, nil
 }
@@ -386,6 +433,9 @@ func (s *Store) BeginSub(parent uint64) (uint64, error) {
 // flight. A subtransaction commit merges its operations into the parent,
 // deferring durability to the top-level outcome.
 func (s *Store) Commit(id uint64) error {
+	if s.follower.Load() {
+		return ErrFollowerReadOnly
+	}
 	t, err := s.takeFinisher(id, "commit")
 	if err != nil {
 		return err
@@ -466,6 +516,9 @@ func (s *Store) assignCommitTS(t *txnState) {
 // any point leaves recovery enough information to finish or redo the
 // rollback.
 func (s *Store) Abort(id uint64) error {
+	if s.follower.Load() {
+		return ErrFollowerReadOnly
+	}
 	t, err := s.takeFinisher(id, "abort")
 	if err != nil {
 		return err
@@ -480,13 +533,7 @@ func (s *Store) Abort(id uint64) error {
 			t.unfinish()
 			return err
 		}
-		clr := compensationFor(ops[i])
-		lsn, err := s.wal.Append(clr)
-		if err != nil {
-			t.unfinish()
-			return err
-		}
-		if err := s.undoOp(ops[i], lsn); err != nil {
+		if err := s.compensate(ops[i]); err != nil {
 			t.unfinish()
 			return fmt.Errorf("storage: abort txn %d: %w", id, err)
 		}
@@ -537,14 +584,31 @@ func compensationFor(rec *LogRecord) *LogRecord {
 	}
 }
 
-// undoOp reverses one logged operation. Undo is lenient about already-
-// reversed effects so it stays idempotent under crash-recovery replay.
-func (s *Store) undoOp(rec *LogRecord, stampLSN uint64) error {
+// compensate undoes one logged operation: it logs the compensation (CLR)
+// record and applies the reversal, both while holding the target page's
+// latch. Appending the CLR under the latch matters for fuzzy checkpoints:
+// every log record that will dirty a page is thereby ordered (by that
+// page's latch) against the checkpoint's dirty-page walk, so the walk
+// either sees the dirty frame or the CLR's LSN lies above the checkpoint's
+// own record — never a hole below the redo point.
+func (s *Store) compensate(rec *LogRecord) error {
 	page, err := s.pool.Fetch(rec.RID.Page)
 	if err != nil {
 		return err
 	}
 	defer s.pool.Unpin(rec.RID.Page, true)
+	clr := compensationFor(rec)
+	lsn, err := s.wal.Append(clr)
+	if err != nil {
+		return err
+	}
+	return s.undoOpLatched(page, rec, lsn)
+}
+
+// undoOpLatched reverses one logged operation on its already-latched page.
+// Undo is lenient about already-reversed effects so it stays idempotent
+// under crash-recovery replay.
+func (s *Store) undoOpLatched(page *Page, rec *LogRecord, stampLSN uint64) error {
 	switch rec.Type {
 	case RecInsert:
 		if page.Live(rec.RID.Slot) {
@@ -591,6 +655,9 @@ func (s *Store) undoOp(rec *LogRecord, stampLSN uint64) error {
 func (s *Store) Insert(id uint64, data []byte) (RID, error) {
 	if len(data) > MaxRecordSize {
 		return RID{}, ErrRecordTooBig
+	}
+	if s.follower.Load() {
+		return RID{}, ErrFollowerReadOnly
 	}
 	t, err := s.lookupActive(id)
 	if err != nil {
@@ -791,6 +858,9 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 	if len(data) > MaxRecordSize {
 		return RID{}, ErrRecordTooBig
 	}
+	if s.follower.Load() {
+		return RID{}, ErrFollowerReadOnly
+	}
 	t, err := s.lookupActive(id)
 	if err != nil {
 		return RID{}, err
@@ -879,6 +949,9 @@ func (s *Store) Update(id uint64, rid RID, data []byte) (RID, error) {
 
 // Delete removes the record at rid.
 func (s *Store) Delete(id uint64, rid RID) error {
+	if s.follower.Load() {
+		return ErrFollowerReadOnly
+	}
 	t, err := s.lookupActive(id)
 	if err != nil {
 		return err
@@ -910,162 +983,15 @@ func (s *Store) Delete(id uint64, rid RID) error {
 	return nil
 }
 
-// Checkpoint flushes all dirty pages and logs a checkpoint record. After a
-// checkpoint, recovery redo still scans the full log but page LSN checks
-// make pre-checkpoint work a no-op. Checkpoint also runs a version-GC
-// pass, so stores with the background collector disabled still reclaim on
-// their checkpoint cadence.
-func (s *Store) Checkpoint() error {
-	s.VersionGC()
-	active := s.ActiveTxns()
-	if err := s.pool.FlushAll(); err != nil {
-		return err
-	}
-	lsn, err := s.wal.Append(&LogRecord{Type: RecCheckpoint, Active: active})
-	if err != nil {
-		return err
-	}
-	return s.gc.waitDurable(lsn + 1)
-}
-
-// recover replays the log in the ARIES style: redo every operation —
-// forward and compensation alike — whose effect is missing (repeating
-// history, guarded by page LSNs), then undo the still-uncompensated
-// operations of every transaction that neither committed nor completed its
-// rollback. Each recovery undo logs its own CLR and the loser finally gets
-// an abort record, so recovery itself is crash-safe and idempotent.
-func (s *Store) recover() error {
-	type txnInfo struct {
-		committed bool
-		aborted   bool   // rollback completed (abort record present)
-		parent    uint64 // zero for top-level transactions
-		forward   []*LogRecord
-		clrs      int
-	}
-	txns := map[uint64]*txnInfo{}
-	get := func(id uint64) *txnInfo {
-		t := txns[id]
-		if t == nil {
-			t = &txnInfo{}
-			txns[id] = t
-		}
-		return t
-	}
-	var allOps []*LogRecord
-	var maxTxn, maxTS uint64
-	err := s.wal.Scan(0, func(rec *LogRecord) error {
-		if rec.Txn > maxTxn {
-			maxTxn = rec.Txn
-		}
-		switch rec.Type {
-		case RecBegin:
-			get(rec.Txn).parent = rec.Parent
-		case RecCommit:
-			get(rec.Txn).committed = true
-		case RecCommitTS:
-			if rec.TS > maxTS {
-				maxTS = rec.TS
-			}
-		case RecAbort:
-			get(rec.Txn).aborted = true
-		case RecInsert, RecDelete, RecUpdate:
-			allOps = append(allOps, rec)
-			if rec.CLR {
-				get(rec.Txn).clrs++
-			} else {
-				get(rec.Txn).forward = append(get(rec.Txn).forward, rec)
-			}
-		case RecAlloc:
-			if !rec.CLR {
-				allOps = append(allOps, rec)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	// Transaction ids restart above everything the log has seen; reusing a
-	// logged id would merge a new transaction's records into an old one's
-	// on the next recovery. The commit-timestamp clock likewise resumes
-	// past every stamp ever handed out; the commit table itself stays
-	// empty — every surviving record is frozen, i.e. visible to all, which
-	// is correct because no snapshot outlives a crash.
-	s.nextTxn.Store(maxTxn)
-	s.commitTS.Store(maxTS)
-	// Redo pass: repeat history, including compensations.
-	for _, rec := range allOps {
-		if err := s.redoOp(rec); err != nil {
-			return fmt.Errorf("storage: recovery redo lsn %d: %w", rec.LSN, err)
-		}
-	}
-	// A transaction's effects are durable only when it and every ancestor
-	// committed — a committed subtransaction inside a crashed top-level
-	// transaction is still a loser.
-	var effCommitted func(id uint64) bool
-	effCommitted = func(id uint64) bool {
-		t := txns[id]
-		if t == nil || !t.committed {
-			return false
-		}
-		if t.parent == 0 {
-			return true
-		}
-		return effCommitted(t.parent)
-	}
-	// Undo pass: for each unresolved transaction the last clrs forward
-	// operations were already compensated (runtime abort undoes in strict
-	// reverse order); the rest are undone here, newest first across all
-	// losers, each with its own CLR.
-	var losers []uint64
-	var toUndo []*LogRecord
-	for id, t := range txns {
-		if effCommitted(id) || t.aborted {
-			continue
-		}
-		remaining := t.forward
-		if t.clrs > 0 && t.clrs <= len(remaining) {
-			remaining = remaining[:len(remaining)-t.clrs]
-		}
-		if len(remaining) > 0 || t.clrs > 0 {
-			losers = append(losers, id)
-		}
-		toUndo = append(toUndo, remaining...)
-	}
-	sort.Slice(toUndo, func(i, j int) bool { return toUndo[i].LSN > toUndo[j].LSN })
-	// Sabotage point for the torture harness's self-check: when armed,
-	// recovery silently skips its undo pass, leaving loser effects on the
-	// pages. The harness must detect this as an invariant violation — if it
-	// doesn't, the harness is vacuous. Never armed outside that test.
-	if faults.Check(faults.RecoverSkipUndo) != nil {
-		toUndo = nil
-		losers = nil
-	}
-	for _, rec := range toUndo {
-		clr := compensationFor(rec)
-		lsn, err := s.wal.Append(clr)
-		if err != nil {
-			return err
-		}
-		if err := s.undoOp(rec, lsn); err != nil {
-			return fmt.Errorf("storage: recovery undo lsn %d: %w", rec.LSN, err)
-		}
-	}
-	for _, id := range losers {
-		if _, err := s.wal.Append(&LogRecord{Type: RecAbort, Txn: id}); err != nil {
-			return err
-		}
-	}
-	if err := s.wal.Flush(^uint64(0)); err != nil {
-		return err
-	}
-	if err := s.pool.FlushAll(); err != nil {
-		return err
-	}
-	return nil
-}
-
-// redoOp re-applies one logged operation if the page has not seen it.
+// redoOp re-applies one logged operation. Replay is lenient (insert only
+// if absent, delete only if present) and the scan replays the whole tail
+// in per-page LSN order, so repeating an effect that already reached disk
+// is idempotent and the final state converges to what the log defines.
+// There is deliberately no page-LSN skip guard: on a replication follower
+// pages are stamped with the LSN of the commit record that published them
+// — not their individual operation LSNs — so "page LSN ≥ record LSN" does
+// not imply the effect is present there, and an unconditional in-order
+// replay is the variant that is correct for every store.
 func (s *Store) redoOp(rec *LogRecord) error {
 	if rec.Type == RecAlloc {
 		if err := s.disk.EnsureAllocated(rec.RID.Page); err != nil {
@@ -1077,9 +1003,6 @@ func (s *Store) redoOp(rec *LogRecord) error {
 		return err
 	}
 	defer s.pool.Unpin(rec.RID.Page, true)
-	if page.LSN() >= rec.LSN {
-		return nil // effect already on the page
-	}
 	switch rec.Type {
 	case RecAlloc:
 		page.InitPage()
@@ -1204,6 +1127,60 @@ func (s *Store) ActiveTxns() []uint64 {
 	return out
 }
 
+// IsFollower reports whether the store is in follower (read-only) mode.
+func (s *Store) IsFollower() bool { return s.follower.Load() }
+
+// LogEnd returns the LSN one past the last appended log record.
+func (s *Store) LogEnd() uint64 { return s.wal.NextLSN() }
+
+// ReplApplied returns the log position whose effects are fully applied on
+// a follower: the log end as of the last completed ReplIngest batch (or
+// open-time recovery). The log end itself advances at ingest, before the
+// batch's records have been applied — readers that need the shipped state
+// to be visible must wait on this watermark, not on LogEnd.
+func (s *Store) ReplApplied() uint64 { return s.replApplied.Load() }
+
+// LogFlushed returns the log's durability watermark.
+func (s *Store) LogFlushed() uint64 { return s.wal.FlushedLSN() }
+
+// LogStart returns the earliest LSN still retained in the log.
+func (s *Store) LogStart() uint64 { return s.wal.StartLSN() }
+
+// FlushLog forces the whole log buffer (follower ack path; leaders go
+// through the group committer).
+func (s *Store) FlushLog() error { return s.wal.Flush(^uint64(0)) }
+
+// LogCursor returns a shipping cursor over the flushed log from LSN from.
+// Cursors read segment files directly and never force the log themselves.
+func (s *Store) LogCursor(from uint64) *LogCursor { return s.wal.NewCursor(from) }
+
+// SetRetainFloor installs fn as the archive-retention floor: Checkpoint
+// prunes archived segments only below min(redo point, fn()). A shipping
+// server uses it to keep segments a lagging follower still needs; fn
+// returning ok=false means "no constraint". Pass nil to clear.
+func (s *Store) SetRetainFloor(fn func() (uint64, bool)) {
+	s.retainMu.Lock()
+	s.retainFn = fn
+	s.retainMu.Unlock()
+}
+
+func (s *Store) retainFloor(redo uint64) uint64 {
+	s.retainMu.Lock()
+	fn := s.retainFn
+	s.retainMu.Unlock()
+	if fn != nil {
+		if floor, ok := fn(); ok && floor < redo {
+			return floor
+		}
+	}
+	return redo
+}
+
+// RecoveryStats reports what the last Open's recovery actually did — the
+// proof that fuzzy checkpoints bound recovery work by the log tail rather
+// than the log length.
+func (s *Store) RecoveryStats() RecoveryStats { return s.recStats }
+
 // PoolStats exposes buffer pool hit/miss counters for the benchmarks.
 func (s *Store) PoolStats() (hits, misses uint64) {
 	hits, misses, _ = s.pool.Stats()
@@ -1241,6 +1218,12 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("sentinel_storage_wal_fsyncs_total",
 		"WAL fsyncs issued (sync mode only).",
 		func() uint64 { _, _, _, fs := s.wal.Stats(); return fs })
+	r.CounterFunc("sentinel_storage_wal_segment_rolls_total",
+		"WAL segments sealed and rolled.",
+		s.wal.Rolls)
+	r.GaugeFunc("sentinel_storage_wal_retained_bytes",
+		"Log bytes retained on disk (active tail plus sealed and archived segments).",
+		func() float64 { return float64(s.wal.NextLSN() - s.wal.StartLSN()) })
 	r.CounterFunc("sentinel_storage_group_commit_batches_total",
 		"Group-commit forces issued on behalf of at least one waiter.",
 		s.gc.batches.Load)

@@ -194,8 +194,9 @@ func TestWALTornTail(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the tail: append garbage simulating a torn write.
-	f, err := openAppend(path)
+	// Corrupt the tail: append garbage to the active segment, simulating a
+	// torn write.
+	f, err := openAppend(filepath.Join(path, walSegName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,7 +47,8 @@ func TestTortureLogTruncation(t *testing.T) {
 	if err := s.wal.Flush(^uint64(0)); err != nil {
 		t.Fatal(err)
 	}
-	logBytes, err := os.ReadFile(filepath.Join(srcDir, "sentinel.log"))
+	// The whole workload fits in the first (active) segment; cut that file.
+	logBytes, err := os.ReadFile(filepath.Join(srcDir, "wal", walSegName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,10 @@ func TestTortureLogTruncation(t *testing.T) {
 	}
 	for cut := range points {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, "sentinel.log"), logBytes[:cut], 0o644); err != nil {
+		if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal", walSegName(0)), logBytes[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(filepath.Join(dir, "sentinel.db"), dbBytes, 0o644); err != nil {

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end replication failover smoke: build replserver with the race
+# detector, start a leader shipping its WAL and a follower applying it,
+# kill -9 the leader mid-load, promote the follower with SIGUSR1, and
+# require the promoted store to hold an exact contiguous prefix of the
+# leader's committed history (the expect file) plus a successful
+# post-promotion write. Fails on divergence, an empty replica, a race
+# report, or an unclean follower exit.
+set -euo pipefail
+
+LOAD="${REPL_SMOKE_LOAD:-400}"
+KILL_AT="${REPL_SMOKE_KILL_AT:-120}"
+PORT="${REPL_SMOKE_PORT:-7272}"
+
+work="$(mktemp -d)"
+leader_pid=""
+follower_pid=""
+cleanup() {
+    for pid in "$leader_pid" "$follower_pid"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building replserver (-race)"
+go build -race -o "$work/replserver" ./cmd/replserver
+
+echo "== starting leader (WAL on 127.0.0.1:$PORT, load $LOAD keys)"
+"$work/replserver" -dir "$work/leader" -listen "127.0.0.1:$PORT" \
+    -load "$LOAD" -expect "$work/expect.txt" \
+    >"$work/leader.log" 2>&1 &
+leader_pid=$!
+for _ in $(seq 1 100); do
+    if grep -q "leader serving WAL" "$work/leader.log" 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$leader_pid" 2>/dev/null; then
+        echo "leader exited early:"; cat "$work/leader.log"; exit 1
+    fi
+    sleep 0.1
+done
+grep -q "leader serving WAL" "$work/leader.log" || {
+    echo "leader never started:"; cat "$work/leader.log"; exit 1
+}
+
+echo "== starting follower"
+"$work/replserver" -dir "$work/follower" -replica-of "127.0.0.1:$PORT" \
+    -expect "$work/expect.txt" \
+    >"$work/follower.log" 2>&1 &
+follower_pid=$!
+for _ in $(seq 1 100); do
+    if grep -q "following" "$work/follower.log" 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$follower_pid" 2>/dev/null; then
+        echo "follower exited early:"; cat "$work/follower.log"; exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== waiting for $KILL_AT committed keys, then kill -9 the leader"
+for _ in $(seq 1 600); do
+    lines=0
+    [[ -f "$work/expect.txt" ]] && lines="$(wc -l < "$work/expect.txt")"
+    if [[ "$lines" -ge "$KILL_AT" ]]; then
+        break
+    fi
+    if ! kill -0 "$leader_pid" 2>/dev/null; then
+        echo "leader died before reaching $KILL_AT keys:"; cat "$work/leader.log"; exit 1
+    fi
+    sleep 0.1
+done
+[[ "$(wc -l < "$work/expect.txt")" -ge "$KILL_AT" ]] || {
+    echo "load never reached $KILL_AT keys"; cat "$work/leader.log"; exit 1
+}
+kill -9 "$leader_pid"
+leader_pid=""
+
+echo "== promoting the follower (SIGUSR1)"
+kill -USR1 "$follower_pid"
+for _ in $(seq 1 300); do
+    if ! kill -0 "$follower_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -0 "$follower_pid" 2>/dev/null; then
+    echo "follower did not exit within 30s of SIGUSR1:"; cat "$work/follower.log"; exit 1
+fi
+wait "$follower_pid" || { echo "follower exited nonzero:"; cat "$work/follower.log"; exit 1; }
+follower_pid=""
+grep -q "promote verified" "$work/follower.log" || {
+    echo "promotion was not verified:"; cat "$work/follower.log"; exit 1
+}
+for f in leader follower; do
+    if grep -q "WARNING: DATA RACE" "$work/$f.log"; then
+        echo "race detected in $f:"; cat "$work/$f.log"; exit 1
+    fi
+done
+grep "promote verified" "$work/follower.log"
+
+echo "== repl-smoke PASS"

@@ -43,6 +43,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/rules"
 	"repro/internal/sched"
 	"repro/internal/snoop"
@@ -82,6 +83,8 @@ type (
 	Context = detector.Context
 	// Debugger records event/rule traces.
 	Debugger = debug.Debugger
+	// PromoteStats reports what Promote published and aborted.
+	PromoteStats = storage.PromoteStats
 )
 
 // Parameter contexts.
@@ -181,25 +184,40 @@ type Options struct {
 	// -1 disables the background pass (Checkpoint still collects); other
 	// negatives are rejected by Open.
 	VersionGCInterval time.Duration
+	// ReplAddr, when set, makes this database a replication leader: it
+	// serves its write-ahead log to followers on that address (":0" picks
+	// a free port — see ReplAddr()). Requires Dir.
+	ReplAddr string
+	// ReplicaOf, when set, opens this database as a read-only follower of
+	// the leader shipping at that address: it continuously applies the
+	// leader's WAL while serving snapshot reads (Begin returns
+	// ErrFollowerReadOnly; BeginSnapshot works). Promote turns it into a
+	// leader after the original fails. Requires Dir; setting both
+	// ReplAddr and ReplicaOf is rejected by Open.
+	ReplicaOf string
 }
 
 // Database is an active object-oriented database instance — one Open OODB
 // application process in the paper's architecture, with its own local
 // composite event detector.
 type Database struct {
-	opts    Options
-	store   *storage.Store
-	locks   *lockmgr.Manager
-	txns    *txn.Manager
-	det     *detector.Detector
-	sched   *sched.Scheduler
-	rules   *rules.Manager
-	objects *object.Registry
-	comp    *snoop.Compiler
+	opts     Options
+	store    *storage.Store
+	locks    *lockmgr.Manager
+	txns     *txn.Manager
+	det      *detector.Detector
+	sched    *sched.Scheduler
+	rules    *rules.Manager
+	objects  *object.Registry
+	comp     *snoop.Compiler
 	gedCli   ged.Bus
 	gedFwd   detector.Subscriber
 	gedFlush func() error
-	metrics *obs.Registry
+	metrics  *obs.Registry
+
+	replSrv  *repl.Server
+	replFol  *repl.Follower
+	failover *obs.Histogram
 
 	debugLn  net.Listener
 	debugSrv *http.Server
@@ -248,6 +266,12 @@ func validateOptions(opts Options) error {
 	if opts.VersionGCInterval < 0 && opts.VersionGCInterval != -1 {
 		return fmt.Errorf("sentinel: VersionGCInterval must be >= 0 or -1, got %v", opts.VersionGCInterval)
 	}
+	if opts.ReplAddr != "" && opts.ReplicaOf != "" {
+		return errors.New("sentinel: set ReplAddr or ReplicaOf, not both")
+	}
+	if (opts.ReplAddr != "" || opts.ReplicaOf != "") && opts.Dir == "" {
+		return errors.New("sentinel: replication requires a persistent database (set Dir)")
+	}
 	return nil
 }
 
@@ -282,6 +306,7 @@ func Open(opts Options) (*Database, error) {
 			SyncWAL:             opts.SyncWAL,
 			GroupCommitInterval: opts.GroupCommitInterval,
 			VersionGCInterval:   opts.VersionGCInterval,
+			Follower:            opts.ReplicaOf != "",
 		})
 		if err != nil {
 			return nil, err
@@ -346,7 +371,10 @@ func Open(opts Options) (*Database, error) {
 			s.Drain()
 		}
 	})
-	if store != nil {
+	// A follower replicates the leader's catalog (including its boot
+	// transaction) instead of writing one of its own — its store refuses
+	// local writes anyway.
+	if store != nil && !store.IsFollower() {
 		boot, err := txns.Begin()
 		if err != nil {
 			db.closeInternals()
@@ -361,6 +389,29 @@ func Open(opts Options) (*Database, error) {
 			db.closeInternals()
 			return nil, err
 		}
+	}
+	if opts.ReplAddr != "" {
+		srv, err := repl.NewServer(store, opts.ReplAddr)
+		if err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+		db.replSrv = srv
+		srv.RegisterMetrics(db.metrics)
+	}
+	if opts.ReplicaOf != "" {
+		leaderAddr := opts.ReplicaOf
+		fol, err := repl.StartFollower(store, func() string { return leaderAddr })
+		if err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+		db.replFol = fol
+		fol.RegisterMetrics(db.metrics)
+		db.failover = obs.NewHistogram(obs.DurationBuckets())
+		db.metrics.RegisterHistogram("sentinel_repl_failover_seconds",
+			"Time Promote took to turn this follower into a leader.",
+			db.failover)
 	}
 	gedAddrs := opts.GEDAddrs
 	if opts.GEDAddr != "" {
@@ -408,6 +459,15 @@ func (db *Database) closeInternals() {
 	if db.debugSrv != nil {
 		_ = db.debugSrv.Close()
 		db.debugSrv = nil
+	}
+	// Replication detaches before the store closes underneath it.
+	if db.replFol != nil {
+		db.replFol.Stop()
+		db.replFol = nil
+	}
+	if db.replSrv != nil {
+		db.replSrv.Close()
+		db.replSrv = nil
 	}
 	if db.gedCli != nil {
 		if db.gedFlush != nil {
@@ -737,6 +797,50 @@ func (db *Database) OnGlobalEvent(eventName string, ctx Context, action Action) 
 		}
 		_ = t.Commit()
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+// ErrFollowerReadOnly is returned by write operations on a follower
+// database (Options.ReplicaOf); snapshot reads still work.
+var ErrFollowerReadOnly = storage.ErrFollowerReadOnly
+
+// ErrNotReplica is returned by Promote on a database not opened with
+// Options.ReplicaOf.
+var ErrNotReplica = errors.New("sentinel: database is not a replica")
+
+// Promote turns a follower database into a leader after the original
+// leader fails: following stops, every fully replicated transaction is
+// published, partially shipped ones are aborted, and the database starts
+// accepting writes. The failover duration is recorded in the
+// sentinel_repl_failover_seconds histogram.
+func (db *Database) Promote() (PromoteStats, error) {
+	db.mu.Lock()
+	fol := db.replFol
+	db.replFol = nil
+	db.mu.Unlock()
+	if fol == nil {
+		return PromoteStats{}, ErrNotReplica
+	}
+	start := time.Now()
+	stats, err := fol.Promote()
+	if err != nil {
+		return stats, err
+	}
+	db.failover.Observe(time.Since(start).Seconds())
+	return stats, nil
+}
+
+// ReplAddr returns the address the replication leader is serving its WAL
+// on, or "" when Options.ReplAddr was not set. With ReplAddr ":0" this is
+// how the chosen port is discovered.
+func (db *Database) ReplAddr() string {
+	if db.replSrv == nil {
+		return ""
+	}
+	return db.replSrv.Addr()
 }
 
 // ---------------------------------------------------------------------------
