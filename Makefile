@@ -6,17 +6,18 @@
 # pattern and tool invocations live in exactly one place.
 
 GO ?= go
-BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_|BenchmarkRules_|BenchmarkGED_
+BENCH_PATTERN ?= BenchmarkE1_|BenchmarkE4_|BenchmarkStorage_|BenchmarkRules_|BenchmarkGED_|BenchmarkQuery_
 BENCH_PKG ?= . ./internal/storage ./internal/ged
 BENCH_OUT ?= BENCH_detector.json
 BENCH_STORAGE_OUT ?= BENCH_storage.json
 BENCH_GED_OUT ?= BENCH_ged.json
+BENCH_QUERY_OUT ?= BENCH_query.json
 BENCH_TIME ?= 1s
 BENCH_COUNT ?= 1
 BENCH_CPUS ?= 1,4,8
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules bench-ged ged-smoke repl-smoke torture clean
+.PHONY: all build test check lint cover bench bench-text bench-smoke bench-record bench-compare bench-storage bench-rules bench-ged bench-query ged-smoke repl-smoke torture clean
 
 all: build
 
@@ -38,16 +39,20 @@ check:
 # then REPL_TORTURE_ITERS seeded leader/follower replication iterations
 # (leader killed and restarted, leader killed and follower promoted,
 # follower killed mid-apply — zero divergence and bounded replica lag
-# required). The seed is always logged; reproduce a failure with
-# TORTURE_SEED=<seed from the log>.
+# required), then the query-layer torture (same kill-point discipline
+# through the object + secondary-index stack, each recovery checked
+# against the index≡scan oracle) and a -race pass of concurrent index
+# readers vs committers. The seed is always logged; reproduce a failure
+# with TORTURE_SEED=<seed from the log>.
 TORTURE_ITERS ?= 500
 REPL_TORTURE_ITERS ?= 200
 TORTURE_SEED ?=
 torture:
 	SENTINEL_TORTURE_ITERS=$(TORTURE_ITERS) SENTINEL_TORTURE_SEED=$(TORTURE_SEED) \
-		$(GO) test -count=1 -run 'TestCrashTorture|TestTortureHarnessDetectsBrokenRecovery' -v ./internal/faulttest
+		$(GO) test -count=1 -run 'TestCrashTorture|TestTortureHarnessDetectsBrokenRecovery|TestQueryTorture' -v ./internal/faulttest
 	SENTINEL_REPL_TORTURE_ITERS=$(REPL_TORTURE_ITERS) \
 		$(GO) test -count=1 -run TestReplTorture -v ./internal/faulttest
+	$(GO) test -count=1 -race -run TestQueryIndexRaceStress -v ./internal/faulttest
 
 # lint runs the static analyzers beyond vet. The tools are not vendored;
 # CI installs them (see .github/workflows/ci.yml) and locally the target
@@ -134,6 +139,18 @@ ged-smoke:
 # successful post-promotion write (scripts/repl_smoke.sh).
 repl-smoke:
 	./scripts/repl_smoke.sh
+
+# bench-query reruns the query-engine benchmarks — indexed probes and
+# range scans versus full extent scans at 1k/10k/100k objects, and
+# indexed Where rule conditions versus function-condition extent walks —
+# and records them under the "after" label of $(BENCH_QUERY_OUT). The
+# 100k scan leg costs seconds per op, so one timed second per
+# sub-benchmark is already a stable sample.
+BENCH_QUERY_SIZES ?= 1000,10000,100000
+bench-query:
+	SENTINEL_BENCH_QUERY=$(BENCH_QUERY_SIZES) \
+		$(MAKE) bench-text BENCH_PATTERN='BenchmarkQuery_|BenchmarkRules_IndexedCondition' BENCH_PKG=. BENCH_CPUS=1 \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_QUERY_OUT) -merge
 
 # bench-record captures one labelled run into BENCH_REC_OUT (the CI
 # before/after halves of the regression gate).

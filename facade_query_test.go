@@ -1,0 +1,219 @@
+package sentinel_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sentinel "repro"
+	"repro/internal/query"
+)
+
+func TestFacadeQueryAndIndexes(t *testing.T) {
+	db := openStockDB(t, t.TempDir())
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := db.New(tx, "STOCK", map[string]any{
+			"sym": fmt.Sprintf("S%02d", i), "price": float64(i), "sector": i % 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.CreateIndex(tx, "STOCK", "price", sentinel.OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if defs := db.Indexes(); len(defs) != 1 || defs[0].Attr != "price" {
+		t.Fatalf("Indexes() = %v", defs)
+	}
+	q := sentinel.Q{Class: "STOCK", Where: query.Between("price", 10.0, 14.0), OrderBy: "price"}
+	if plan := db.ExplainQuery(q); plan[:10] != "IndexRange" {
+		t.Fatalf("plan = %s", plan)
+	}
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(tx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Attrs["sym"] != "S10" || rows[4].Attrs["sym"] != "S14" {
+		t.Fatalf("query rows: %+v", rows)
+	}
+	// Grouped aggregate through the facade.
+	rows, err = db.Query(tx, sentinel.Q{Class: "STOCK", GroupBy: []string{"sector"},
+		Aggs: []sentinel.Agg{{Op: query.Count}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("groups: %+v", rows)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWhereRuleCondition exercises the declarative condition path: the
+// rule's condition is EXISTS(STOCK WHERE price > 100) compiled through the
+// query engine, evaluated inside the firing transaction.
+func TestWhereRuleCondition(t *testing.T) {
+	db := openStockDB(t, t.TempDir())
+	var fired atomic.Int32
+	if _, err := db.DefineRule(sentinel.RuleSpec{
+		Name:  "expensive",
+		Event: "e3", // end set_price(price)
+		Where: &sentinel.RuleWhere{Class: "STOCK", Pred: query.Gt("price", 100.0)},
+		Action: func(x *sentinel.Execution) error {
+			fired.Add(1)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex(tx, "STOCK", "price", sentinel.OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.New(tx, "STOCK", map[string]any{"price": 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invoke(tx, obj, "set_price", 50.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 0 {
+		t.Fatalf("rule fired below threshold: %d", got)
+	}
+	if _, err := db.Invoke(tx, obj, "set_price", 150.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("rule firings above threshold: %d, want 1", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ranges, _, _, _ := db.QueryManager().Stats(); ranges == 0 {
+		t.Fatal("Where condition did not use the index")
+	}
+}
+
+// TestIndexReplicationToFollower verifies that index DDL, backfill and
+// maintenance all reach a follower through ordinary WAL shipping, and that
+// follower-side queries answer from the replicated index.
+func TestIndexReplicationToFollower(t *testing.T) {
+	leader, err := sentinel.Open(sentinel.Options{
+		Dir: t.TempDir(), PoolSize: 32, ReplAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := sentinel.Open(sentinel.Options{
+		Dir: t.TempDir(), PoolSize: 32, ReplicaOf: leader.ReplAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	for _, db := range []*sentinel.Database{leader, follower} {
+		if _, err := db.DefineClass("STOCK", "", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tx, err := leader.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := leader.New(tx, "STOCK", map[string]any{"price": i % 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.CreateIndex(tx, "STOCK", "price", sentinel.HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the definition and postings to arrive.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if defs := follower.Indexes(); len(defs) == 1 {
+			stx, err := follower.BeginSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, qerr := follower.Query(stx, sentinel.Q{Class: "STOCK", Where: query.Eq("price", 3)})
+			_ = stx.Commit()
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			if len(rows) == 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index never replicated: defs=%v", follower.Indexes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if probes, _, _, _, _ := follower.QueryManager().Stats(); probes == 0 {
+		t.Fatal("follower query did not probe the replicated index")
+	}
+
+	// A re-key on the leader reaches the follower's directories.
+	tx, err = leader.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := leader.Query(tx, sentinel.Q{Class: "STOCK", Where: query.Eq("price", 3), Limit: 1})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("leader probe: %v %v", rows, err)
+	}
+	inst, err := leader.Load(tx, rows[0].OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Attrs()["price"] = 77
+	if err := leader.Persist(tx, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		stx, err := follower.BeginSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, qerr := follower.Query(stx, sentinel.Q{Class: "STOCK", Where: query.Eq("price", 77)})
+		_ = stx.Commit()
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		if len(rows) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("re-key never replicated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

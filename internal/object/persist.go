@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -16,24 +17,46 @@ import (
 // The persistence manager keeps a small catalog in the storage manager:
 //
 //   - a fixed-location meta record (the first record ever inserted, page 0
-//     slot 0) holding the OID counter and the RIDs of the two maps below;
-//     it is fixed-size so updates never relocate it;
-//   - the OID index, a gob-encoded map OID -> RID;
+//     slot 0) holding the OID counter and the RID of the name map; it is
+//     fixed-size so updates never relocate it;
 //   - the name map (the Open OODB name manager), a gob-encoded
-//     map name -> OID.
+//     map name -> OID;
+//   - and, since every object record now embeds its own OID, an in-memory
+//     OID -> RID directory rebuilt by scanning the heap at open and
+//     maintained incrementally afterwards.
 //
-// Catalog mutations take an exclusive "catalog" lock in the calling
-// transaction, so aborts roll the maps back together with the data.
+// The directory replaces the old whole-map OID->RID blob that was re-
+// encoded on every New/Delete (O(extent) per object write). Directory
+// entries are optimistic — they may point at uncommitted or since-deleted
+// records — and every read validates through the store (snapshot
+// visibility or 2PL read) plus the decoded record's embedded OID, so a
+// stale entry can only cost a skip, never a wrong result. Entries added by
+// a transaction are removed again if it aborts (per-txn dirty sets, merged
+// parent-ward on subtransaction commit); entries whose delete committed
+// are kept until no live snapshot can still see the object, then pruned
+// via a small graveyard keyed to the store's snapshot floor.
+//
+// Catalog mutations still take the exclusive "catalog" lock in the calling
+// transaction — the same writer serialization as before, minus the
+// whole-map encode — and locked readers take it shared. Snapshot
+// transactions bypass locks entirely and rely on MVCC validation.
 
 const (
 	metaMagic   = "SENTOBJ1"
-	metaSize    = 8 + 8 + 8 + 8 // magic + nextOID + indexRID + nameRID
+	metaSize    = 8 + 8 + 8 + 8 // magic + nextOID + spareRID + nameRID
 	catalogLock = "catalog"
+	// gravePruneEvery bounds how often a mutator consults the snapshot
+	// floor to prune committed-delete refs.
+	gravePruneEvery = 64
 )
 
 var metaRID = storage.RID{Page: 0, Slot: 0}
 
+// persistedObj is the on-heap encoding of one object. The embedded OID is
+// what lets the directory be rebuilt by scan and lets readers validate a
+// directory entry against slot reuse.
 type persistedObj struct {
+	OID   uint64
 	Class string
 	Attrs map[string]any
 }
@@ -45,10 +68,28 @@ func init() {
 
 func encodeObj(obj *Instance) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(persistedObj{Class: obj.Class.Name, Attrs: obj.attrs}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(persistedObj{OID: uint64(obj.OID), Class: obj.Class.Name, Attrs: obj.attrs}); err != nil {
 		return nil, fmt.Errorf("object: encode: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// decodeObjBytes decodes a heap record as an object, reporting ok=false
+// for records that are something else (the meta record, the names blob,
+// index entries — the latter recognizably prefixed with a byte no gob
+// stream can start with).
+func decodeObjBytes(data []byte) (persistedObj, bool) {
+	if len(data) == 0 || data[0] >= 0xD0 {
+		return persistedObj{}, false
+	}
+	var p persistedObj
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return persistedObj{}, false
+	}
+	if p.OID == 0 || p.Class == "" {
+		return persistedObj{}, false
+	}
+	return p, true
 }
 
 func encodeRID(b []byte, rid storage.RID) {
@@ -65,7 +106,7 @@ func decodeRID(b []byte) storage.RID {
 
 type meta struct {
 	nextOID  uint64
-	indexRID storage.RID
+	spareRID storage.RID // held the OID-index blob before it moved in memory
 	nameRID  storage.RID
 }
 
@@ -73,7 +114,7 @@ func (m meta) encode() []byte {
 	b := make([]byte, metaSize)
 	copy(b, metaMagic)
 	binary.LittleEndian.PutUint64(b[8:], m.nextOID)
-	encodeRID(b[16:], m.indexRID)
+	encodeRID(b[16:], m.spareRID)
 	encodeRID(b[24:], m.nameRID)
 	return b
 }
@@ -84,7 +125,7 @@ func decodeMeta(b []byte) (meta, error) {
 	}
 	return meta{
 		nextOID:  binary.LittleEndian.Uint64(b[8:]),
-		indexRID: decodeRID(b[16:]),
+		spareRID: decodeRID(b[16:]),
 		nameRID:  decodeRID(b[24:]),
 	}, nil
 }
@@ -117,12 +158,12 @@ func (r *Registry) InitCatalog(tx *txn.Txn) error {
 		return err
 	}
 	if data, err := tx.Read(metaRID); err == nil {
-		_, derr := decodeMeta(data)
-		return derr
-	}
-	idx, err := encodeMap(map[uint64]storage.RID{})
-	if err != nil {
-		return err
+		if _, derr := decodeMeta(data); derr != nil {
+			return derr
+		}
+		// Existing catalog: rebuild the OID directory from the heap's
+		// (post-recovery, all-committed) latest state.
+		return r.Bootstrap()
 	}
 	names, err := encodeMap(map[string]uint64{})
 	if err != nil {
@@ -136,14 +177,44 @@ func (r *Registry) InitCatalog(tx *txn.Txn) error {
 	if rid != metaRID {
 		return fmt.Errorf("object: catalog meta landed at %v, want %v (store not fresh)", rid, metaRID)
 	}
-	if m.indexRID, err = tx.Insert(idx); err != nil {
-		return err
-	}
 	if m.nameRID, err = tx.Insert(names); err != nil {
 		return err
 	}
 	_, err = tx.Update(metaRID, m.encode())
 	return err
+}
+
+// Bootstrap rebuilds the in-memory OID directory by one pass over the
+// heap's latest state. It runs at open — after recovery (leader) or over
+// the resolved prefix (follower), when everything live on the pages is
+// committed — and before the registry serves requests.
+func (r *Registry) Bootstrap() error {
+	if r.store == nil {
+		return nil
+	}
+	dir := make(map[uint64]objRef)
+	var maxOID uint64
+	err := r.store.ForEachRecordLatest(func(rid storage.RID, data []byte) error {
+		if rid == metaRID {
+			return nil
+		}
+		p, ok := decodeObjBytes(data)
+		if !ok {
+			return nil
+		}
+		dir[p.OID] = objRef{rid: rid, class: p.Class}
+		if p.OID > maxOID {
+			maxOID = p.OID
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.oidMu.Lock()
+	r.oidDir = dir
+	r.oidMu.Unlock()
+	return nil
 }
 
 func (r *Registry) readMeta(tx *txn.Txn) (meta, error) {
@@ -152,32 +223,6 @@ func (r *Registry) readMeta(tx *txn.Txn) (meta, error) {
 		return meta{}, fmt.Errorf("object: catalog not initialised: %w", err)
 	}
 	return decodeMeta(data)
-}
-
-func (r *Registry) readIndex(tx *txn.Txn, m meta) (map[uint64]storage.RID, error) {
-	data, err := tx.Read(m.indexRID)
-	if err != nil {
-		return nil, err
-	}
-	return decodeMap[uint64, storage.RID](data)
-}
-
-func (r *Registry) writeIndex(tx *txn.Txn, m meta, idx map[uint64]storage.RID) error {
-	data, err := encodeMap(idx)
-	if err != nil {
-		return err
-	}
-	newRID, err := tx.Update(m.indexRID, data)
-	if err != nil {
-		return err
-	}
-	if newRID != m.indexRID {
-		m.indexRID = newRID
-		if _, err := tx.Update(metaRID, m.encode()); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (r *Registry) readNames(tx *txn.Txn, m meta) (map[string]uint64, error) {
@@ -204,6 +249,98 @@ func (r *Registry) writeNames(tx *txn.Txn, m meta, names map[string]uint64) erro
 		}
 	}
 	return nil
+}
+
+// dirtyFor returns (creating on first use) the per-transaction catalog
+// dirty set, registering the finisher that resolves it. Each transaction
+// handle — subtransactions included — gets its own set; a sub's set merges
+// into its parent's on commit, mirroring the storage-level op merge.
+func (r *Registry) dirtyFor(tx *txn.Txn) *catDirty {
+	id := tx.ID()
+	r.catMu.Lock()
+	d := r.catDirty[id]
+	if d == nil {
+		d = &catDirty{}
+		r.catDirty[id] = d
+		r.catMu.Unlock()
+		tx.OnFinish(func(st txn.Status) { r.finishCat(tx, st) })
+		return d
+	}
+	r.catMu.Unlock()
+	return d
+}
+
+func (r *Registry) finishCat(tx *txn.Txn, st txn.Status) {
+	r.catMu.Lock()
+	d := r.catDirty[tx.ID()]
+	delete(r.catDirty, tx.ID())
+	r.catMu.Unlock()
+	if d == nil {
+		return
+	}
+	if st == txn.Committed {
+		if p := tx.Parent(); p != nil {
+			pd := r.dirtyFor(p)
+			r.catMu.Lock()
+			pd.adds = append(pd.adds, d.adds...)
+			pd.moves = append(pd.moves, d.moves...)
+			pd.dels = append(pd.dels, d.dels...)
+			r.catMu.Unlock()
+			return
+		}
+		if len(d.dels) > 0 {
+			// Stamp with the commit clock after the commit: at or above the
+			// deleting transaction's commit timestamp, so pruning at the
+			// snapshot floor is conservative-safe.
+			ts := r.store.CommitTS()
+			r.oidMu.Lock()
+			for _, g := range d.dels {
+				g.ts = ts
+				r.grave = append(r.grave, g)
+			}
+			r.oidMu.Unlock()
+		}
+		return
+	}
+	// Abort: take back this transaction's optimistic directory changes, in
+	// reverse order so chained moves restore the oldest RID. Deleted refs
+	// were never removed, so there is nothing to restore for dels.
+	r.oidMu.Lock()
+	for i := len(d.moves) - 1; i >= 0; i-- {
+		mv := d.moves[i]
+		if ref, ok := r.oidDir[mv.oid]; ok && ref.rid == mv.to {
+			ref.rid = mv.from
+			r.oidDir[mv.oid] = ref
+		}
+	}
+	for _, oid := range d.adds {
+		delete(r.oidDir, oid)
+	}
+	r.oidMu.Unlock()
+}
+
+// pruneGraves removes directory entries for committed deletes no live
+// snapshot can still see. Amortized: called from mutators every
+// gravePruneEvery operations.
+func (r *Registry) pruneGraves() {
+	r.oidMu.Lock()
+	if len(r.grave) == 0 {
+		r.oidMu.Unlock()
+		return
+	}
+	floor := r.store.SnapshotFloor()
+	keep := r.grave[:0]
+	for _, g := range r.grave {
+		if g.ts > floor {
+			keep = append(keep, g)
+			continue
+		}
+		if ref, ok := r.oidDir[g.oid]; ok && ref.rid == g.rid {
+			delete(r.oidDir, g.oid)
+		}
+	}
+	r.grave = keep
+	r.oidMu.Unlock()
 }
 
 // New creates an object of the class with the given initial attributes and
@@ -238,6 +375,9 @@ func (r *Registry) New(tx *txn.Txn, class string, attrs map[string]any) (*Instan
 	}
 	obj := &Instance{OID: event.OID(m.nextOID), Class: c, attrs: cp}
 	m.nextOID++
+	if _, err := tx.Update(metaRID, m.encode()); err != nil {
+		return nil, err
+	}
 	data, err := encodeObj(obj)
 	if err != nil {
 		return nil, err
@@ -246,27 +386,37 @@ func (r *Registry) New(tx *txn.Txn, class string, attrs map[string]any) (*Instan
 	if err != nil {
 		return nil, err
 	}
-	idx, err := r.readIndex(tx, m)
-	if err != nil {
-		return nil, err
+	d := r.dirtyFor(tx)
+	r.oidMu.Lock()
+	r.oidDir[uint64(obj.OID)] = objRef{rid: rid, class: class}
+	r.oidMu.Unlock()
+	r.catMu.Lock()
+	d.adds = append(d.adds, uint64(obj.OID))
+	r.catMu.Unlock()
+	if h := r.indexHook(); h != nil {
+		if err := h.OnCreate(tx, class, obj.OID, rid, cp); err != nil {
+			return nil, err
+		}
 	}
-	idx[uint64(obj.OID)] = rid
-	if err := r.writeIndex(tx, m, idx); err != nil {
-		return nil, err
-	}
-	// Re-read meta: writeIndex may have relocated the index record.
-	m2, err := r.readMeta(tx)
-	if err != nil {
-		return nil, err
-	}
-	m2.nextOID = m.nextOID
-	if _, err := tx.Update(metaRID, m2.encode()); err != nil {
-		return nil, err
+	if n := r.opCount.Add(1); n%gravePruneEvery == 0 {
+		r.pruneGraves()
 	}
 	return obj, nil
 }
 
-// Load fetches the object with the given OID.
+// lookupRef returns the directory entry for an OID.
+func (r *Registry) lookupRef(oid event.OID) (objRef, bool) {
+	r.oidMu.RLock()
+	ref, ok := r.oidDir[uint64(oid)]
+	r.oidMu.RUnlock()
+	return ref, ok
+}
+
+// Load fetches the object with the given OID. A directory entry is only a
+// hint: the record read (snapshot-visible or 2PL-latest) must decode as an
+// object carrying this OID, so stale entries — an uncommitted create, a
+// delete this snapshot is ahead of, a reused slot — report unknown rather
+// than a wrong object.
 func (r *Registry) Load(tx *txn.Txn, oid event.OID) (*Instance, error) {
 	if r.store == nil {
 		r.mu.Lock()
@@ -279,31 +429,33 @@ func (r *Registry) Load(tx *txn.Txn, oid event.OID) (*Instance, error) {
 	if err := tx.Lock(catalogLock, lockmgr.Shared); err != nil {
 		return nil, err
 	}
-	m, err := r.readMeta(tx)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := r.readIndex(tx, m)
-	if err != nil {
-		return nil, err
-	}
-	rid, ok := idx[uint64(oid)]
+	ref, ok := r.lookupRef(oid)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownObject, oid)
 	}
-	data, err := tx.Read(rid)
+	data, err := tx.Read(ref.rid)
 	if err != nil {
+		if errors.Is(err, storage.ErrSlotDeleted) || errors.Is(err, storage.ErrBadSlot) {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+		}
 		return nil, err
 	}
-	var p persistedObj
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
-		return nil, fmt.Errorf("object: decode object %v: %w", oid, err)
+	p, ok := decodeObjBytes(data)
+	if !ok || p.OID != uint64(oid) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownObject, oid)
 	}
 	c, err := r.Class(p.Class)
 	if err != nil {
 		return nil, err
 	}
 	return &Instance{OID: oid, Class: c, attrs: p.Attrs}, nil
+}
+
+// Persist writes an object's current attribute state back to the store —
+// the programmatic update path for callers (the facade, the query layer's
+// tests) that mutate attributes without going through a reactive method.
+func (r *Registry) Persist(tx *txn.Txn, obj *Instance) error {
+	return r.persist(tx, obj)
 }
 
 // persist writes an object's current attribute state back to the store.
@@ -317,29 +469,39 @@ func (r *Registry) persist(tx *txn.Txn, obj *Instance) error {
 	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
 		return err
 	}
-	m, err := r.readMeta(tx)
-	if err != nil {
-		return err
-	}
-	idx, err := r.readIndex(tx, m)
-	if err != nil {
-		return err
-	}
-	rid, ok := idx[uint64(obj.OID)]
+	ref, ok := r.lookupRef(obj.OID)
 	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, obj.OID)
+	}
+	// The before-image: index maintenance needs the old attribute values,
+	// and the decoded OID validates the directory entry.
+	oldData, err := tx.Read(ref.rid)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, obj.OID)
+	}
+	oldP, okOld := decodeObjBytes(oldData)
+	if !okOld || oldP.OID != uint64(obj.OID) {
 		return fmt.Errorf("%w: %v", ErrUnknownObject, obj.OID)
 	}
 	data, err := encodeObj(obj)
 	if err != nil {
 		return err
 	}
-	newRID, err := tx.Update(rid, data)
+	newRID, err := tx.Update(ref.rid, data)
 	if err != nil {
 		return err
 	}
-	if newRID != rid {
-		idx[uint64(obj.OID)] = newRID
-		if err := r.writeIndex(tx, m, idx); err != nil {
+	if newRID != ref.rid {
+		d := r.dirtyFor(tx)
+		r.oidMu.Lock()
+		r.oidDir[uint64(obj.OID)] = objRef{rid: newRID, class: obj.Class.Name}
+		r.oidMu.Unlock()
+		r.catMu.Lock()
+		d.moves = append(d.moves, oidMove{oid: uint64(obj.OID), from: ref.rid, to: newRID})
+		r.catMu.Unlock()
+	}
+	if h := r.indexHook(); h != nil {
+		if err := h.OnUpdate(tx, obj.Class.Name, obj.OID, newRID, oldP.Attrs, obj.attrs); err != nil {
 			return err
 		}
 	}
@@ -360,63 +522,133 @@ func (r *Registry) Delete(tx *txn.Txn, oid event.OID) error {
 	if err := tx.Lock(catalogLock, lockmgr.Exclusive); err != nil {
 		return err
 	}
-	m, err := r.readMeta(tx)
-	if err != nil {
-		return err
-	}
-	idx, err := r.readIndex(tx, m)
-	if err != nil {
-		return err
-	}
-	rid, ok := idx[uint64(oid)]
+	ref, ok := r.lookupRef(oid)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownObject, oid)
 	}
-	if err := tx.Delete(rid); err != nil {
+	data, err := tx.Read(ref.rid)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+	}
+	p, okObj := decodeObjBytes(data)
+	if !okObj || p.OID != uint64(oid) {
+		return fmt.Errorf("%w: %v", ErrUnknownObject, oid)
+	}
+	if err := tx.Delete(ref.rid); err != nil {
 		return err
 	}
-	delete(idx, uint64(oid))
-	return r.writeIndex(tx, m, idx)
+	// The directory entry stays until the delete both commits and falls
+	// below the snapshot floor: older snapshots still resolve this OID
+	// through it. The dirty set routes it to the graveyard at top commit.
+	d := r.dirtyFor(tx)
+	r.catMu.Lock()
+	d.dels = append(d.dels, graveRef{oid: uint64(oid), rid: ref.rid})
+	r.catMu.Unlock()
+	if h := r.indexHook(); h != nil {
+		if err := h.OnDelete(tx, p.Class, oid, ref.rid, p.Attrs); err != nil {
+			return err
+		}
+	}
+	if n := r.opCount.Add(1); n%gravePruneEvery == 0 {
+		r.pruneGraves()
+	}
+	return nil
+}
+
+// classMatches reports whether class c (by name) is class or, when
+// includeSubclasses is set, one of its subclasses.
+func (r *Registry) classMatches(c, class string, includeSubclasses bool) bool {
+	if c == class {
+		return true
+	}
+	if !includeSubclasses {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for cur := r.classes[c]; cur != nil; {
+		if cur.Name == class {
+			return true
+		}
+		if cur.Super == "" {
+			return false
+		}
+		cur = r.classes[cur.Super]
+	}
+	return false
+}
+
+// ExtentOIDs returns the OIDs the directory currently holds for a class
+// (and subclasses when requested), sorted. Entries are optimistic: callers
+// must validate each by loading it under their transaction — Load reports
+// unknown for entries their snapshot cannot see.
+func (r *Registry) ExtentOIDs(class string, includeSubclasses bool) []event.OID {
+	if r.store == nil {
+		r.mu.Lock()
+		oids := make([]event.OID, 0, len(r.memObjects))
+		for oid, obj := range r.memObjects {
+			if obj != nil && r.classMatchesLocked(obj.Class.Name, class, includeSubclasses) {
+				oids = append(oids, oid)
+			}
+		}
+		r.mu.Unlock()
+		sortOIDs(oids)
+		return oids
+	}
+	type cand struct {
+		oid event.OID
+		cls string
+	}
+	r.oidMu.RLock()
+	cands := make([]cand, 0, len(r.oidDir))
+	for oid, ref := range r.oidDir {
+		cands = append(cands, cand{oid: event.OID(oid), cls: ref.class})
+	}
+	r.oidMu.RUnlock()
+	// Class filtering happens outside the directory lock: the subclass
+	// walk takes the registry mutex.
+	oids := make([]event.OID, 0, len(cands))
+	for _, c := range cands {
+		if r.classMatches(c.cls, class, includeSubclasses) {
+			oids = append(oids, c.oid)
+		}
+	}
+	sortOIDs(oids)
+	return oids
+}
+
+// classMatchesLocked is classMatches for callers already holding r.mu.
+func (r *Registry) classMatchesLocked(c, class string, includeSubclasses bool) bool {
+	if c == class {
+		return true
+	}
+	if !includeSubclasses {
+		return false
+	}
+	for cur := r.classes[c]; cur != nil; {
+		if cur.Name == class {
+			return true
+		}
+		if cur.Super == "" {
+			return false
+		}
+		cur = r.classes[cur.Super]
+	}
+	return false
 }
 
 // ForEach visits every object of the class (and its subclasses when
 // includeSubclasses is set), in OID order — the class extent, which rule
 // conditions use to query database state. fn returning false stops the
-// scan.
+// scan. Directory entries the transaction cannot see (uncommitted creates
+// of others, deletes this snapshot is past) are skipped.
 func (r *Registry) ForEach(tx *txn.Txn, class string, includeSubclasses bool, fn func(*Instance) bool) error {
-	matches := func(c *Class) bool {
-		if c.Name == class {
-			return true
-		}
-		if !includeSubclasses {
-			return false
-		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		for cur := c; cur != nil && cur.Name != ""; {
-			if cur.Name == class {
-				return true
-			}
-			if cur.Super == "" {
-				return false
-			}
-			cur = r.classes[cur.Super]
-		}
-		return false
-	}
 	if r.store == nil {
-		r.mu.Lock()
-		oids := make([]event.OID, 0, len(r.memObjects))
-		for oid := range r.memObjects {
-			oids = append(oids, oid)
-		}
-		r.mu.Unlock()
-		sortOIDs(oids)
-		for _, oid := range oids {
+		for _, oid := range r.ExtentOIDs(class, includeSubclasses) {
 			r.mu.Lock()
 			obj := r.memObjects[oid]
 			r.mu.Unlock()
-			if obj == nil || !matches(obj.Class) {
+			if obj == nil {
 				continue
 			}
 			if !fn(obj) {
@@ -428,25 +660,15 @@ func (r *Registry) ForEach(tx *txn.Txn, class string, includeSubclasses bool, fn
 	if err := tx.Lock(catalogLock, lockmgr.Shared); err != nil {
 		return err
 	}
-	m, err := r.readMeta(tx)
-	if err != nil {
-		return err
-	}
-	idx, err := r.readIndex(tx, m)
-	if err != nil {
-		return err
-	}
-	oids := make([]event.OID, 0, len(idx))
-	for oid := range idx {
-		oids = append(oids, event.OID(oid))
-	}
-	sortOIDs(oids)
-	for _, oid := range oids {
+	for _, oid := range r.ExtentOIDs(class, includeSubclasses) {
 		obj, err := r.Load(tx, oid)
 		if err != nil {
+			if errors.Is(err, ErrUnknownObject) {
+				continue
+			}
 			return err
 		}
-		if !matches(obj.Class) {
+		if !r.classMatches(obj.Class.Name, class, includeSubclasses) {
 			continue
 		}
 		if !fn(obj) {
@@ -458,6 +680,35 @@ func (r *Registry) ForEach(tx *txn.Txn, class string, includeSubclasses bool, fn
 
 func sortOIDs(oids []event.OID) {
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+}
+
+// ApplyRecord is the follower-side directory maintenance hook: the store
+// invokes it (through the facade's mux) for every operation a replicated
+// transaction applied, in LSN order. Only records that decode as objects
+// matter here; index entries and catalog blobs fall through.
+func (r *Registry) ApplyRecord(rec *storage.LogRecord) {
+	switch rec.Type {
+	case storage.RecInsert, storage.RecUpdate:
+		p, ok := decodeObjBytes(rec.After)
+		if !ok {
+			return
+		}
+		r.oidMu.Lock()
+		r.oidDir[p.OID] = objRef{rid: rec.RID, class: p.Class}
+		r.oidMu.Unlock()
+	case storage.RecDelete:
+		p, ok := decodeObjBytes(rec.Before)
+		if !ok {
+			return
+		}
+		ts := r.store.CommitTS()
+		r.oidMu.Lock()
+		r.grave = append(r.grave, graveRef{oid: p.OID, rid: rec.RID, ts: ts})
+		r.oidMu.Unlock()
+		if n := r.opCount.Add(1); n%gravePruneEvery == 0 {
+			r.pruneGraves()
+		}
+	}
 }
 
 // Bind associates a name with an OID in the name manager.

@@ -1,0 +1,153 @@
+package query
+
+import (
+	"bytes"
+	"sync"
+)
+
+// skiplist is the in-memory directory behind an ordered index: byte-string
+// keys (order-preserving attr encoding + big-endian OID suffix, so
+// duplicate attr values coexist and scans emit them in OID order) mapping
+// to the optimistic record location. Readers re-verify through MVCC, so
+// the list only needs internal consistency: one mutex for writers,
+// read-locked iteration for scans. Levels are driven by a cheap xorshift
+// PRNG seeded per list — no global rand dependency.
+const skipMaxLevel = 24
+
+type skipNode struct {
+	key  []byte
+	val  skipVal
+	next [skipMaxLevel]*skipNode
+}
+
+type skiplist struct {
+	mu    sync.RWMutex
+	head  *skipNode
+	level int
+	size  int
+	rng   uint64
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{head: &skipNode{}, level: 1, rng: 0x9E3779B97F4A7C15}
+}
+
+func (s *skiplist) randLevel() int {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	lvl := 1
+	// P(level bump) = 1/4 per step, geometric.
+	for x&3 == 0 && lvl < skipMaxLevel {
+		lvl++
+		x >>= 2
+	}
+	return lvl
+}
+
+// set inserts or overwrites key.
+func (s *skiplist) set(key []byte, val skipVal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var update [skipMaxLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		nxt.val = val
+		return
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{key: key, val: val}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.size++
+}
+
+// del removes key if present.
+func (s *skiplist) del(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var update [skipMaxLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	target := x.next[0]
+	if target == nil || !bytes.Equal(target.key, key) {
+		return
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+}
+
+// get returns the value for key.
+func (s *skiplist) get(key []byte) (skipVal, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		return nxt.val, true
+	}
+	return skipVal{}, false
+}
+
+// scan visits entries with lo <= key < hi (nil lo = from start, nil hi =
+// to end) in key order, under the read lock; fn returns false to stop.
+// Keys and values are copied out by the caller if retained — fn must not
+// block on writer work.
+func (s *skiplist) scan(lo, hi []byte, fn func(key []byte, val skipVal) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	x := s.head
+	if lo != nil {
+		for i := s.level - 1; i >= 0; i-- {
+			for x.next[i] != nil && bytes.Compare(x.next[i].key, lo) < 0 {
+				x = x.next[i]
+			}
+		}
+	}
+	for n := x.next[0]; n != nil; n = n.next[0] {
+		if hi != nil && bytes.Compare(n.key, hi) >= 0 {
+			return
+		}
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+func (s *skiplist) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lockmgr"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/sched"
 	"repro/internal/txn"
 )
@@ -204,15 +205,32 @@ type Spec struct {
 	Name      string
 	Event     string // name of a defined event
 	Condition Condition
-	Action    Action
-	Context   detector.Context
-	Coupling  CouplingMode
-	Priority  int
-	Trigger   TriggerMode
+	// Where declares the condition declaratively instead: the rule fires
+	// when any object of the class satisfies the predicate, evaluated
+	// through the query engine (index pushdown, snapshot reads). Mutually
+	// exclusive with Condition.
+	Where    *Where
+	Action   Action
+	Context  detector.Context
+	Coupling CouplingMode
+	Priority int
+	Trigger  TriggerMode
 	// Class, when non-empty, makes this a class-owned rule subject to
 	// Visibility scoping against the class hierarchy.
 	Class      string
 	Visibility Visibility
+}
+
+// Where is a declarative rule condition: EXISTS(class WHERE pred). The
+// planner binds the predicate to a secondary index when one covers it,
+// turning the condition from an O(extent) closure into an index probe.
+// Class defaults to the spec's owning Class; a nil Pred tests extent
+// non-emptiness. Evaluation runs under the firing transaction — with
+// SnapshotConditions, against its MVCC snapshot.
+type Where struct {
+	Class      string
+	Subclasses bool
+	Pred       query.Pred
 }
 
 // Errors reported by the rule manager.
@@ -313,6 +331,13 @@ type Manager struct {
 	// sentinel.Options.SnapshotConditions.
 	SnapshotConditions bool
 
+	// ExistsFn evaluates Where conditions: does any object of class
+	// satisfy pred, as seen by tx? The facade wires it to the query
+	// engine's Exists (set once at startup, before rules run). A rule
+	// whose Where fires with no ExistsFn reports through OnError and
+	// does not run its action.
+	ExistsFn func(tx *txn.Txn, class string, subclasses bool, pred query.Pred) (bool, error)
+
 	// OnError receives errors from rule executions (aborted actions,
 	// subtransaction failures). Default: discard.
 	OnError func(rule string, err error)
@@ -401,7 +426,43 @@ func validateSpec(spec Spec) error {
 	if spec.Class == "" && spec.Visibility != Public {
 		return fmt.Errorf("rules: %q: %v visibility requires an owning class", spec.Name, spec.Visibility)
 	}
+	if spec.Where != nil {
+		if spec.Condition != nil {
+			return fmt.Errorf("rules: %q: Where and Condition are mutually exclusive", spec.Name)
+		}
+		if spec.Where.Class == "" && spec.Class == "" {
+			return fmt.Errorf("rules: %q: Where needs a class (Where.Class or Spec.Class)", spec.Name)
+		}
+	}
 	return nil
+}
+
+// specCond resolves the spec's condition: the Condition func as given, or
+// a closure compiling Where through the query engine. The closure runs
+// inside runBody's snapshot scope when SnapshotConditions is on, so the
+// probe reads the firing transaction's consistent view for free.
+func (m *Manager) specCond(spec *Spec) Condition {
+	if spec.Where == nil {
+		return spec.Condition
+	}
+	w := *spec.Where
+	if w.Class == "" {
+		w.Class = spec.Class
+	}
+	name := spec.Name
+	return func(exec *Execution) bool {
+		fn := m.ExistsFn
+		if fn == nil {
+			m.reportError(name, errors.New("rules: Where condition but no query engine wired (Manager.ExistsFn)"))
+			return false
+		}
+		ok, err := fn(exec.Txn, w.Class, w.Subclasses, w.Pred)
+		if err != nil {
+			m.reportError(name, fmt.Errorf("rules: Where condition: %w", err))
+			return false
+		}
+		return ok
+	}
 }
 
 // reserve claims the name for an in-flight Define under one critical
@@ -457,7 +518,7 @@ func (m *Manager) Define(spec Spec) (*Rule, error) {
 		name:      spec.Name,
 		eventName: eventName,
 		userEvent: spec.Event,
-		cond:      spec.Condition,
+		cond:      m.specCond(&spec),
 		action:    spec.Action,
 		ctx:       spec.Context,
 		coupling:  spec.Coupling,
@@ -563,7 +624,7 @@ func (m *Manager) DefineBatch(specs []Spec) ([]*Rule, error) {
 				name:      spec.Name,
 				eventName: eventName,
 				userEvent: spec.Event,
-				cond:      spec.Condition,
+				cond:      m.specCond(spec),
 				action:    spec.Action,
 				ctx:       spec.Context,
 				coupling:  spec.Coupling,

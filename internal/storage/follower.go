@@ -93,7 +93,10 @@ func (s *Store) applyShipped(rec *LogRecord) error {
 		// effect to defer, and deferred inserts need the page to exist.
 		return s.redoOp(rec)
 
-	case RecInsert, RecDelete, RecUpdate:
+	case RecInsert, RecDelete, RecUpdate, RecIdxCreate, RecIdxDrop:
+		// Logical index-DDL records defer with the transaction like page
+		// operations: they reach the apply hook at commit, and their CLRs
+		// cancel them below exactly like any other op.
 		// CLRs for a committed-and-merged subtransaction's operations still
 		// carry the subtransaction's id (the leader compensates the original
 		// record); the pending operation they cancel lives in whatever
@@ -258,14 +261,55 @@ func (s *Store) resolveOwner(id uint64) *txnState {
 // identically). Operations are applied in LSN order — merged
 // subtransaction operations interleave correctly — and every touched page
 // is stamped with the commit record's LSN.
+// Large transactions — a cold follower draining a long shipped archive
+// arrives here with the whole history buffered in placeholders — replay on
+// the same page-sharded worker pool recovery redo uses; small ones apply
+// serially. Logical index-DDL records have no page effect and are skipped
+// here. After every page effect is in place the apply hook (if any)
+// observes each operation in LSN order, so upper-layer directories update
+// deterministically even when the page apply itself ran sharded.
 func (s *Store) applyPendingOps(t *txnState, commitLSN uint64) error {
 	t.mu.Lock()
 	ops := t.ops
 	t.mu.Unlock()
 	sort.Slice(ops, func(i, j int) bool { return ops[i].LSN < ops[j].LSN })
+	pageOps := ops
+	hasLogical := false
 	for _, rec := range ops {
-		if err := s.applyResolved(rec, commitLSN); err != nil {
-			return fmt.Errorf("apply txn %d lsn %d: %w", t.id, rec.LSN, err)
+		if rec.Type == RecIdxCreate || rec.Type == RecIdxDrop {
+			hasLogical = true
+			break
+		}
+	}
+	if hasLogical {
+		pageOps = make([]*LogRecord, 0, len(ops))
+		for _, rec := range ops {
+			if rec.Type != RecIdxCreate && rec.Type != RecIdxDrop {
+				pageOps = append(pageOps, rec)
+			}
+		}
+	}
+	workers := s.applyWorkers()
+	if workers >= 2 && len(pageOps) >= redoParallelMin {
+		err := s.applyByPageShard(pageOps, workers, func(rec *LogRecord) error {
+			if err := s.applyResolved(rec, commitLSN); err != nil {
+				return fmt.Errorf("apply txn %d lsn %d: %w", t.id, rec.LSN, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, rec := range pageOps {
+			if err := s.applyResolved(rec, commitLSN); err != nil {
+				return fmt.Errorf("apply txn %d lsn %d: %w", t.id, rec.LSN, err)
+			}
+		}
+	}
+	if hook := s.applyHookFn(); hook != nil {
+		for _, rec := range ops {
+			hook(rec)
 		}
 	}
 	return nil

@@ -135,6 +135,15 @@ func (s *Store) recover() error {
 			} else {
 				get(rec.Txn).forward = append(get(rec.Txn).forward, rec)
 			}
+		case RecIdxCreate, RecIdxDrop:
+			// Logical index DDL: no page effect to redo, but the record
+			// participates in undo bookkeeping (its CLR is logical too) and
+			// a follower's pending rebuild carries it to the apply hook.
+			if rec.CLR {
+				get(rec.Txn).clrs++
+			} else {
+				get(rec.Txn).forward = append(get(rec.Txn).forward, rec)
+			}
 		case RecAlloc:
 			if !rec.CLR {
 				allOps = append(allOps, rec)
@@ -303,13 +312,7 @@ const redoParallelMin = 256
 // redoAll replays ops (already in LSN order), partitioned by page across
 // workers so per-page order is preserved. Returns the worker count used.
 func (s *Store) redoAll(ops []*LogRecord) (int, error) {
-	workers := s.recShards
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
-		}
-	}
+	workers := s.applyWorkers()
 	if workers < 2 || len(ops) < redoParallelMin {
 		for _, rec := range ops {
 			if err := s.redoOp(rec); err != nil {
@@ -329,6 +332,37 @@ func (s *Store) redoAll(ops []*LogRecord) (int, error) {
 			}
 		}
 	}
+	err := s.applyByPageShard(ops, workers, func(rec *LogRecord) error {
+		if err := s.redoOp(rec); err != nil {
+			return fmt.Errorf("storage: recovery redo lsn %d: %w", rec.LSN, err)
+		}
+		return nil
+	})
+	return workers, err
+}
+
+// applyWorkers returns the worker count the page-sharded apply pool uses:
+// the configured recovery shard count, else GOMAXPROCS capped at 8.
+func (s *Store) applyWorkers() int {
+	workers := s.recShards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	return workers
+}
+
+// applyByPageShard runs apply over ops (already in LSN order) partitioned
+// by PageID across workers: records for one page land on one worker in
+// order, so per-page LSN order is preserved while disjoint pages apply
+// concurrently. The WAL is physiological — operations on different pages
+// commute — which is what makes the partition sound. Shared by recovery
+// redo (redoAll) and the follower's deferred-apply path (applyPendingOps),
+// so a cold follower bootstrapping from a long shipped archive replays on
+// the same pool recovery uses.
+func (s *Store) applyByPageShard(ops []*LogRecord, workers int, apply func(*LogRecord) error) error {
 	groups := make([][]*LogRecord, workers)
 	for _, rec := range ops {
 		g := int(uint64(rec.RID.Page) % uint64(workers))
@@ -344,8 +378,8 @@ func (s *Store) redoAll(ops []*LogRecord) (int, error) {
 		go func(i int, group []*LogRecord) {
 			defer wg.Done()
 			for _, rec := range group {
-				if err := s.redoOp(rec); err != nil {
-					errs[i] = fmt.Errorf("storage: recovery redo lsn %d: %w", rec.LSN, err)
+				if err := apply(rec); err != nil {
+					errs[i] = err
 					return
 				}
 			}
@@ -354,10 +388,10 @@ func (s *Store) redoAll(ops []*LogRecord) (int, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return workers, err
+			return err
 		}
 	}
-	return workers, nil
+	return nil
 }
 
 // rebuildPending reconstructs a follower's pending-transaction state after

@@ -214,6 +214,7 @@ type Store struct {
 	recShards   int
 	recStats    RecoveryStats
 	replApplied atomic.Uint64 // log position fully applied by ReplIngest
+	applyHook   atomic.Pointer[func(*LogRecord)]
 
 	closed atomic.Bool
 }
@@ -578,6 +579,11 @@ func compensationFor(rec *LogRecord) *LogRecord {
 		return &LogRecord{Type: RecInsert, Txn: rec.Txn, CLR: true, RID: rec.RID, After: rec.Before}
 	case RecUpdate:
 		return &LogRecord{Type: RecUpdate, Txn: rec.Txn, CLR: true, RID: rec.RID, Before: rec.After, After: rec.Before}
+	case RecIdxCreate, RecIdxDrop:
+		// Index DDL is logical: the CLR cancels the definition change but
+		// has no physical effect (the durable index catalog record is
+		// rolled back by its own page CLRs).
+		return &LogRecord{Type: rec.Type, Txn: rec.Txn, CLR: true, After: rec.After}
 	default:
 		// RecAlloc has no undo; emit a no-op CLR so counts stay aligned.
 		return &LogRecord{Type: RecAlloc, Txn: rec.Txn, CLR: true, RID: rec.RID}
@@ -592,6 +598,11 @@ func compensationFor(rec *LogRecord) *LogRecord {
 // either sees the dirty frame or the CLR's LSN lies above the checkpoint's
 // own record — never a hole below the redo point.
 func (s *Store) compensate(rec *LogRecord) error {
+	if rec.Type == RecIdxCreate || rec.Type == RecIdxDrop {
+		// Logical records: log the cancellation, nothing to reverse on a page.
+		_, err := s.wal.Append(compensationFor(rec))
+		return err
+	}
 	page, err := s.pool.Fetch(rec.RID.Page)
 	if err != nil {
 		return err
@@ -835,6 +846,54 @@ func (s *Store) slotFilter(pid PageID) func(uint16) bool {
 	}
 }
 
+// LogIndexOp appends a logical index-DDL record (RecIdxCreate or
+// RecIdxDrop, payload = encoded definition) under transaction id. The
+// record joins the transaction's op list so an abort compensates it and a
+// follower surfaces it to the apply hook when the transaction commits; it
+// has no page effect of its own.
+func (s *Store) LogIndexOp(id uint64, typ RecType, payload []byte) error {
+	if typ != RecIdxCreate && typ != RecIdxDrop {
+		return fmt.Errorf("storage: LogIndexOp of %v record", typ)
+	}
+	if s.follower.Load() {
+		return ErrFollowerReadOnly
+	}
+	t, err := s.lookupActive(id)
+	if err != nil {
+		return err
+	}
+	rec := &LogRecord{Type: typ, Txn: id, After: cloneBytes(payload)}
+	if _, err := s.wal.Append(rec); err != nil {
+		return err
+	}
+	t.addOp(rec)
+	return nil
+}
+
+// SetApplyHook installs fn to observe every operation a follower applies
+// at commit (in LSN order, after the whole transaction's page effects are
+// in place) plus logical index-DDL records. Upper layers use it to keep
+// in-memory directories — the object catalog and secondary-index
+// directories — in lock-step with replicated state; a leader rebuilds
+// those directories by scanning at open instead. Pass nil to clear.
+func (s *Store) SetApplyHook(fn func(*LogRecord)) {
+	s.applyHook.Store(&fn)
+}
+
+func (s *Store) applyHookFn() func(*LogRecord) {
+	if p := s.applyHook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SnapshotFloor returns the oldest timestamp any live snapshot can read
+// at (the commit clock when no snapshot is open). State whose removal
+// committed at or below the floor is invisible to every present and
+// future snapshot — the guard upper layers use to prune their in-memory
+// directories.
+func (s *Store) SnapshotFloor() uint64 { return s.oldestSnapshot() }
+
 // Read returns a copy of the record at rid — the latest state, no version
 // filtering. This is the 2PL read path: the caller's lock manager
 // serializes it against writers.
@@ -993,6 +1052,9 @@ func (s *Store) Delete(id uint64, rid RID) error {
 // not imply the effect is present there, and an unconditional in-order
 // replay is the variant that is correct for every store.
 func (s *Store) redoOp(rec *LogRecord) error {
+	if rec.Type == RecIdxCreate || rec.Type == RecIdxDrop {
+		return nil // logical record: no page effect to repeat
+	}
 	if rec.Type == RecAlloc {
 		if err := s.disk.EnsureAllocated(rec.RID.Page); err != nil {
 			return err

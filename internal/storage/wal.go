@@ -41,6 +41,16 @@ const (
 	// apply it live: it is what publishes a replicated commit to snapshot
 	// readers on the replica.
 	RecCommitTS
+	// RecIdxCreate / RecIdxDrop are logical DDL records for secondary
+	// indexes (internal/query). They carry the encoded index definition in
+	// After and touch no page: redo is a no-op (the durable index catalog
+	// record replays physically like any other record), and their undo is a
+	// same-type CLR with no physical effect. They exist so index DDL rides
+	// a transaction's op list like any other operation — aborts compensate
+	// it, followers buffer it with the txn and surface it to the apply hook
+	// at commit, keeping replica index definitions in lock-step.
+	RecIdxCreate
+	RecIdxDrop
 )
 
 // String names the record type for traces.
@@ -64,6 +74,10 @@ func (t RecType) String() string {
 		return "CHECKPOINT"
 	case RecCommitTS:
 		return "COMMIT-TS"
+	case RecIdxCreate:
+		return "IDX-CREATE"
+	case RecIdxDrop:
+		return "IDX-DROP"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}

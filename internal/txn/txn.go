@@ -192,6 +192,12 @@ func (t *Txn) Root() *Txn {
 // Depth returns the nesting depth (0 for top-level).
 func (t *Txn) Depth() int { return t.depth }
 
+// Parent returns the immediate parent transaction, nil for top-level ones.
+// Layers that keep per-transaction side state (the object catalog's dirty
+// sets, index dirty-key sets) use it to merge a committed subtransaction's
+// state into its parent, mirroring the storage-level op merge.
+func (t *Txn) Parent() *Txn { return t.parent }
+
 // IsNested reports whether t is a subtransaction.
 func (t *Txn) IsNested() bool { return t.parent != nil }
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/repl"
 	"repro/internal/rules"
 	"repro/internal/sched"
@@ -85,6 +86,28 @@ type (
 	Debugger = debug.Debugger
 	// PromoteStats reports what Promote published and aborted.
 	PromoteStats = storage.PromoteStats
+	// Q is a declarative query over a class extent (see Database.Query).
+	Q = query.Q
+	// Row is one query result tuple.
+	Row = query.Row
+	// Pred is a query predicate tree (query.Eq, query.And, ...).
+	Pred = query.Pred
+	// JoinSpec is the right side of a query equi-join.
+	JoinSpec = query.Join
+	// Agg is one aggregate column of a grouped query.
+	Agg = query.Agg
+	// IndexDef describes a secondary index.
+	IndexDef = query.IndexDef
+	// IndexKind selects hash or ordered index structure.
+	IndexKind = query.IndexKind
+	// RuleWhere is a declarative rule condition (RuleSpec.Where).
+	RuleWhere = rules.Where
+)
+
+// Index kinds.
+const (
+	HashIndex    = query.HashIndex
+	OrderedIndex = query.OrderedIndex
 )
 
 // Parameter contexts.
@@ -209,6 +232,7 @@ type Database struct {
 	sched    *sched.Scheduler
 	rules    *rules.Manager
 	objects  *object.Registry
+	queries  *query.Manager
 	comp     *snoop.Compiler
 	gedCli   ged.Bus
 	gedFwd   detector.Subscriber
@@ -328,6 +352,22 @@ func Open(opts Options) (*Database, error) {
 	rm.MaxCascade = opts.MaxCascadeDepth
 	rm.SnapshotConditions = opts.SnapshotConditions >= 0
 	objects := object.NewRegistry(det, store)
+	// The query engine maintains its secondary indexes through the object
+	// layer's mutation hook and answers declarative rule conditions
+	// (RuleSpec.Where) through the rule manager's Exists hook.
+	var queries *query.Manager
+	if store != nil {
+		queries = query.NewManager(store, objects)
+		objects.SetIndexHook(queries)
+		rm.ExistsFn = queries.Exists
+		// Followers keep the object directory and index structures current
+		// by observing committed record traffic as it is applied, in LSN
+		// order; leaders never invoke the hook (they maintain in-line).
+		store.SetApplyHook(func(rec *storage.LogRecord) {
+			objects.ApplyRecord(rec)
+			queries.ApplyRecord(rec)
+		})
+	}
 
 	db := &Database{
 		opts:    opts,
@@ -338,6 +378,7 @@ func Open(opts Options) (*Database, error) {
 		sched:   s,
 		rules:   rm,
 		objects: objects,
+		queries: queries,
 	}
 	db.comp = &snoop.Compiler{
 		Det:        det,
@@ -358,6 +399,7 @@ func Open(opts Options) (*Database, error) {
 	locks.RegisterMetrics(db.metrics)
 	if store != nil {
 		store.RegisterMetrics(db.metrics)
+		queries.RegisterMetrics(db.metrics)
 	}
 	db.metrics.CounterFunc("sentinel_faults_injected_total",
 		"Faults fired by the deterministic fault-injection layer since process start (0 unless a test armed an injector).",
@@ -388,6 +430,41 @@ func Open(opts Options) (*Database, error) {
 		if err := boot.Commit(); err != nil {
 			db.closeInternals()
 			return nil, err
+		}
+	}
+	if store != nil {
+		// Rebuild the in-memory directories from the recovered (leader) or
+		// resolved-prefix (follower) heap. The follower's object directory
+		// needs an explicit pass since it skips InitCatalog; both sides
+		// stay current afterwards via hooks.
+		if store.IsFollower() {
+			if err := objects.Bootstrap(); err != nil {
+				db.closeInternals()
+				return nil, err
+			}
+		}
+		if err := queries.Bootstrap(); err != nil {
+			db.closeInternals()
+			return nil, err
+		}
+		if !store.IsFollower() {
+			// Entry records orphaned by heaps written before index DDL
+			// existed (or by a mid-drop crash in an older build) are dead
+			// weight; clear them while we know nothing is running.
+			sweep, err := txns.Begin()
+			if err != nil {
+				db.closeInternals()
+				return nil, err
+			}
+			if _, err := queries.SweepOrphans(sweep); err != nil {
+				_ = sweep.Abort()
+				db.closeInternals()
+				return nil, err
+			}
+			if err := sweep.Commit(); err != nil {
+				db.closeInternals()
+				return nil, err
+			}
 		}
 	}
 	if opts.ReplAddr != "" {
@@ -553,6 +630,12 @@ func (db *Database) Load(tx *Txn, oid OID) (*Instance, error) { return db.object
 // Delete removes an object.
 func (db *Database) Delete(tx *Txn, oid OID) error { return db.objects.Delete(tx, oid) }
 
+// Persist writes an object's mutated attributes back to the store — the
+// programmatic alternative to invoking a Mutates method. Index
+// maintenance and event signalling semantics match a method update,
+// minus the method events.
+func (db *Database) Persist(tx *Txn, obj *Instance) error { return db.objects.Persist(tx, obj) }
+
 // ForEach visits the class extent — every object of the class, and of
 // its subclasses when includeSubclasses is set — in OID order. Rule
 // conditions use it to query database state. fn returning false stops
@@ -560,6 +643,68 @@ func (db *Database) Delete(tx *Txn, oid OID) error { return db.objects.Delete(tx
 func (db *Database) ForEach(tx *Txn, class string, includeSubclasses bool, fn func(*Instance) bool) error {
 	return db.objects.ForEach(tx, class, includeSubclasses, fn)
 }
+
+// ---------------------------------------------------------------------------
+// Queries and indexes
+// ---------------------------------------------------------------------------
+
+// Query compiles and runs a declarative query under tx, returning the
+// materialized rows. Equality and range conjuncts of q.Where bind to a
+// secondary index when one covers them; every candidate is re-verified
+// against the transaction's view, so results are exactly what a full
+// extent scan would produce. Requires a persistent database (Options.Dir).
+func (db *Database) Query(tx *Txn, q Q) ([]Row, error) {
+	if db.queries == nil {
+		return nil, query.ErrNotPersistent
+	}
+	return db.queries.Run(tx, q)
+}
+
+// QueryIter compiles q into a streaming iterator (see query.Iterator).
+// Close it before resolving tx.
+func (db *Database) QueryIter(tx *Txn, q Q) (query.Iterator, error) {
+	if db.queries == nil {
+		return nil, query.ErrNotPersistent
+	}
+	return db.queries.Plan(tx, q)
+}
+
+// ExplainQuery renders the access plan the compiler would choose for q.
+func (db *Database) ExplainQuery(q Q) string {
+	if db.queries == nil {
+		return "unavailable (in-memory database)"
+	}
+	return db.queries.Explain(q)
+}
+
+// CreateIndex builds a secondary index on class.attr inside tx: the
+// definition, its WAL record and the extent backfill commit or abort as
+// one unit. DDL serializes against writers via the catalog lock.
+func (db *Database) CreateIndex(tx *Txn, class, attr string, kind IndexKind) (IndexDef, error) {
+	if db.queries == nil {
+		return IndexDef{}, query.ErrNotPersistent
+	}
+	return db.queries.CreateIndex(tx, class, attr, kind)
+}
+
+// DropIndex removes the index of the given kind on class.attr inside tx.
+func (db *Database) DropIndex(tx *Txn, class, attr string, kind IndexKind) error {
+	if db.queries == nil {
+		return query.ErrNotPersistent
+	}
+	return db.queries.DropIndex(tx, class, attr, kind)
+}
+
+// Indexes lists the live secondary index definitions.
+func (db *Database) Indexes() []IndexDef {
+	if db.queries == nil {
+		return nil
+	}
+	return db.queries.Defs()
+}
+
+// QueryManager exposes the query engine (tests, tooling).
+func (db *Database) QueryManager() *query.Manager { return db.queries }
 
 // Bind names an object in the name manager.
 func (db *Database) Bind(tx *Txn, name string, oid OID) error {
