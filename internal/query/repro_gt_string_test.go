@@ -1,0 +1,35 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGtStringPrefixPushdown(t *testing.T) {
+	e := newEnv(t)
+	defer e.close()
+
+	tx := e.begin()
+	for _, sym := range []string{"a", "ab", "abc", "b"} {
+		if _, err := e.reg.New(tx, "STOCK", map[string]any{"sym": sym}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.commit(tx)
+
+	tx = e.begin()
+	if _, err := e.qm.CreateIndex(tx, "STOCK", "sym", OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	e.commit(tx)
+
+	tx = e.begin()
+	defer tx.Commit()
+	pred := Gt("sym", "a")
+	want := e.scanOracle(tx, "STOCK", false, pred)
+	got := e.runOIDs(tx, Q{Class: "STOCK", Where: pred})
+	t.Logf("plan: %s", e.qm.Explain(Q{Class: "STOCK", Where: pred}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Gt(sym, \"a\"): indexed got %v, oracle %v", got, want)
+	}
+}
